@@ -1,0 +1,375 @@
+//! The inter-cell coupling analyzer: `Hz_s_inter` at the victim's FL.
+
+use crate::{
+    diagonal_neighbor_offsets, direct_neighbor_offsets, ArrayError, NeighborhoodPattern,
+    PatternClass,
+};
+use mramsim_magnetics::FieldSource;
+use mramsim_mtj::{MtjDevice, MtjState};
+use mramsim_numerics::Vec3;
+use mramsim_units::constants::OERSTED_PER_AMPERE_PER_METER;
+use mramsim_units::{Nanometer, Oersted};
+
+/// Decomposition of the inter-cell field into its physical parts.
+///
+/// The paper's Fig. 4a description is exactly this decomposition: a
+/// fixed-layer baseline plus "a step of 15 Oe with the number of 1s in
+/// direct neighbors and … 5 Oe with … diagonal neighbors".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterFieldBreakdown {
+    /// Total fixed-layer (RL + HL) contribution of all 8 aggressors.
+    pub fixed_total: Oersted,
+    /// Change in `Hz_s_inter` when one *direct* neighbour flips P→AP.
+    pub direct_step: Oersted,
+    /// Change in `Hz_s_inter` when one *diagonal* neighbour flips P→AP.
+    pub diagonal_step: Oersted,
+}
+
+/// Computes `Hz_s_inter` at the FL centre of a victim cell inside a 3×3
+/// array, for any neighbourhood pattern, using the exact bound-current
+/// loop model (no dipole approximation).
+///
+/// Per-neighbour contributions are precomputed once per
+/// (device, pitch): by symmetry all four direct aggressors contribute
+/// identically, and likewise the four diagonal ones — this is what
+/// collapses 256 patterns into the paper's 25 classes.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_array::CouplingAnalyzer;
+/// use mramsim_mtj::presets;
+/// use mramsim_units::Nanometer;
+///
+/// let device = presets::imec_like(Nanometer::new(55.0))?;
+/// let c = CouplingAnalyzer::new(device, Nanometer::new(90.0))?;
+/// let b = c.breakdown();
+/// // Fig. 4a: ~15 Oe per direct flip, ~5 Oe per diagonal flip.
+/// assert!((b.direct_step.value() - 15.0).abs() < 1.5);
+/// assert!((b.diagonal_step.value() - 5.0).abs() < 1.0);
+/// # Ok::<(), mramsim_array::ArrayError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingAnalyzer {
+    device: MtjDevice,
+    pitch: Nanometer,
+    fixed_direct: f64,
+    fixed_diagonal: f64,
+    fl_p_direct: f64,
+    fl_ap_direct: f64,
+    fl_p_diagonal: f64,
+    fl_ap_diagonal: f64,
+    intra: Oersted,
+}
+
+impl CouplingAnalyzer {
+    /// Builds the analyzer for a device placed on a square grid with the
+    /// given pitch.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArrayError::InvalidParameter`] when `pitch < eCD` (cells would
+    ///   overlap) or is non-finite.
+    /// * [`ArrayError::Device`] if loop construction fails.
+    pub fn new(device: MtjDevice, pitch: Nanometer) -> Result<Self, ArrayError> {
+        if !pitch.is_finite() || pitch.value() < device.ecd().value() {
+            return Err(ArrayError::InvalidParameter {
+                name: "pitch",
+                message: format!(
+                    "pitch {pitch:?} must be at least the device eCD {:?}",
+                    device.ecd()
+                ),
+            });
+        }
+        let victim = Vec3::ZERO;
+        let ecd = device.ecd();
+        let stack = device.stack();
+
+        // One representative direct and one diagonal aggressor; the rest
+        // follow by symmetry (verified in tests).
+        let (dx, dy) = direct_neighbor_offsets(pitch)[0];
+        let (gx, gy) = diagonal_neighbor_offsets(pitch)[0];
+
+        let fixed_hz = |x: f64, y: f64| -> Result<f64, ArrayError> {
+            Ok(stack
+                .fixed_sources_at(ecd, x, y)?
+                .iter()
+                .map(|s| s.hz(victim))
+                .sum())
+        };
+        let fl_hz = |x: f64, y: f64, state: MtjState| -> Result<f64, ArrayError> {
+            Ok(stack.fl_source_at(ecd, x, y, state)?.hz(victim))
+        };
+
+        let intra = stack.intra_hz_at_fl_center(ecd)?;
+        let fixed_direct = fixed_hz(dx, dy)?;
+        let fixed_diagonal = fixed_hz(gx, gy)?;
+        let fl_p_direct = fl_hz(dx, dy, MtjState::Parallel)?;
+        let fl_ap_direct = fl_hz(dx, dy, MtjState::AntiParallel)?;
+        let fl_p_diagonal = fl_hz(gx, gy, MtjState::Parallel)?;
+        let fl_ap_diagonal = fl_hz(gx, gy, MtjState::AntiParallel)?;
+        Ok(Self {
+            device,
+            pitch,
+            fixed_direct,
+            fixed_diagonal,
+            fl_p_direct,
+            fl_ap_direct,
+            fl_p_diagonal,
+            fl_ap_diagonal,
+            intra,
+        })
+    }
+
+    /// The device under analysis.
+    #[must_use]
+    pub fn device(&self) -> &MtjDevice {
+        &self.device
+    }
+
+    /// The array pitch.
+    #[must_use]
+    pub fn pitch(&self) -> Nanometer {
+        self.pitch
+    }
+
+    /// The victim's own intra-cell field `Hz_s_intra` (FL centre).
+    #[must_use]
+    pub fn intra_hz(&self) -> Oersted {
+        self.intra
+    }
+
+    /// `Hz_s_inter` for a symmetry class (the Fig. 4a axes).
+    #[must_use]
+    pub fn inter_hz_class(&self, class: PatternClass) -> Oersted {
+        let nd = f64::from(class.direct_ones);
+        let ng = f64::from(class.diagonal_ones);
+        let total_apm = 4.0 * (self.fixed_direct + self.fixed_diagonal)
+            + nd * self.fl_ap_direct
+            + (4.0 - nd) * self.fl_p_direct
+            + ng * self.fl_ap_diagonal
+            + (4.0 - ng) * self.fl_p_diagonal;
+        Oersted::new(total_apm * OERSTED_PER_AMPERE_PER_METER)
+    }
+
+    /// `Hz_s_inter` for a full neighbourhood pattern.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for this analyzer; the `Result` keeps the signature
+    /// uniform with the extended (5×5) analyzer.
+    pub fn inter_hz(&self, np: NeighborhoodPattern) -> Result<Oersted, ArrayError> {
+        Ok(self.inter_hz_class(np.class()))
+    }
+
+    /// Total stray field at the victim FL for a pattern:
+    /// `Hz_stray = Hz_s_intra + Hz_s_inter` (the Eq. 2 / Eq. 5 input).
+    #[must_use]
+    pub fn total_hz(&self, np: NeighborhoodPattern) -> Oersted {
+        self.intra + self.inter_hz_class(np.class())
+    }
+
+    /// The physical decomposition behind Fig. 4a.
+    #[must_use]
+    pub fn breakdown(&self) -> InterFieldBreakdown {
+        InterFieldBreakdown {
+            fixed_total: Oersted::new(
+                4.0 * (self.fixed_direct + self.fixed_diagonal) * OERSTED_PER_AMPERE_PER_METER,
+            ),
+            direct_step: Oersted::new(
+                (self.fl_ap_direct - self.fl_p_direct) * OERSTED_PER_AMPERE_PER_METER,
+            ),
+            diagonal_step: Oersted::new(
+                (self.fl_ap_diagonal - self.fl_p_diagonal) * OERSTED_PER_AMPERE_PER_METER,
+            ),
+        }
+    }
+
+    /// The extreme values of `Hz_s_inter` over all 256 patterns,
+    /// `(min, max)`, found by exhaustive scan.
+    #[must_use]
+    pub fn inter_hz_extremes(&self) -> (Oersted, Oersted) {
+        let mut lo = Oersted::new(f64::INFINITY);
+        let mut hi = Oersted::new(f64::NEG_INFINITY);
+        for class in PatternClass::all() {
+            let h = self.inter_hz_class(class);
+            lo = lo.min(h);
+            hi = hi.max(h);
+        }
+        (lo, hi)
+    }
+
+    /// The paper's "maximum variation in `Hz_s_inter` among the 256
+    /// neighbourhood patterns" (80 Oe at eCD = 55 nm, pitch = 90 nm).
+    #[must_use]
+    pub fn max_variation(&self) -> Oersted {
+        let (lo, hi) = self.inter_hz_extremes();
+        hi - lo
+    }
+
+    /// The inter-cell magnetic coupling factor
+    /// `Ψ = max-variation(Hz_s_inter)/Hc` (dimensionless, e.g. `0.02`
+    /// for the paper's 2 % threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive coercivity.
+    #[must_use]
+    pub fn psi(&self, hc: Oersted) -> f64 {
+        assert!(hc.value() > 0.0, "coercivity must be positive");
+        self.max_variation() / hc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::presets;
+
+    fn analyzer(ecd: f64, pitch: f64) -> CouplingAnalyzer {
+        let device = presets::imec_like(Nanometer::new(ecd)).unwrap();
+        CouplingAnalyzer::new(device, Nanometer::new(pitch)).unwrap()
+    }
+
+    /// The paper's Fig. 4a design point.
+    fn sk_hynix() -> CouplingAnalyzer {
+        analyzer(55.0, 90.0)
+    }
+
+    #[test]
+    fn fig4a_extremes_match_paper() {
+        // NP8 = 0 → ≈ −16 Oe; NP8 = 255 → ≈ +64 Oe.
+        let c = sk_hynix();
+        let lo = c.inter_hz(NeighborhoodPattern::ALL_P).unwrap();
+        let hi = c.inter_hz(NeighborhoodPattern::ALL_AP).unwrap();
+        assert!((lo.value() + 16.0).abs() < 4.0, "NP8=0: {lo}");
+        assert!((hi.value() - 64.0).abs() < 6.0, "NP8=255: {hi}");
+    }
+
+    #[test]
+    fn fig4a_steps_match_paper() {
+        let b = sk_hynix().breakdown();
+        assert!((b.direct_step.value() - 15.0).abs() < 1.0, "{:?}", b);
+        assert!((b.diagonal_step.value() - 5.0).abs() < 0.8, "{:?}", b);
+        assert!(b.fixed_total.value() > 0.0);
+    }
+
+    #[test]
+    fn max_variation_is_80_oe_at_design_point() {
+        let v = sk_hynix().max_variation();
+        assert!((v.value() - 80.0).abs() < 4.0, "max variation {v}");
+    }
+
+    #[test]
+    fn extremes_are_all_p_and_all_ap() {
+        // Monotonicity in the number of 1s makes NP8 = 0 / 255 the
+        // extreme patterns — verified exhaustively.
+        let c = sk_hynix();
+        let (lo, hi) = c.inter_hz_extremes();
+        assert_eq!(
+            lo.value(),
+            c.inter_hz(NeighborhoodPattern::ALL_P).unwrap().value()
+        );
+        assert_eq!(
+            hi.value(),
+            c.inter_hz(NeighborhoodPattern::ALL_AP).unwrap().value()
+        );
+    }
+
+    #[test]
+    fn inter_field_is_monotone_in_ones() {
+        let c = sk_hynix();
+        // Adding a 1 anywhere never lowers Hz_s_inter.
+        for class in PatternClass::all() {
+            let h = c.inter_hz_class(class).value();
+            if class.direct_ones < 4 {
+                let up = c
+                    .inter_hz_class(PatternClass {
+                        direct_ones: class.direct_ones + 1,
+                        ..class
+                    })
+                    .value();
+                assert!(up > h);
+            }
+            if class.diagonal_ones < 4 {
+                let up = c
+                    .inter_hz_class(PatternClass {
+                        diagonal_ones: class.diagonal_ones + 1,
+                        ..class
+                    })
+                    .value();
+                assert!(up > h);
+            }
+        }
+    }
+
+    #[test]
+    fn every_pattern_matches_its_class_value() {
+        let c = sk_hynix();
+        for np in NeighborhoodPattern::all() {
+            let by_pattern = c.inter_hz(np).unwrap();
+            let by_class = c.inter_hz_class(np.class());
+            assert_eq!(by_pattern.value(), by_class.value());
+        }
+    }
+
+    #[test]
+    fn neighbor_symmetry_holds_exactly() {
+        // All four direct positions give identical Hz at the victim.
+        let device = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let stack = device.stack();
+        let pitch = Nanometer::new(90.0);
+        let hz_at = |x: f64, y: f64| -> f64 {
+            stack
+                .fixed_sources_at(device.ecd(), x, y)
+                .unwrap()
+                .iter()
+                .map(|s| s.hz(Vec3::ZERO))
+                .sum()
+        };
+        let values: Vec<f64> = direct_neighbor_offsets(pitch)
+            .into_iter()
+            .map(|(x, y)| hz_at(x, y))
+            .collect();
+        for v in &values[1..] {
+            assert!((v - values[0]).abs() < 1e-6 * values[0].abs().max(1e-9));
+        }
+    }
+
+    #[test]
+    fn coupling_decays_with_pitch() {
+        let hc = presets::MEASURED_HC;
+        let psi_90 = analyzer(55.0, 90.0).psi(hc);
+        let psi_140 = analyzer(55.0, 140.0).psi(hc);
+        let psi_200 = analyzer(55.0, 200.0).psi(hc);
+        assert!(psi_90 > psi_140 && psi_140 > psi_200);
+        // Paper Fig. 4b: Ψ ≈ 0 % at pitch = 200 nm.
+        assert!(psi_200 < 0.005, "Ψ(200 nm) = {psi_200}");
+    }
+
+    #[test]
+    fn paper_psi_quotes_for_35nm_device() {
+        // Fig. 5 annotations: Ψ ≈ 1 % at 3×eCD and ≈ 7 % at 1.5×eCD.
+        let hc = presets::MEASURED_HC;
+        let psi3 = analyzer(35.0, 105.0).psi(hc);
+        let psi15 = analyzer(35.0, 52.5).psi(hc);
+        assert!((psi3 - 0.01).abs() < 0.004, "Ψ(3x) = {psi3}");
+        assert!((psi15 - 0.07).abs() < 0.02, "Ψ(1.5x) = {psi15}");
+    }
+
+    #[test]
+    fn total_field_is_intra_plus_inter() {
+        let c = sk_hynix();
+        let np = NeighborhoodPattern::new(0b0011_0101);
+        let total = c.total_hz(np);
+        let expect = c.intra_hz() + c.inter_hz(np).unwrap();
+        assert!((total.value() - expect.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_cells_are_rejected() {
+        let device = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let err = CouplingAnalyzer::new(device, Nanometer::new(50.0)).unwrap_err();
+        assert!(matches!(err, ArrayError::InvalidParameter { .. }));
+    }
+}

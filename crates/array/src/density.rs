@@ -1,0 +1,103 @@
+//! Array density metrics.
+//!
+//! The paper's headline trade-off is density vs coupling: the cell area
+//! of a square array is `pitch²`, so halving the pitch quadruples the
+//! density (§I cites pitches down to 1.5×eCD \[7\]).
+
+use mramsim_units::Nanometer;
+
+/// Storage density of a square 1-bit-per-cell array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayDensity {
+    pitch: Nanometer,
+}
+
+impl ArrayDensity {
+    /// Creates the metric for a given pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive pitch.
+    #[must_use]
+    pub fn new(pitch: Nanometer) -> Self {
+        assert!(pitch.value() > 0.0, "pitch must be positive");
+        Self { pitch }
+    }
+
+    /// The pitch.
+    #[must_use]
+    pub fn pitch(&self) -> Nanometer {
+        self.pitch
+    }
+
+    /// Bits per square micrometre.
+    #[must_use]
+    pub fn bits_per_um2(&self) -> f64 {
+        1e6 / (self.pitch.value() * self.pitch.value())
+    }
+
+    /// Gigabits per square millimetre.
+    #[must_use]
+    pub fn gbit_per_mm2(&self) -> f64 {
+        self.bits_per_um2() * 1e6 / 1e9
+    }
+
+    /// Density gain relative to another pitch
+    /// (`> 1` when `self` is denser).
+    #[must_use]
+    pub fn gain_over(&self, other: &Self) -> f64 {
+        self.bits_per_um2() / other.bits_per_um2()
+    }
+}
+
+/// Convenience: bits per µm² at the given pitch.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_array::array_density_bits_per_um2;
+/// use mramsim_units::Nanometer;
+///
+/// // 90 nm pitch (SK hynix 4 Gb design point): ≈ 123 bits/µm².
+/// let d = array_density_bits_per_um2(Nanometer::new(90.0));
+/// assert!((d - 123.4).abs() < 1.0);
+/// ```
+#[must_use]
+pub fn array_density_bits_per_um2(pitch: Nanometer) -> f64 {
+    ArrayDensity::new(pitch).bits_per_um2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_scales_inverse_square_with_pitch() {
+        let a = ArrayDensity::new(Nanometer::new(90.0));
+        let b = ArrayDensity::new(Nanometer::new(180.0));
+        assert!((a.gain_over(&b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_design_rule_density_gain() {
+        // Moving from a conservative 200 nm pitch to 2×eCD = 70 nm for a
+        // 35 nm device buys ≈ 8.2× density.
+        let conservative = ArrayDensity::new(Nanometer::new(200.0));
+        let dense = ArrayDensity::new(Nanometer::new(70.0));
+        let gain = dense.gain_over(&conservative);
+        assert!(gain > 8.0 && gain < 8.4, "gain = {gain}");
+    }
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        let d = ArrayDensity::new(Nanometer::new(100.0));
+        assert!((d.bits_per_um2() - 100.0).abs() < 1e-9);
+        assert!((d.gbit_per_mm2() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch must be positive")]
+    fn zero_pitch_panics() {
+        let _ = ArrayDensity::new(Nanometer::new(0.0));
+    }
+}

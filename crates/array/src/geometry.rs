@@ -1,0 +1,113 @@
+//! Cell placement geometry for square arrays.
+
+use mramsim_units::Nanometer;
+
+/// Offsets (metres) of the four direct neighbours C0–C3 of a victim at
+/// the origin, for the given pitch.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_array::direct_neighbor_offsets;
+/// use mramsim_units::Nanometer;
+///
+/// let offs = direct_neighbor_offsets(Nanometer::new(90.0));
+/// assert_eq!(offs.len(), 4);
+/// assert!(offs.iter().all(|&(x, y)| (x.hypot(y) - 9e-8).abs() < 1e-15));
+/// ```
+#[must_use]
+pub fn direct_neighbor_offsets(pitch: Nanometer) -> [(f64, f64); 4] {
+    let p = pitch.to_meter().value();
+    [(p, 0.0), (-p, 0.0), (0.0, p), (0.0, -p)]
+}
+
+/// Offsets (metres) of the four diagonal neighbours C4–C7 (distance
+/// `√2·pitch`).
+#[must_use]
+pub fn diagonal_neighbor_offsets(pitch: Nanometer) -> [(f64, f64); 4] {
+    let p = pitch.to_meter().value();
+    [(p, p), (p, -p), (-p, p), (-p, -p)]
+}
+
+/// Offsets (metres) of every cell in square ring `k` around the victim
+/// (ring 1 = the paper's 8 aggressors; ring 2 = the 16 additional cells
+/// of a 5×5 array, and so on).
+///
+/// # Panics
+///
+/// Panics for `k == 0` (the victim itself is not a neighbour).
+#[must_use]
+pub fn ring_offsets(pitch: Nanometer, k: usize) -> Vec<(f64, f64)> {
+    assert!(k >= 1, "ring index must be at least 1");
+    let p = pitch.to_meter().value();
+    let k_i = k as isize;
+    let mut out = Vec::with_capacity(8 * k);
+    for i in -k_i..=k_i {
+        for j in -k_i..=k_i {
+            if i.abs().max(j.abs()) == k_i {
+                out.push((i as f64 * p, j as f64 * p));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_neighbors_sit_at_pitch() {
+        for (x, y) in direct_neighbor_offsets(Nanometer::new(105.0)) {
+            assert!((x.hypot(y) - 1.05e-7).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn diagonal_neighbors_sit_at_sqrt2_pitch() {
+        for (x, y) in diagonal_neighbor_offsets(Nanometer::new(105.0)) {
+            assert!((x.hypot(y) - 1.05e-7 * 2f64.sqrt()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn ring_one_is_direct_plus_diagonal() {
+        let pitch = Nanometer::new(90.0);
+        let ring = ring_offsets(pitch, 1);
+        assert_eq!(ring.len(), 8);
+        let mut expected: Vec<(i64, i64)> = Vec::new();
+        for (x, y) in direct_neighbor_offsets(pitch)
+            .into_iter()
+            .chain(diagonal_neighbor_offsets(pitch))
+        {
+            expected.push(((x * 1e12).round() as i64, (y * 1e12).round() as i64));
+        }
+        for (x, y) in ring {
+            let key = ((x * 1e12).round() as i64, (y * 1e12).round() as i64);
+            assert!(expected.contains(&key), "unexpected offset {key:?}");
+        }
+    }
+
+    #[test]
+    fn ring_sizes_follow_8k() {
+        let pitch = Nanometer::new(90.0);
+        assert_eq!(ring_offsets(pitch, 1).len(), 8);
+        assert_eq!(ring_offsets(pitch, 2).len(), 16);
+        assert_eq!(ring_offsets(pitch, 3).len(), 24);
+    }
+
+    #[test]
+    fn rings_do_not_contain_the_victim() {
+        for k in 1..=3 {
+            for (x, y) in ring_offsets(Nanometer::new(90.0), k) {
+                assert!(x != 0.0 || y != 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ring index")]
+    fn ring_zero_panics() {
+        let _ = ring_offsets(Nanometer::new(90.0), 0);
+    }
+}

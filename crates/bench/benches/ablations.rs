@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! discretisation depth, dipole vs exact loop, thin vs sliced layers,
+//! and 3×3 vs extended neighbourhoods. Each prints its accuracy artifact
+//! once, then times the variants.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mramsim_array::ExtendedCoupling;
+use mramsim_bench::{design_point_device, print_artifact};
+use mramsim_magnetics::{AnalyticLoop, Dipole, FieldSource, LoopSource, SlicedLoop};
+use mramsim_mtj::MtjState;
+use mramsim_numerics::Vec3;
+use mramsim_units::Nanometer;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+/// Segment count vs accuracy, against the elliptic exact solution.
+fn ablation_segments(c: &mut Criterion) {
+    let exact = AnalyticLoop::new(Vec3::ZERO, 27.5e-9, 2.06e-3).unwrap();
+    let p = Vec3::new(9e-8, 0.0, 3e-9);
+    let reference = exact.h_field(p).z;
+
+    let mut artifact = String::from("segments | relative error vs elliptic\n");
+    for segments in [16usize, 32, 64, 128, 256, 512, 1024] {
+        let l = LoopSource::new(Vec3::ZERO, 27.5e-9, 2.06e-3, segments).unwrap();
+        let err = ((l.h_field(p).z - reference) / reference).abs();
+        artifact.push_str(&format!("{segments:>8} | {err:.3e}\n"));
+    }
+    print_artifact("ablation: Biot-Savart segment count", &artifact);
+
+    let mut group = c.benchmark_group("ablation_segments");
+    for segments in [32usize, 256, 1024] {
+        let l = LoopSource::new(Vec3::ZERO, 27.5e-9, 2.06e-3, segments).unwrap();
+        group.bench_function(format!("n{segments}"), |b| {
+            b.iter(|| black_box(l.h_field(black_box(p))))
+        });
+    }
+    group.finish();
+}
+
+/// Dipole vs polygon vs elliptic for inter-cell distances.
+fn ablation_source_models(c: &mut Criterion) {
+    let radius = 27.5e-9;
+    let current = 2.06e-3;
+    let moment = current * core::f64::consts::PI * radius * radius;
+    let exact = AnalyticLoop::new(Vec3::ZERO, radius, current).unwrap();
+    let poly = LoopSource::new(Vec3::ZERO, radius, current, 256).unwrap();
+    let dip = Dipole::new(Vec3::ZERO, moment).unwrap();
+
+    let mut artifact = String::from("pitch_nm | dipole error | polygon error\n");
+    for pitch_nm in [82.5, 90.0, 110.0, 150.0, 200.0] {
+        let p = Vec3::new(pitch_nm * 1e-9, 0.0, 0.0);
+        let reference = exact.h_field(p).z;
+        let derr = ((dip.h_field(p).z - reference) / reference).abs();
+        let perr = ((poly.h_field(p).z - reference) / reference).abs();
+        artifact.push_str(&format!("{pitch_nm:>8} | {derr:.3e} | {perr:.3e}\n"));
+    }
+    print_artifact(
+        "ablation: dipole vs exact loop at inter-cell distance",
+        &artifact,
+    );
+
+    let p = Vec3::new(9e-8, 0.0, 0.0);
+    c.bench_function("ablation_dipole_eval", |b| {
+        b.iter(|| black_box(dip.h_field(black_box(p))))
+    });
+    c.bench_function("ablation_elliptic_eval", |b| {
+        b.iter(|| black_box(exact.h_field(black_box(p))))
+    });
+}
+
+/// Thin-loop vs thickness-sliced HL (the paper uses the thin model).
+fn ablation_sliced_hl(c: &mut Criterion) {
+    let thin = LoopSource::new(Vec3::new(0.0, 0.0, -7.85e-9), 17.5e-9, -1.43e-3, 256).unwrap();
+    let probe = Vec3::ZERO;
+
+    let mut artifact = String::from("slices | Hz at FL centre (A/m)\n");
+    artifact.push_str(&format!("  thin | {:.2}\n", thin.h_field(probe).z));
+    for slices in [2usize, 4, 8, 16] {
+        let sliced = SlicedLoop::new(
+            Vec3::new(0.0, 0.0, -7.85e-9),
+            17.5e-9,
+            -1.43e-3,
+            6e-9,
+            slices,
+            256,
+        )
+        .unwrap();
+        artifact.push_str(&format!("{slices:>6} | {:.2}\n", sliced.h_field(probe).z));
+    }
+    print_artifact("ablation: thin vs sliced hard layer", &artifact);
+
+    let sliced =
+        SlicedLoop::new(Vec3::new(0.0, 0.0, -7.85e-9), 17.5e-9, -1.43e-3, 6e-9, 8, 256).unwrap();
+    c.bench_function("ablation_thin_hl", |b| {
+        b.iter(|| black_box(thin.h_field(black_box(probe))))
+    });
+    c.bench_function("ablation_sliced_hl_8", |b| {
+        b.iter(|| black_box(sliced.h_field(black_box(probe))))
+    });
+}
+
+/// 3×3 truncation vs extended rings (uniform worst-case data).
+fn ablation_neighborhood_rings(c: &mut Criterion) {
+    let device = design_point_device();
+    let ext = ExtendedCoupling::new(device, Nanometer::new(90.0)).unwrap();
+
+    let mut artifact = String::from("rings | cumulative worst-case Hz (Oe)\n");
+    for rings in 1..=4usize {
+        let h = ext.cumulative_hz(rings, MtjState::AntiParallel).unwrap();
+        artifact.push_str(&format!("{rings:>5} | {:.2}\n", h.value()));
+    }
+    artifact.push_str(&format!(
+        "3x3 truncation error (rings 2-4 / ring-1 swing): {:.1} %\n",
+        100.0 * ext.truncation_error(4).unwrap()
+    ));
+    print_artifact("ablation: neighbourhood truncation", &artifact);
+
+    c.bench_function("ablation_ring1", |b| {
+        b.iter(|| ext.ring_hz(1, MtjState::AntiParallel).unwrap())
+    });
+    c.bench_function("ablation_rings_1_to_3", |b| {
+        b.iter(|| ext.cumulative_hz(3, MtjState::AntiParallel).unwrap())
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets = ablation_segments, ablation_source_models, ablation_sliced_hl,
+              ablation_neighborhood_rings
+}
+criterion_main!(ablations);

@@ -1,0 +1,160 @@
+//! One bench per paper figure: prints the regenerated table/chart once,
+//! then measures the cost of regenerating the figure's data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mramsim_bench::print_artifact;
+use mramsim_core::experiments::{
+    fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b,
+};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn bench_fig2a(c: &mut Criterion) {
+    let params = fig2a::Params::default();
+    let fig = fig2a::run(&params).expect("fig2a");
+    print_artifact(
+        "fig2a (R-H loop)",
+        &format!("{}\n{}", fig.to_table().to_markdown(), fig.chart()),
+    );
+    c.bench_function("fig2a_rh_loop", |b| {
+        b.iter(|| fig2a::run(&params).expect("fig2a"))
+    });
+}
+
+fn bench_fig2b(c: &mut Criterion) {
+    let params = fig2b::Params {
+        devices_per_size: 4,
+        seed: 2020,
+        sim_grid: vec![20.0, 35.0, 55.0, 90.0, 130.0, 175.0],
+    };
+    let fig = fig2b::run(&params).expect("fig2b");
+    print_artifact(
+        "fig2b (Hz_s_intra vs eCD)",
+        &format!("{}\n{}", fig.to_table().to_markdown(), fig.chart()),
+    );
+    c.bench_function("fig2b_intra_vs_ecd", |b| {
+        b.iter(|| fig2b::run(&params).expect("fig2b"))
+    });
+}
+
+fn bench_fig3c(c: &mut Criterion) {
+    let params = fig3c::Params {
+        grid: 17,
+        ..fig3c::Params::default()
+    };
+    let fig = fig3c::run(&params).expect("fig3c");
+    print_artifact("fig3c (field map)", &fig.to_table().to_markdown());
+    c.bench_function("fig3c_field_map", |b| {
+        b.iter(|| fig3c::run(&params).expect("fig3c"))
+    });
+}
+
+fn bench_fig3d(c: &mut Criterion) {
+    let params = fig3d::Params {
+        samples: 21,
+        ..fig3d::Params::default()
+    };
+    let fig = fig3d::run(&params).expect("fig3d");
+    print_artifact(
+        "fig3d (radial profile)",
+        &format!("{}\n{}", fig.to_table().to_markdown(), fig.chart()),
+    );
+    c.bench_function("fig3d_radial_profile", |b| {
+        b.iter(|| fig3d::run(&params).expect("fig3d"))
+    });
+}
+
+fn bench_fig4a(c: &mut Criterion) {
+    let params = fig4a::Params::default();
+    let fig = fig4a::run(&params).expect("fig4a");
+    print_artifact("fig4a (Hz_s_inter classes)", &fig.to_table().to_markdown());
+    c.bench_function("fig4a_np_classes", |b| {
+        b.iter(|| fig4a::run(&params).expect("fig4a"))
+    });
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    let params = fig4b::Params {
+        points: 10,
+        ..fig4b::Params::default()
+    };
+    let fig = fig4b::run(&params).expect("fig4b");
+    print_artifact(
+        "fig4b (psi vs pitch)",
+        &format!("{}\n{}", fig.threshold_table().to_markdown(), fig.chart()),
+    );
+    c.bench_function("fig4b_psi_vs_pitch", |b| {
+        b.iter(|| fig4b::run(&params).expect("fig4b"))
+    });
+}
+
+fn bench_fig4c(c: &mut Criterion) {
+    let params = fig4c::Params {
+        points: 12,
+        ..fig4c::Params::default()
+    };
+    let fig = fig4c::run(&params).expect("fig4c");
+    print_artifact(
+        "fig4c (Ic vs pitch)",
+        &format!("{}\n{}", fig.to_table().to_markdown(), fig.chart()),
+    );
+    c.bench_function("fig4c_ic_vs_pitch", |b| {
+        b.iter(|| fig4c::run(&params).expect("fig4c"))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let params = fig5::Params {
+        points: 12,
+        ..fig5::Params::default()
+    };
+    let fig = fig5::run(&params).expect("fig5");
+    let mut body = String::new();
+    for panel in &fig.panels {
+        body.push_str(&panel.to_table().to_markdown());
+        body.push('\n');
+    }
+    print_artifact("fig5 (tw vs Vp)", &body);
+    c.bench_function("fig5_tw_vs_voltage", |b| {
+        b.iter(|| fig5::run(&params).expect("fig5"))
+    });
+}
+
+fn bench_fig6a(c: &mut Criterion) {
+    let params = fig6a::Params::default();
+    let fig = fig6a::run(&params).expect("fig6a");
+    print_artifact(
+        "fig6a (delta vs T)",
+        &format!("{}\n{}", fig.to_table().to_markdown(), fig.chart()),
+    );
+    c.bench_function("fig6a_delta_vs_temp", |b| {
+        b.iter(|| fig6a::run(&params).expect("fig6a"))
+    });
+}
+
+fn bench_fig6b(c: &mut Criterion) {
+    let params = fig6b::Params::default();
+    let fig = fig6b::run(&params).expect("fig6b");
+    print_artifact(
+        "fig6b (worst-case delta vs T)",
+        &format!("{}\n{}", fig.to_table().to_markdown(), fig.chart()),
+    );
+    c.bench_function("fig6b_worstcase_delta", |b| {
+        b.iter(|| fig6b::run(&params).expect("fig6b"))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_fig2a, bench_fig2b, bench_fig3c, bench_fig3d,
+              bench_fig4a, bench_fig4b, bench_fig4c, bench_fig5,
+              bench_fig6a, bench_fig6b
+}
+criterion_main!(figures);

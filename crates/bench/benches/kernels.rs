@@ -1,0 +1,116 @@
+//! Microbenchmarks of the numerical kernels underneath the figures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mramsim_array::{CouplingAnalyzer, NeighborhoodPattern};
+use mramsim_bench::{design_point_device, eval_device};
+use mramsim_magnetics::{AnalyticLoop, FieldSource, LoopSource};
+use mramsim_mtj::SwitchDirection;
+use mramsim_numerics::optimize::{levenberg_marquardt, LmOptions};
+use mramsim_numerics::{special, Vec3};
+use mramsim_units::{Kelvin, Nanometer, Oersted, Volt};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn bench_biot_savart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("biot_savart");
+    for segments in [64usize, 256, 1024] {
+        let l = LoopSource::new(Vec3::ZERO, 27.5e-9, 2.06e-3, segments).unwrap();
+        let p = Vec3::new(9e-8, 0.0, 3e-9);
+        group.bench_function(format!("segments_{segments}"), |b| {
+            b.iter(|| black_box(l.h_field(black_box(p))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_loop(c: &mut Criterion) {
+    let l = AnalyticLoop::new(Vec3::ZERO, 27.5e-9, 2.06e-3).unwrap();
+    let p = Vec3::new(9e-8, 0.0, 3e-9);
+    c.bench_function("analytic_loop_field", |b| {
+        b.iter(|| black_box(l.h_field(black_box(p))))
+    });
+}
+
+fn bench_elliptic(c: &mut Criterion) {
+    c.bench_function("elliptic_ke", |b| {
+        b.iter(|| special::ellip_ke(black_box(0.7)).unwrap())
+    });
+}
+
+fn bench_coupling_analyzer(c: &mut Criterion) {
+    let device = design_point_device();
+    c.bench_function("coupling_analyzer_build", |b| {
+        b.iter(|| CouplingAnalyzer::new(device.clone(), Nanometer::new(90.0)).unwrap())
+    });
+
+    let analyzer = CouplingAnalyzer::new(device, Nanometer::new(90.0)).unwrap();
+    c.bench_function("pattern_sweep_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for np in NeighborhoodPattern::all() {
+                acc += analyzer.inter_hz(np).unwrap().value();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_switching_models(c: &mut Criterion) {
+    let device = eval_device();
+    let t = Kelvin::new(300.0);
+    c.bench_function("eq2_critical_current", |b| {
+        b.iter(|| {
+            device.switching().critical_current(
+                SwitchDirection::ApToP,
+                black_box(Oersted::new(-366.0)),
+                t,
+            )
+        })
+    });
+    c.bench_function("sun_switching_time", |b| {
+        b.iter(|| {
+            device
+                .switching_time(
+                    SwitchDirection::ApToP,
+                    black_box(Volt::new(0.9)),
+                    black_box(Oersted::new(-366.0)),
+                    t,
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_lm_fit(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..40).map(|i| f64::from(i) * 0.1).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * (-1.3 * x).exp()).collect();
+    c.bench_function("levenberg_marquardt_fit", |b| {
+        b.iter(|| {
+            levenberg_marquardt(
+                |p, out| {
+                    for ((x, y), r) in xs.iter().zip(&ys).zip(out.iter_mut()) {
+                        *r = p[0] * (-p[1] * x).exp() - y;
+                    }
+                },
+                &[1.0, 1.0],
+                xs.len(),
+                &LmOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = bench_biot_savart, bench_analytic_loop, bench_elliptic,
+              bench_coupling_analyzer, bench_switching_models, bench_lm_fit
+}
+criterion_main!(kernels);

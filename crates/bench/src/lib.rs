@@ -1,0 +1,46 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The benches double as the reproduction artifact: each figure bench
+//! prints its regenerated table once (outside the timed loop) and then
+//! measures the cost of regenerating the figure.
+
+use mramsim_mtj::{presets, MtjDevice};
+use mramsim_units::Nanometer;
+
+/// The paper's evaluation device (eCD = 35 nm).
+///
+/// # Panics
+///
+/// Never panics for the built-in preset.
+#[must_use]
+pub fn eval_device() -> MtjDevice {
+    presets::imec_like(Nanometer::new(35.0)).expect("preset device")
+}
+
+/// The SK hynix design-point device (eCD = 55 nm).
+///
+/// # Panics
+///
+/// Never panics for the built-in preset.
+#[must_use]
+pub fn design_point_device() -> MtjDevice {
+    presets::imec_like(Nanometer::new(55.0)).expect("preset device")
+}
+
+/// Prints a titled block once, clearly delimited in bench output.
+pub fn print_artifact(title: &str, body: &str) {
+    println!("\n===== {title} =====");
+    println!("{body}");
+    println!("===== end {title} =====\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_devices_have_expected_sizes() {
+        assert_eq!(eval_device().ecd().value(), 35.0);
+        assert_eq!(design_point_device().ecd().value(), 55.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Calibration of the intra-cell coupling model against (virtual)
+//! silicon — the paper's §IV-A step: "We took the values at the center
+//! … and calibrated them with the measured data."
+//!
+//! The free parameter is the effective HL stray moment (the dominant,
+//! least-known term); the FL and RL moments come from VSM. Calibration
+//! minimises the squared error between the model's `Hz_s_intra(eCD)`
+//! and the measured per-size medians.
+
+use crate::CoreError;
+use mramsim_mtj::MtjStack;
+use mramsim_numerics::optimize::{nelder_mead, NelderMeadOptions};
+use mramsim_units::Nanometer;
+use mramsim_vlab::IntraFieldPoint;
+
+/// Outcome of the calibration fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationResult {
+    /// The calibrated stack (HL moment rescaled).
+    pub stack: MtjStack,
+    /// The fitted HL scale factor relative to the starting stack.
+    pub hl_scale: f64,
+    /// Root-mean-square residual against the measured medians, in Oe.
+    pub rmse_oe: f64,
+}
+
+/// Fits the HL stray moment of `initial` so the model reproduces the
+/// measured `Hz_s_intra` medians (Fig. 2b calibration).
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] for empty measurement data.
+/// * Propagates stack-construction and optimiser failures.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_core::calibrate::calibrate_stack;
+/// use mramsim_mtj::{presets, MtjStack};
+/// use mramsim_units::Nanometer;
+/// use mramsim_vlab::{intra_field_study, RhLoopTester, Wafer, WaferSpec};
+/// use rand::SeedableRng;
+///
+/// // Silicon truth: the imec-like stack. Starting guess: HL 25 % weak.
+/// let truth = presets::imec_like(Nanometer::new(55.0))?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let wafer = Wafer::fabricate(&truth, &WaferSpec::paper_sizes(6), &mut rng)?;
+/// let measured = intra_field_study(&wafer, &RhLoopTester::paper_setup(), &mut rng)?;
+///
+/// let guess = truth.stack().with_scaled_hl(0.75)?;
+/// let result = calibrate_stack(&guess, &measured)?;
+/// // The fit must walk the scale back towards 1/0.75 ≈ 1.33 (within the
+/// // thermal noise of a 6-device-per-size study).
+/// assert!((result.hl_scale - 1.0 / 0.75).abs() < 0.2, "{}", result.hl_scale);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn calibrate_stack(
+    initial: &MtjStack,
+    measured: &[IntraFieldPoint],
+) -> Result<CalibrationResult, CoreError> {
+    if measured.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "measured",
+            message: "need at least one size group".into(),
+        });
+    }
+
+    // Targets: per-size median eCD (x) and median Hz_s_intra (y).
+    let targets: Vec<(f64, f64)> = measured
+        .iter()
+        .map(|p| (p.ecd.median, p.hz_s_intra.median))
+        .collect();
+
+    let cost = |scale: f64| -> f64 {
+        if !(scale > 0.0) {
+            return f64::INFINITY;
+        }
+        let Ok(stack) = initial.with_scaled_hl(scale) else {
+            return f64::INFINITY;
+        };
+        let mut sum = 0.0;
+        for &(ecd, target_oe) in &targets {
+            match stack.intra_hz_at_fl_center(Nanometer::new(ecd)) {
+                Ok(h) => {
+                    let d = h.value() - target_oe;
+                    sum += d * d;
+                }
+                Err(_) => return f64::INFINITY,
+            }
+        }
+        sum
+    };
+
+    let report = nelder_mead(
+        |p| cost(p[0]),
+        &[1.0],
+        &NelderMeadOptions {
+            max_evaluations: 400,
+            f_tolerance: 1e-8,
+            x_tolerance: 1e-6,
+            initial_step: 0.25,
+        },
+    )?;
+
+    let hl_scale = report.x[0];
+    let stack = initial.with_scaled_hl(hl_scale)?;
+    let rmse_oe = (report.fx / targets.len() as f64).sqrt();
+    Ok(CalibrationResult {
+        stack,
+        hl_scale,
+        rmse_oe,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::presets;
+    use mramsim_vlab::{intra_field_study, RhLoopTester, Wafer, WaferSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn measured(seed: u64, per_size: usize) -> Vec<IntraFieldPoint> {
+        let truth = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wafer = Wafer::fabricate(&truth, &WaferSpec::paper_sizes(per_size), &mut rng).unwrap();
+        intra_field_study(&wafer, &RhLoopTester::paper_setup(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn calibration_recovers_a_distorted_hl() {
+        let data = measured(41, 8);
+        let truth = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        for distortion in [0.6, 0.8, 1.3] {
+            let guess = truth.stack().with_scaled_hl(distortion).unwrap();
+            let result = calibrate_stack(&guess, &data).unwrap();
+            let recovered = distortion * result.hl_scale;
+            assert!(
+                (recovered - 1.0).abs() < 0.12,
+                "distortion {distortion}: net scale {recovered}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_model_fits_within_measurement_noise() {
+        let data = measured(42, 8);
+        let truth = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let guess = truth.stack().with_scaled_hl(0.7).unwrap();
+        let result = calibrate_stack(&guess, &data).unwrap();
+        // Residual comparable to the ~90 Oe single-loop thermal noise
+        // shrunk by the per-size averaging.
+        assert!(result.rmse_oe < 60.0, "rmse = {}", result.rmse_oe);
+    }
+
+    #[test]
+    fn already_calibrated_stack_stays_put() {
+        let data = measured(43, 10);
+        let truth = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let result = calibrate_stack(truth.stack(), &data).unwrap();
+        assert!((result.hl_scale - 1.0).abs() < 0.08, "{}", result.hl_scale);
+    }
+
+    #[test]
+    fn empty_data_is_rejected() {
+        let truth = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        assert!(matches!(
+            calibrate_stack(truth.stack(), &[]),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -1,0 +1,15 @@
+//! One driver per paper figure; each regenerates the figure's data
+//! series from the substrate models and renders a [`crate::report`]
+//! table or chart.
+
+pub mod ext_wer;
+pub mod fig2a;
+pub mod fig2b;
+pub mod fig3c;
+pub mod fig3d;
+pub mod fig4a;
+pub mod fig4b;
+pub mod fig4c;
+pub mod fig5;
+pub mod fig6a;
+pub mod fig6b;

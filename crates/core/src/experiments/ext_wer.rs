@@ -1,0 +1,230 @@
+//! Extension experiment (beyond the paper): write-error rate vs pulse
+//! width under pattern-dependent coupling.
+//!
+//! The paper stops at "a larger write margin (e.g., a longer pulse) is
+//! required to avoid write failure in the worst case" (§V-B). This
+//! driver quantifies that margin: for each neighbourhood extreme, the
+//! WER-vs-pulse curve and the pulse needed to hit a target error rate.
+
+use crate::report::{ascii_chart, Series, Table};
+use crate::CoreError;
+use mramsim_array::{CouplingAnalyzer, NeighborhoodPattern};
+use mramsim_mtj::{presets, wer, SwitchDirection};
+use mramsim_units::{Kelvin, Nanometer, Nanosecond, Volt};
+
+/// Parameters of the WER extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Device size.
+    pub ecd: Nanometer,
+    /// Pitch factor (×eCD).
+    pub pitch_factor: f64,
+    /// Write voltage.
+    pub voltage: Volt,
+    /// Pulse-width grid (ns).
+    pub pulses_ns: Vec<f64>,
+    /// Target WER for the margin table.
+    pub target_wer: f64,
+    /// Operating temperature.
+    pub temperature: Kelvin,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ecd: Nanometer::new(35.0),
+            pitch_factor: 1.5,
+            voltage: Volt::new(0.9),
+            pulses_ns: (4..=30).map(|i| f64::from(i)).collect(),
+            target_wer: 1e-9,
+            temperature: Kelvin::new(300.0),
+        }
+    }
+}
+
+/// The WER-vs-pulse data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtWer {
+    /// Pulse grid (ns).
+    pub pulses_ns: Vec<f64>,
+    /// WER with no stray field.
+    pub wer_no_stray: Vec<f64>,
+    /// WER under the worst-case neighbourhood (`NP8 = 0`).
+    pub wer_np0: Vec<f64>,
+    /// WER under the best-case neighbourhood (`NP8 = 255`).
+    pub wer_np255: Vec<f64>,
+    /// Pulse (ns) for the target WER: (no-stray, NP0, NP255).
+    pub pulse_at_target: (f64, f64, f64),
+    /// The extra pulse the worst-case pattern costs vs no stray (ns).
+    pub margin_ns: f64,
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates device/array failures; a sub-threshold voltage is an
+/// error here (choose a voltage above threshold).
+pub fn run(params: &Params) -> Result<ExtWer, CoreError> {
+    if params.pulses_ns.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "pulses_ns",
+            message: "need at least one pulse width".into(),
+        });
+    }
+    let device = presets::imec_like(params.ecd)?;
+    let pitch = Nanometer::new(params.pitch_factor * params.ecd.value());
+    let coupling = CouplingAnalyzer::new(device.clone(), pitch)?;
+    let h_np0 = coupling.total_hz(NeighborhoodPattern::ALL_P);
+    let h_np255 = coupling.total_hz(NeighborhoodPattern::ALL_AP);
+    let t = params.temperature;
+
+    let curve = |hz| -> Result<Vec<f64>, CoreError> {
+        params
+            .pulses_ns
+            .iter()
+            .map(|&ns| {
+                wer::write_error_rate(
+                    &device,
+                    SwitchDirection::ApToP,
+                    params.voltage,
+                    hz,
+                    t,
+                    Nanosecond::new(ns),
+                )
+                .map_err(CoreError::from)
+            })
+            .collect()
+    };
+    let pulse_at = |hz| -> Result<f64, CoreError> {
+        Ok(wer::pulse_for_error_rate(
+            &device,
+            SwitchDirection::ApToP,
+            params.voltage,
+            hz,
+            t,
+            params.target_wer,
+        )?
+        .value())
+    };
+
+    let zero = mramsim_units::Oersted::ZERO;
+    let p0 = pulse_at(zero)?;
+    let p_np0 = pulse_at(h_np0)?;
+    let p_np255 = pulse_at(h_np255)?;
+    Ok(ExtWer {
+        pulses_ns: params.pulses_ns.clone(),
+        wer_no_stray: curve(zero)?,
+        wer_np0: curve(h_np0)?,
+        wer_np255: curve(h_np255)?,
+        pulse_at_target: (p0, p_np0, p_np255),
+        margin_ns: p_np0 - p0,
+    })
+}
+
+impl ExtWer {
+    /// The curves as a table (log10 WER).
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "ext: write-error rate vs pulse width (AP->P)",
+            &["pulse_ns", "log10_wer_no_stray", "log10_wer_np0", "log10_wer_np255"],
+        );
+        let lg = |v: f64| {
+            if v > 0.0 {
+                format!("{:.2}", v.log10())
+            } else {
+                "-inf".into()
+            }
+        };
+        for (i, &ns) in self.pulses_ns.iter().enumerate() {
+            t.push_row(&[
+                format!("{ns:.1}"),
+                lg(self.wer_no_stray[i]),
+                lg(self.wer_np0[i]),
+                lg(self.wer_np255[i]),
+            ]);
+        }
+        t
+    }
+
+    /// Log-scale chart of the three curves.
+    #[must_use]
+    pub fn chart(&self) -> String {
+        let series = |values: &[f64], label: &str| {
+            Series::new(
+                label,
+                self.pulses_ns
+                    .iter()
+                    .zip(values)
+                    .filter(|(_, &w)| w > 1e-30)
+                    .map(|(&x, &w)| (x, w.log10()))
+                    .collect(),
+            )
+        };
+        ascii_chart(
+            &[
+                series(&self.wer_no_stray, "no stray"),
+                series(&self.wer_np0, "NP8=0 (worst)"),
+                series(&self.wer_np255, "NP8=255"),
+            ],
+            64,
+            18,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> ExtWer {
+        run(&Params::default()).unwrap()
+    }
+
+    #[test]
+    fn worst_case_pattern_always_has_higher_wer() {
+        let f = fig();
+        for i in 0..f.pulses_ns.len() {
+            assert!(f.wer_np0[i] >= f.wer_np255[i]);
+            assert!(f.wer_np0[i] >= f.wer_no_stray[i]);
+        }
+    }
+
+    #[test]
+    fn wer_curves_fall_monotonically() {
+        let f = fig();
+        for w in f.wer_np0.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn margin_is_positive_and_ns_scale() {
+        let f = fig();
+        assert!(f.margin_ns > 0.2, "margin = {} ns", f.margin_ns);
+        assert!(f.margin_ns < 15.0, "margin = {} ns", f.margin_ns);
+        let (p0, np0, np255) = f.pulse_at_target;
+        // NP8=255 only partially offsets the intra-cell field, so the
+        // true best case is no stray at all.
+        assert!(np0 > np255 && np255 > p0);
+    }
+
+    #[test]
+    fn sparser_pitch_shrinks_the_margin() {
+        let dense = fig();
+        let sparse = run(&Params {
+            pitch_factor: 3.0,
+            ..Params::default()
+        })
+        .unwrap();
+        assert!(sparse.margin_ns < dense.margin_ns);
+    }
+
+    #[test]
+    fn rendering_works() {
+        let f = fig();
+        assert!(f.to_table().to_markdown().contains("log10_wer_np0"));
+        assert!(f.chart().contains("worst"));
+    }
+}

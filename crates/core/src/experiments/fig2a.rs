@@ -1,0 +1,128 @@
+//! Fig. 2a — a measured R-H hysteresis loop of a representative device.
+
+use crate::report::{ascii_chart, Series, Table};
+use crate::CoreError;
+use mramsim_mtj::presets;
+use mramsim_units::Nanometer;
+use mramsim_vlab::{analyze_loop, LoopExtraction, RhLoopTester};
+use rand::SeedableRng;
+
+/// Parameters of the Fig. 2a experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Device size; the paper's representative device has eCD = 55 nm.
+    pub ecd: Nanometer,
+    /// RNG seed for the stochastic switching.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ecd: Nanometer::new(55.0),
+            seed: 2020,
+        }
+    }
+}
+
+/// The regenerated Fig. 2a data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2a {
+    /// `(H_applied [Oe], R [Ω])` in measurement order.
+    pub loop_points: Vec<(f64, f64)>,
+    /// The §III extraction from the same loop.
+    pub extraction: LoopExtraction,
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates measurement and extraction failures.
+pub fn run(params: &Params) -> Result<Fig2a, CoreError> {
+    let device = presets::imec_like(params.ecd)?;
+    let tester = RhLoopTester::paper_setup();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let rh = tester.run(&device, &mut rng)?;
+    let extraction = analyze_loop(&rh, device.electrical().ra())?;
+    Ok(Fig2a {
+        loop_points: rh
+            .points()
+            .iter()
+            .map(|p| (p.h_applied.value(), p.resistance.value()))
+            .collect(),
+        extraction,
+    })
+}
+
+impl Fig2a {
+    /// The extracted §III scalars as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "fig2a: R-H loop extraction",
+            &["quantity", "value", "unit"],
+        );
+        let x = &self.extraction;
+        t.push_row(&["Hsw_p".into(), format!("{:.1}", x.hsw_p.value()), "Oe".into()]);
+        t.push_row(&["Hsw_n".into(), format!("{:.1}", x.hsw_n.value()), "Oe".into()]);
+        t.push_row(&["Hc".into(), format!("{:.1}", x.hc.value()), "Oe".into()]);
+        t.push_row(&[
+            "Hoffset".into(),
+            format!("{:.1}", x.h_offset.value()),
+            "Oe".into(),
+        ]);
+        t.push_row(&[
+            "Hz_s_intra".into(),
+            format!("{:.1}", x.hz_s_intra.value()),
+            "Oe".into(),
+        ]);
+        t.push_row(&["RP".into(), format!("{:.0}", x.rp.value()), "Ohm".into()]);
+        t.push_row(&["RAP".into(), format!("{:.0}", x.rap.value()), "Ohm".into()]);
+        t.push_row(&["eCD".into(), format!("{:.1}", x.ecd.value()), "nm".into()]);
+        t
+    }
+
+    /// The loop itself as an ASCII chart (resistance vs field).
+    #[must_use]
+    pub fn chart(&self) -> String {
+        ascii_chart(
+            &[Series::new("R(H)", self.loop_points.clone())],
+            64,
+            16,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_shape_matches_fig2a() {
+        let fig = run(&Params::default()).unwrap();
+        assert_eq!(fig.loop_points.len(), 1000);
+        // Offset to the positive side, eCD recovered.
+        assert!(fig.extraction.h_offset.value() > 0.0);
+        assert!((fig.extraction.ecd.value() - 55.0).abs() < 2.0);
+        // Hc in the paper's 2.2 kOe ballpark.
+        assert!((fig.extraction.hc.value() - 2200.0).abs() < 250.0);
+    }
+
+    #[test]
+    fn table_lists_all_extracted_quantities() {
+        let fig = run(&Params::default()).unwrap();
+        let md = fig.to_table().to_markdown();
+        for q in ["Hsw_p", "Hsw_n", "Hc", "Hoffset", "Hz_s_intra", "RP", "RAP", "eCD"] {
+            assert!(md.contains(q), "missing {q}");
+        }
+    }
+
+    #[test]
+    fn chart_renders_two_branches() {
+        let fig = run(&Params::default()).unwrap();
+        let chart = fig.chart();
+        assert!(chart.contains('*'));
+        assert!(chart.contains("R(H)"));
+    }
+}

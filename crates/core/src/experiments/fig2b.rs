@@ -1,0 +1,195 @@
+//! Fig. 2b — device-size dependence of `Hz_s_intra`: measured (with
+//! error bars) vs the calibrated model curve.
+
+use crate::report::{ascii_chart, Series, Table};
+use crate::CoreError;
+use mramsim_mtj::presets;
+use mramsim_units::Nanometer;
+use mramsim_vlab::{intra_field_study, IntraFieldPoint, RhLoopTester, Wafer, WaferSpec};
+use rand::SeedableRng;
+
+/// Parameters of the Fig. 2b experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Devices measured per size group (statistics for the error bars).
+    pub devices_per_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// eCD grid (nm) for the simulated curve.
+    pub sim_grid: Vec<f64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            devices_per_size: 8,
+            seed: 2020,
+            sim_grid: (1..=18).map(|i| 10.0 * f64::from(i)).collect(),
+        }
+    }
+}
+
+/// The regenerated Fig. 2b data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2b {
+    /// Per-size measurement statistics (the error-bar points).
+    pub measured: Vec<IntraFieldPoint>,
+    /// The model curve `(eCD [nm], Hz_s_intra [Oe])`.
+    pub simulated: Vec<(f64, f64)>,
+}
+
+/// Runs the experiment: fabricate the wafer, measure every device's R-H
+/// loop, extract `Hz_s_intra`, and overlay the model curve.
+///
+/// # Errors
+///
+/// Propagates fabrication/measurement failures and invalid parameters.
+pub fn run(params: &Params) -> Result<Fig2b, CoreError> {
+    if params.devices_per_size == 0 || params.sim_grid.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "devices_per_size/sim_grid",
+            message: "need at least one device per size and one grid point".into(),
+        });
+    }
+    let nominal = presets::imec_like(Nanometer::new(55.0))?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let wafer = Wafer::fabricate(
+        &nominal,
+        &WaferSpec::paper_sizes(params.devices_per_size),
+        &mut rng,
+    )?;
+    let measured = intra_field_study(&wafer, &RhLoopTester::paper_setup(), &mut rng)?;
+
+    let stack = nominal.stack();
+    let mut simulated = Vec::with_capacity(params.sim_grid.len());
+    for &ecd in &params.sim_grid {
+        let h = stack.intra_hz_at_fl_center(Nanometer::new(ecd))?;
+        simulated.push((ecd, h.value()));
+    }
+    Ok(Fig2b { measured, simulated })
+}
+
+impl Fig2b {
+    /// Renders the measured statistics and the model values as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "fig2b: Hz_s_intra vs eCD (measured vs simulated)",
+            &[
+                "nominal_ecd_nm",
+                "measured_mean_oe",
+                "measured_std_oe",
+                "model_oe",
+            ],
+        );
+        for p in &self.measured {
+            let model = self
+                .simulated
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - p.nominal_ecd.value())
+                        .abs()
+                        .partial_cmp(&(b.0 - p.nominal_ecd.value()).abs())
+                        .unwrap()
+                })
+                .map_or(f64::NAN, |&(_, h)| h);
+            t.push_row(&[
+                format!("{:.0}", p.nominal_ecd.value()),
+                format!("{:.1}", p.hz_s_intra.mean),
+                format!("{:.1}", p.hz_s_intra.std_dev),
+                format!("{model:.1}"),
+            ]);
+        }
+        t
+    }
+
+    /// Measured points and model curve as an ASCII chart.
+    #[must_use]
+    pub fn chart(&self) -> String {
+        let measured = Series::new(
+            "measured (mean)",
+            self.measured
+                .iter()
+                .map(|p| (p.nominal_ecd.value(), p.hz_s_intra.mean))
+                .collect(),
+        );
+        let model = Series::new("simulated", self.simulated.clone());
+        ascii_chart(&[model, measured], 64, 18)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Params {
+        Params {
+            devices_per_size: 4,
+            seed: 7,
+            sim_grid: vec![20.0, 35.0, 55.0, 90.0, 130.0, 175.0],
+        }
+    }
+
+    #[test]
+    fn model_curve_grows_steeply_below_100nm() {
+        let fig = run(&small_params()).unwrap();
+        let h = |ecd: f64| {
+            fig.simulated
+                .iter()
+                .find(|&&(e, _)| e == ecd)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        // Monotone in magnitude and all negative.
+        assert!(h(20.0) < h(35.0) && h(35.0) < h(55.0) && h(55.0) < h(90.0));
+        assert!(h(175.0) < 0.0);
+        // Steeper below 100 nm: slope(35→55) > slope(90→175) per nm.
+        let steep = (h(35.0) - h(55.0)).abs() / 20.0;
+        let shallow = (h(90.0) - h(175.0)).abs() / 85.0;
+        assert!(steep > 2.0 * shallow, "steep {steep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn measured_points_track_the_model_within_error_bars() {
+        let fig = run(&small_params()).unwrap();
+        for p in &fig.measured {
+            let model = fig
+                .simulated
+                .iter()
+                .find(|&&(e, _)| (e - p.nominal_ecd.value()).abs() < 1.0)
+                .map(|&(_, v)| v)
+                .unwrap();
+            let tolerance = 3.0 * p.hz_s_intra.std_dev.max(30.0)
+                / (p.ecd.count as f64).sqrt()
+                + 15.0;
+            assert!(
+                (p.hz_s_intra.mean - model).abs() < tolerance.max(60.0),
+                "eCD {}: measured {} vs model {model}",
+                p.nominal_ecd.value(),
+                p.hz_s_intra.mean
+            );
+        }
+    }
+
+    #[test]
+    fn error_bars_are_present() {
+        let fig = run(&small_params()).unwrap();
+        assert!(fig.measured.iter().all(|p| p.hz_s_intra.std_dev > 0.0));
+    }
+
+    #[test]
+    fn table_and_chart_render() {
+        let fig = run(&small_params()).unwrap();
+        assert_eq!(fig.to_table().row_count(), 6);
+        assert!(fig.chart().contains("simulated"));
+    }
+
+    #[test]
+    fn degenerate_params_rejected() {
+        assert!(run(&Params {
+            devices_per_size: 0,
+            ..small_params()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Fig. 3c — the spatial stray-field map of HL + RL around a device.
+
+use crate::report::Table;
+use crate::CoreError;
+use mramsim_magnetics::field_map::PlaneMap;
+use mramsim_magnetics::SourceSet;
+use mramsim_mtj::presets;
+use mramsim_units::constants::OERSTED_PER_AMPERE_PER_METER;
+use mramsim_units::Nanometer;
+
+/// Parameters of the Fig. 3c experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Device size (paper: eCD = 55 nm).
+    pub ecd: Nanometer,
+    /// Half-width of the sampled window as a multiple of the eCD.
+    pub window_factor: f64,
+    /// Grid resolution per axis.
+    pub grid: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ecd: Nanometer::new(55.0),
+            window_factor: 1.6,
+            grid: 33,
+        }
+    }
+}
+
+/// The regenerated Fig. 3c data: the intra-cell field sampled on the FL
+/// plane and along the device axis.
+#[derive(Debug)]
+pub struct Fig3c {
+    /// Field map over the FL plane (`z = 0`), fields in A/m.
+    pub fl_plane: PlaneMap,
+    /// On-axis vertical profile `(z [nm], Hz [Oe])`.
+    pub axis_profile: Vec<(f64, f64)>,
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates loop-construction failures and invalid parameters.
+pub fn run(params: &Params) -> Result<Fig3c, CoreError> {
+    if params.grid < 3 || !(params.window_factor > 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "grid/window_factor",
+            message: format!(
+                "grid {} must be >= 3 and window factor {} positive",
+                params.grid, params.window_factor
+            ),
+        });
+    }
+    let device = presets::imec_like(params.ecd)?;
+    let sources: SourceSet = device
+        .stack()
+        .fixed_sources_at(params.ecd, 0.0, 0.0)?
+        .into_iter()
+        .collect();
+
+    let half = params.window_factor * params.ecd.to_meter().value();
+    let fl_plane = PlaneMap::sample(
+        &sources,
+        (-half, half),
+        (-half, half),
+        0.0,
+        params.grid,
+        params.grid,
+    );
+
+    let mut axis_profile = Vec::new();
+    for i in 0..params.grid {
+        let z = -half + 2.0 * half * i as f64 / (params.grid - 1) as f64;
+        let h = mramsim_magnetics::FieldSource::hz(
+            &sources,
+            mramsim_numerics::Vec3::new(0.0, 0.0, z),
+        );
+        axis_profile.push((z * 1e9, h * OERSTED_PER_AMPERE_PER_METER));
+    }
+
+    Ok(Fig3c {
+        fl_plane,
+        axis_profile,
+    })
+}
+
+impl Fig3c {
+    /// Summary table: field extremes over the FL plane and at the centre.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let (lo, hi) = self.fl_plane.hz_range();
+        let nx = self.fl_plane.nx();
+        let ny = self.fl_plane.ny();
+        let center = self.fl_plane.at(nx / 2, ny / 2);
+        let mut t = Table::new("fig3c: intra-cell field map summary", &["quantity", "value"]);
+        t.push_row(&[
+            "Hz at FL centre (Oe)".into(),
+            format!("{:.1}", center.z * OERSTED_PER_AMPERE_PER_METER),
+        ]);
+        t.push_row(&[
+            "min Hz over plane (Oe)".into(),
+            format!("{:.1}", lo * OERSTED_PER_AMPERE_PER_METER),
+        ]);
+        t.push_row(&[
+            "max Hz over plane (Oe)".into(),
+            format!("{:.1}", hi * OERSTED_PER_AMPERE_PER_METER),
+        ]);
+        t.push_row(&["grid".into(), format!("{nx}x{ny}")]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_field_matches_the_device_model() {
+        let params = Params::default();
+        let fig = run(&params).unwrap();
+        let device = presets::imec_like(params.ecd).unwrap();
+        let expected = device.intra_hz_at_fl_center().unwrap().value();
+        let nx = fig.fl_plane.nx();
+        let center = fig.fl_plane.at(nx / 2, nx / 2).z * OERSTED_PER_AMPERE_PER_METER;
+        assert!(
+            (center - expected).abs() < 1.0,
+            "map centre {center} vs model {expected}"
+        );
+    }
+
+    #[test]
+    fn field_decays_away_from_the_device() {
+        let fig = run(&Params::default()).unwrap();
+        let n = fig.fl_plane.nx();
+        let center = fig.fl_plane.at(n / 2, n / 2).z.abs();
+        let corner = fig.fl_plane.at(0, 0).z.abs();
+        assert!(corner < 0.3 * center, "corner {corner} vs center {center}");
+    }
+
+    #[test]
+    fn axis_profile_peaks_below_the_fl() {
+        // The fixed layers live at negative z, so |Hz| on the axis is
+        // larger below z = 0 than above.
+        let fig = run(&Params::default()).unwrap();
+        let below: f64 = fig
+            .axis_profile
+            .iter()
+            .filter(|(z, _)| *z < -2.0)
+            .map(|(_, h)| h.abs())
+            .fold(0.0, f64::max);
+        let above: f64 = fig
+            .axis_profile
+            .iter()
+            .filter(|(z, _)| *z > 2.0)
+            .map(|(_, h)| h.abs())
+            .fold(0.0, f64::max);
+        assert!(below > above);
+    }
+
+    #[test]
+    fn table_renders() {
+        let fig = run(&Params::default()).unwrap();
+        let md = fig.to_table().to_markdown();
+        assert!(md.contains("FL centre"));
+    }
+
+    #[test]
+    fn bad_grid_rejected() {
+        assert!(run(&Params {
+            grid: 2,
+            ..Params::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 4a — `Hz_s_inter` at the victim FL for the 25 neighbourhood
+//! symmetry classes.
+
+use crate::report::Table;
+use crate::CoreError;
+use mramsim_array::{CouplingAnalyzer, InterFieldBreakdown, PatternClass};
+use mramsim_mtj::presets;
+use mramsim_units::{Nanometer, Oersted};
+
+/// Parameters of the Fig. 4a experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Device size (paper: 55 nm).
+    pub ecd: Nanometer,
+    /// Array pitch (paper: 90 nm, the SK hynix design spec \[2\]).
+    pub pitch: Nanometer,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ecd: Nanometer::new(55.0),
+            pitch: Nanometer::new(90.0),
+        }
+    }
+}
+
+/// The regenerated Fig. 4a data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4a {
+    /// `Hz_s_inter` per symmetry class, direct-major order (25 values).
+    pub classes: Vec<(PatternClass, Oersted)>,
+    /// The physical decomposition (baseline + steps).
+    pub breakdown: InterFieldBreakdown,
+    /// Extremes over all 256 patterns.
+    pub extremes: (Oersted, Oersted),
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates analyzer failures (e.g. an overlapping pitch).
+pub fn run(params: &Params) -> Result<Fig4a, CoreError> {
+    let device = presets::imec_like(params.ecd)?;
+    let analyzer = CouplingAnalyzer::new(device, params.pitch)?;
+    let classes: Vec<(PatternClass, Oersted)> = PatternClass::all()
+        .map(|c| (c, analyzer.inter_hz_class(c)))
+        .collect();
+    Ok(Fig4a {
+        classes,
+        breakdown: analyzer.breakdown(),
+        extremes: analyzer.inter_hz_extremes(),
+    })
+}
+
+impl Fig4a {
+    /// The 5×5 class matrix as a table (rows: #1s in direct neighbours;
+    /// columns: #1s in diagonal neighbours) — the exact layout of
+    /// Fig. 4a.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "fig4a: Hz_s_inter (Oe) by neighbourhood class",
+            &["direct\\diag", "0", "1", "2", "3", "4"],
+        );
+        for d in 0..=4u8 {
+            let mut row = vec![format!("{d}")];
+            for g in 0..=4u8 {
+                let value = self
+                    .classes
+                    .iter()
+                    .find(|(c, _)| c.direct_ones == d && c.diagonal_ones == g)
+                    .map_or(f64::NAN, |(_, h)| h.value());
+                row.push(format!("{value:.1}"));
+            }
+            t.push_row(&row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_paper_extremes_and_steps() {
+        let fig = run(&Params::default()).unwrap();
+        let (lo, hi) = fig.extremes;
+        assert!((lo.value() + 16.0).abs() < 4.0, "min = {lo}");
+        assert!((hi.value() - 64.0).abs() < 6.0, "max = {hi}");
+        assert!((fig.breakdown.direct_step.value() - 15.0).abs() < 1.0);
+        assert!((fig.breakdown.diagonal_step.value() - 5.0).abs() < 0.8);
+    }
+
+    #[test]
+    fn has_25_classes() {
+        let fig = run(&Params::default()).unwrap();
+        assert_eq!(fig.classes.len(), 25);
+    }
+
+    #[test]
+    fn class_values_increase_along_both_axes() {
+        let fig = run(&Params::default()).unwrap();
+        let value = |d: u8, g: u8| {
+            fig.classes
+                .iter()
+                .find(|(c, _)| c.direct_ones == d && c.diagonal_ones == g)
+                .unwrap()
+                .1
+                .value()
+        };
+        for d in 0..4u8 {
+            for g in 0..=4u8 {
+                assert!(value(d + 1, g) > value(d, g));
+            }
+        }
+        for d in 0..=4u8 {
+            for g in 0..4u8 {
+                assert!(value(d, g + 1) > value(d, g));
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_a_5x5_matrix() {
+        let fig = run(&Params::default()).unwrap();
+        let t = fig.to_table();
+        assert_eq!(t.row_count(), 5);
+        let md = t.to_markdown();
+        assert!(md.contains("direct"));
+    }
+
+    #[test]
+    fn tighter_pitch_widens_the_range() {
+        let near = run(&Params {
+            pitch: Nanometer::new(82.5),
+            ..Params::default()
+        })
+        .unwrap();
+        let far = run(&Params::default()).unwrap();
+        let range = |f: &Fig4a| f.extremes.1.value() - f.extremes.0.value();
+        assert!(range(&near) > range(&far));
+    }
+}

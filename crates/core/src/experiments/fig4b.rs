@@ -1,0 +1,225 @@
+//! Fig. 4b — the coupling factor Ψ vs pitch for several device sizes.
+
+use crate::report::{ascii_chart, Series, Table};
+use crate::CoreError;
+use mramsim_array::{max_density_pitch, psi_vs_pitch, PsiPoint};
+use mramsim_mtj::presets;
+use mramsim_units::Nanometer;
+
+/// Parameters of the Fig. 4b experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Device sizes (paper: 20, 35, 55 nm).
+    pub ecds: Vec<f64>,
+    /// Upper pitch bound (paper: 200 nm, the Samsung/Intel node).
+    pub max_pitch: f64,
+    /// Number of pitch samples per curve.
+    pub points: usize,
+    /// The Ψ threshold to solve for (paper: 2 %).
+    pub psi_threshold: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ecds: vec![20.0, 35.0, 55.0],
+            max_pitch: 200.0,
+            points: 24,
+            psi_threshold: 0.02,
+        }
+    }
+}
+
+/// One Ψ-vs-pitch curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsiCurve {
+    /// Device size.
+    pub ecd: Nanometer,
+    /// Sweep points from 1.5×eCD to the max pitch.
+    pub points: Vec<PsiPoint>,
+    /// The smallest pitch with Ψ at or below the threshold, when it
+    /// exists inside the sweep window.
+    pub threshold_pitch: Option<Nanometer>,
+}
+
+/// The regenerated Fig. 4b data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4b {
+    /// One curve per device size.
+    pub curves: Vec<PsiCurve>,
+    /// The threshold used.
+    pub psi_threshold: f64,
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates analyzer failures and invalid parameters.
+pub fn run(params: &Params) -> Result<Fig4b, CoreError> {
+    if params.ecds.is_empty() || params.points < 2 {
+        return Err(CoreError::InvalidParameter {
+            name: "ecds/points",
+            message: "need at least one size and two pitch samples".into(),
+        });
+    }
+    let hc = presets::MEASURED_HC;
+    let mut curves = Vec::with_capacity(params.ecds.len());
+    for &ecd_nm in &params.ecds {
+        let ecd = Nanometer::new(ecd_nm);
+        let device = presets::imec_like(ecd)?;
+        // Paper: minimum pitch 1.5×eCD [7], maximum 200 nm [4, 20].
+        let lo = 1.5 * ecd_nm;
+        let pitches: Vec<Nanometer> = (0..params.points)
+            .map(|i| {
+                let t = i as f64 / (params.points - 1) as f64;
+                Nanometer::new(lo + (params.max_pitch - lo) * t)
+            })
+            .collect();
+        let points = psi_vs_pitch(&device, &pitches, hc)?;
+        let threshold_pitch = max_density_pitch(
+            &device,
+            hc,
+            params.psi_threshold,
+            (Nanometer::new(lo), Nanometer::new(params.max_pitch)),
+        )
+        .ok();
+        curves.push(PsiCurve {
+            ecd,
+            points,
+            threshold_pitch,
+        });
+    }
+    Ok(Fig4b {
+        curves,
+        psi_threshold: params.psi_threshold,
+    })
+}
+
+impl Fig4b {
+    /// All sweep points as a long-format table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new("fig4b: psi vs pitch", &["ecd_nm", "pitch_nm", "psi_percent"]);
+        for curve in &self.curves {
+            for p in &curve.points {
+                t.push_row(&[
+                    format!("{:.0}", curve.ecd.value()),
+                    format!("{:.1}", p.pitch.value()),
+                    format!("{:.3}", 100.0 * p.psi),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// The design-rule summary (threshold pitches), one row per size.
+    #[must_use]
+    pub fn threshold_table(&self) -> Table {
+        let mut t = Table::new(
+            "fig4b: pitch at the psi threshold",
+            &["ecd_nm", "threshold_pitch_nm", "pitch_over_ecd"],
+        );
+        for curve in &self.curves {
+            match curve.threshold_pitch {
+                Some(p) => t.push_row(&[
+                    format!("{:.0}", curve.ecd.value()),
+                    format!("{:.1}", p.value()),
+                    format!("{:.2}", p.value() / curve.ecd.value()),
+                ]),
+                None => t.push_row(&[
+                    format!("{:.0}", curve.ecd.value()),
+                    "unreachable".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+        t
+    }
+
+    /// All curves as an ASCII chart (Ψ in % vs pitch in nm).
+    #[must_use]
+    pub fn chart(&self) -> String {
+        let series: Vec<Series> = self
+            .curves
+            .iter()
+            .map(|c| {
+                Series::new(
+                    &format!("eCD={}nm", c.ecd.value()),
+                    c.points
+                        .iter()
+                        .map(|p| (p.pitch.value(), 100.0 * p.psi))
+                        .collect(),
+                )
+            })
+            .collect();
+        ascii_chart(&series, 64, 18)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Params {
+        Params {
+            points: 10,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn psi_decays_monotonically_with_pitch() {
+        let fig = run(&small()).unwrap();
+        for curve in &fig.curves {
+            for w in curve.points.windows(2) {
+                assert!(w[0].psi > w[1].psi, "eCD {}", curve.ecd.value());
+            }
+        }
+    }
+
+    #[test]
+    fn psi_is_negligible_at_200nm_for_all_sizes() {
+        // Paper: "Ψ ≈ 0 % at pitch = 200 nm for all three device sizes".
+        let fig = run(&small()).unwrap();
+        for curve in &fig.curves {
+            let last = curve.points.last().unwrap();
+            assert!(last.psi < 0.006, "eCD {}: {}", curve.ecd.value(), last.psi);
+        }
+    }
+
+    #[test]
+    fn threshold_pitch_is_near_2x_ecd_for_35nm() {
+        // Paper conclusion: Ψ = 2 % at ≈ 2×eCD ("for a device with
+        // eCD = 35 nm, this corresponds to pitch = ~80 nm" per Fig. 4b).
+        let fig = run(&small()).unwrap();
+        let curve = fig
+            .curves
+            .iter()
+            .find(|c| c.ecd.value() == 35.0)
+            .expect("35 nm curve");
+        let p = curve.threshold_pitch.expect("threshold reachable").value();
+        assert!(p > 60.0 && p < 95.0, "threshold pitch {p}");
+    }
+
+    #[test]
+    fn bigger_devices_need_relatively_less_shrink() {
+        // At fixed pitch, bigger devices couple harder; at the threshold
+        // the pitch normalised by eCD decreases with size.
+        let fig = run(&small()).unwrap();
+        let ratios: Vec<f64> = fig
+            .curves
+            .iter()
+            .map(|c| c.threshold_pitch.unwrap().value() / c.ecd.value())
+            .collect();
+        assert!(ratios[0] > ratios[2], "ratios: {ratios:?}");
+    }
+
+    #[test]
+    fn tables_and_chart_render() {
+        let fig = run(&small()).unwrap();
+        assert_eq!(fig.to_table().row_count(), 30);
+        assert_eq!(fig.threshold_table().row_count(), 3);
+        assert!(fig.chart().contains("eCD=55nm"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Fig. 4c — critical switching current vs pitch under different stray
+//! fields.
+
+use crate::report::{ascii_chart, Series, Table};
+use crate::CoreError;
+use mramsim_array::{CouplingAnalyzer, NeighborhoodPattern};
+use mramsim_mtj::{presets, SwitchDirection};
+use mramsim_units::{Kelvin, Nanometer, Oersted};
+
+/// Parameters of the Fig. 4c experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Device size (paper evaluates eCD = 35 nm).
+    pub ecd: Nanometer,
+    /// Pitch sweep bounds (paper: 1.5×eCD … 200 nm).
+    pub pitch_range: (f64, f64),
+    /// Number of pitch samples.
+    pub points: usize,
+    /// Operating temperature.
+    pub temperature: Kelvin,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ecd: Nanometer::new(35.0),
+            pitch_range: (52.5, 200.0),
+            points: 25,
+            temperature: Kelvin::new(300.0),
+        }
+    }
+}
+
+/// One Ic-vs-pitch data row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4cRow {
+    /// Array pitch (nm).
+    pub pitch_nm: f64,
+    /// `Ic(AP→P)` with `NP8 = 0` (µA).
+    pub ap_to_p_np0: f64,
+    /// `Ic(AP→P)` with `NP8 = 255` (µA).
+    pub ap_to_p_np255: f64,
+    /// `Ic(P→AP)` with `NP8 = 0` (µA).
+    pub p_to_ap_np0: f64,
+    /// `Ic(P→AP)` with `NP8 = 255` (µA).
+    pub p_to_ap_np255: f64,
+}
+
+/// The regenerated Fig. 4c data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4c {
+    /// Pitch-dependent rows (intra + inter coupling).
+    pub rows: Vec<Fig4cRow>,
+    /// Pitch-independent reference: the intrinsic `Ic` (no stray field).
+    pub intrinsic_ua: f64,
+    /// Pitch-independent `Ic(AP→P)` with only the intra-cell field.
+    pub ap_to_p_intra_ua: f64,
+    /// Pitch-independent `Ic(P→AP)` with only the intra-cell field.
+    pub p_to_ap_intra_ua: f64,
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates device/array failures and invalid parameters.
+pub fn run(params: &Params) -> Result<Fig4c, CoreError> {
+    if params.points < 2 || !(params.pitch_range.1 > params.pitch_range.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "points/pitch_range",
+            message: "need >= 2 samples and an increasing range".into(),
+        });
+    }
+    let device = presets::imec_like(params.ecd)?;
+    let t = params.temperature;
+    let sw = device.switching().clone();
+    let intra = device.intra_hz_at_fl_center()?;
+
+    let ua = |dir: SwitchDirection, hz: Oersted| sw.critical_current(dir, hz, t).value();
+
+    let mut rows = Vec::with_capacity(params.points);
+    for i in 0..params.points {
+        let frac = i as f64 / (params.points - 1) as f64;
+        let pitch =
+            Nanometer::new(params.pitch_range.0 + (params.pitch_range.1 - params.pitch_range.0) * frac);
+        let coupling = CouplingAnalyzer::new(device.clone(), pitch)?;
+        let h0 = coupling.total_hz(NeighborhoodPattern::ALL_P);
+        let h255 = coupling.total_hz(NeighborhoodPattern::ALL_AP);
+        rows.push(Fig4cRow {
+            pitch_nm: pitch.value(),
+            ap_to_p_np0: ua(SwitchDirection::ApToP, h0),
+            ap_to_p_np255: ua(SwitchDirection::ApToP, h255),
+            p_to_ap_np0: ua(SwitchDirection::PToAp, h0),
+            p_to_ap_np255: ua(SwitchDirection::PToAp, h255),
+        });
+    }
+
+    Ok(Fig4c {
+        rows,
+        intrinsic_ua: ua(SwitchDirection::ApToP, Oersted::ZERO),
+        ap_to_p_intra_ua: ua(SwitchDirection::ApToP, intra),
+        p_to_ap_intra_ua: ua(SwitchDirection::PToAp, intra),
+    })
+}
+
+impl Fig4c {
+    /// The full sweep as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "fig4c: Ic vs pitch (uA)",
+            &[
+                "pitch_nm",
+                "AP->P NP8=0",
+                "AP->P NP8=255",
+                "P->AP NP8=0",
+                "P->AP NP8=255",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(&[
+                format!("{:.1}", r.pitch_nm),
+                format!("{:.2}", r.ap_to_p_np0),
+                format!("{:.2}", r.ap_to_p_np255),
+                format!("{:.2}", r.p_to_ap_np0),
+                format!("{:.2}", r.p_to_ap_np255),
+            ]);
+        }
+        t
+    }
+
+    /// All curve families as an ASCII chart.
+    #[must_use]
+    pub fn chart(&self) -> String {
+        let pick = |f: fn(&Fig4cRow) -> f64, label: &str| {
+            Series::new(
+                label,
+                self.rows.iter().map(|r| (r.pitch_nm, f(r))).collect(),
+            )
+        };
+        let flat = |y: f64, label: &str| {
+            Series::new(
+                label,
+                self.rows.iter().map(|r| (r.pitch_nm, y)).collect(),
+            )
+        };
+        ascii_chart(
+            &[
+                pick(|r| r.ap_to_p_np0, "AP->P NP8=0"),
+                pick(|r| r.ap_to_p_np255, "AP->P NP8=255"),
+                pick(|r| r.p_to_ap_np0, "P->AP NP8=0"),
+                pick(|r| r.p_to_ap_np255, "P->AP NP8=255"),
+                flat(self.intrinsic_ua, "intrinsic (no stray)"),
+                flat(self.ap_to_p_intra_ua, "AP->P intra only"),
+                flat(self.p_to_ap_intra_ua, "P->AP intra only"),
+            ],
+            64,
+            18,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig4c {
+        run(&Params::default()).unwrap()
+    }
+
+    #[test]
+    fn paper_anchor_values_hold() {
+        // Ic0 = 57.2 µA; intra-only: 61.7 / 52.8 µA (±7 %).
+        let f = fig();
+        assert!((f.intrinsic_ua - 57.2).abs() < 0.2, "{}", f.intrinsic_ua);
+        assert!((f.ap_to_p_intra_ua - 61.7).abs() < 0.6, "{}", f.ap_to_p_intra_ua);
+        assert!((f.p_to_ap_intra_ua - 52.8).abs() < 0.6, "{}", f.p_to_ap_intra_ua);
+    }
+
+    #[test]
+    fn ap_to_p_sits_above_p_to_ap_under_negative_stray() {
+        let f = fig();
+        for r in &f.rows {
+            assert!(r.ap_to_p_np0 > f.intrinsic_ua);
+            assert!(r.p_to_ap_np0 < f.intrinsic_ua);
+        }
+    }
+
+    #[test]
+    fn np_variation_grows_as_pitch_shrinks() {
+        // "the variation in Ic(AP→P) between different neighborhood
+        // patterns increases as the pitch goes down".
+        let f = fig();
+        let spread_first = (f.rows[0].ap_to_p_np0 - f.rows[0].ap_to_p_np255).abs();
+        let spread_last = (f.rows.last().unwrap().ap_to_p_np0
+            - f.rows.last().unwrap().ap_to_p_np255)
+            .abs();
+        assert!(spread_first > 4.0 * spread_last);
+    }
+
+    #[test]
+    fn np0_raises_and_np255_lowers_ic_ap_to_p_at_small_pitch() {
+        // "Ic(AP→P) becomes larger at smaller pitches when NP8 = 0,
+        // while it shows an opposite trend when NP8 = 255".
+        let f = fig();
+        let first = &f.rows[0];
+        let last = f.rows.last().unwrap();
+        assert!(first.ap_to_p_np0 > last.ap_to_p_np0);
+        assert!(first.ap_to_p_np255 < last.ap_to_p_np255);
+    }
+
+    #[test]
+    fn variation_is_marginal_at_80nm() {
+        // Paper: "at pitch ≈ 80 nm (corresponding to Ψ = 2 %), the
+        // variation is marginal".
+        let f = fig();
+        let row = f
+            .rows
+            .iter()
+            .min_by(|a, b| {
+                (a.pitch_nm - 80.0)
+                    .abs()
+                    .partial_cmp(&(b.pitch_nm - 80.0).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        let spread = (row.ap_to_p_np0 - row.ap_to_p_np255).abs();
+        assert!(spread < 1.5, "spread at ~80 nm = {spread} uA");
+    }
+
+    #[test]
+    fn rendering_works() {
+        let f = fig();
+        assert_eq!(f.to_table().row_count(), 25);
+        assert!(f.chart().contains("intrinsic"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Fig. 5 — voltage dependence of the AP→P switching time at three
+//! array pitches.
+
+use crate::report::{ascii_chart, Series, Table};
+use crate::CoreError;
+use mramsim_array::{CouplingAnalyzer, NeighborhoodPattern};
+use mramsim_mtj::{presets, MtjError, SwitchDirection};
+use mramsim_units::{Kelvin, Nanometer, Oersted, Volt};
+
+/// Parameters of the Fig. 5 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Device size (paper: 35 nm).
+    pub ecd: Nanometer,
+    /// Pitch factors relative to the eCD (paper: 3×, 2×, 1.5×).
+    pub pitch_factors: Vec<f64>,
+    /// Write-voltage sweep bounds (paper: 0.7…1.2 V).
+    pub voltage_range: (f64, f64),
+    /// Number of voltage samples.
+    pub points: usize,
+    /// Operating temperature.
+    pub temperature: Kelvin,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ecd: Nanometer::new(35.0),
+            pitch_factors: vec![3.0, 2.0, 1.5],
+            voltage_range: (0.7, 1.2),
+            points: 26,
+            temperature: Kelvin::new(300.0),
+        }
+    }
+}
+
+/// One panel (one pitch) of Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Panel {
+    /// Pitch factor (×eCD).
+    pub pitch_factor: f64,
+    /// The corresponding coupling factor Ψ.
+    pub psi: f64,
+    /// Voltage grid (V).
+    pub voltages: Vec<f64>,
+    /// `tw(AP→P)` without any stray field (ns); `None` below threshold.
+    pub tw_no_stray: Vec<Option<f64>>,
+    /// With the intra-cell field only.
+    pub tw_intra: Vec<Option<f64>>,
+    /// With intra + inter at `NP8 = 0` (the slow worst case).
+    pub tw_np0: Vec<Option<f64>>,
+    /// With intra + inter at `NP8 = 255`.
+    pub tw_np255: Vec<Option<f64>>,
+}
+
+/// The regenerated Fig. 5 data (panels a–c).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5 {
+    /// One panel per pitch factor.
+    pub panels: Vec<Fig5Panel>,
+}
+
+fn tw_or_none(
+    device: &mramsim_mtj::MtjDevice,
+    vp: Volt,
+    hz: Oersted,
+    t: Kelvin,
+) -> Result<Option<f64>, CoreError> {
+    match device.switching_time(SwitchDirection::ApToP, vp, hz, t) {
+        Ok(tw) => Ok(Some(tw.value())),
+        Err(MtjError::SubCriticalDrive { .. }) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates device/array failures and invalid parameters.
+pub fn run(params: &Params) -> Result<Fig5, CoreError> {
+    if params.points < 2 || params.pitch_factors.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "points/pitch_factors",
+            message: "need >= 2 voltage samples and one pitch factor".into(),
+        });
+    }
+    let device = presets::imec_like(params.ecd)?;
+    let t = params.temperature;
+    let hc = presets::MEASURED_HC;
+    let intra = device.intra_hz_at_fl_center()?;
+    let (v_lo, v_hi) = params.voltage_range;
+
+    let voltages: Vec<f64> = (0..params.points)
+        .map(|i| v_lo + (v_hi - v_lo) * i as f64 / (params.points - 1) as f64)
+        .collect();
+
+    let mut panels = Vec::with_capacity(params.pitch_factors.len());
+    for &factor in &params.pitch_factors {
+        let pitch = Nanometer::new(factor * params.ecd.value());
+        let coupling = CouplingAnalyzer::new(device.clone(), pitch)?;
+        let h_np0 = coupling.total_hz(NeighborhoodPattern::ALL_P);
+        let h_np255 = coupling.total_hz(NeighborhoodPattern::ALL_AP);
+
+        let mut panel = Fig5Panel {
+            pitch_factor: factor,
+            psi: coupling.psi(hc),
+            voltages: voltages.clone(),
+            tw_no_stray: Vec::with_capacity(voltages.len()),
+            tw_intra: Vec::with_capacity(voltages.len()),
+            tw_np0: Vec::with_capacity(voltages.len()),
+            tw_np255: Vec::with_capacity(voltages.len()),
+        };
+        for &v in &voltages {
+            let vp = Volt::new(v);
+            panel
+                .tw_no_stray
+                .push(tw_or_none(&device, vp, Oersted::ZERO, t)?);
+            panel.tw_intra.push(tw_or_none(&device, vp, intra, t)?);
+            panel.tw_np0.push(tw_or_none(&device, vp, h_np0, t)?);
+            panel.tw_np255.push(tw_or_none(&device, vp, h_np255, t)?);
+        }
+        panels.push(panel);
+    }
+    Ok(Fig5 { panels })
+}
+
+impl Fig5Panel {
+    /// The panel as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "fig5: tw(AP->P) vs Vp at pitch={}xeCD (psi={:.1}%)",
+                self.pitch_factor,
+                100.0 * self.psi
+            ),
+            &["vp_v", "no_stray_ns", "intra_ns", "np0_ns", "np255_ns"],
+        );
+        let fmt = |v: &Option<f64>| v.map_or_else(|| "-".into(), |x| format!("{x:.2}"));
+        for (i, &v) in self.voltages.iter().enumerate() {
+            t.push_row(&[
+                format!("{v:.3}"),
+                fmt(&self.tw_no_stray[i]),
+                fmt(&self.tw_intra[i]),
+                fmt(&self.tw_np0[i]),
+                fmt(&self.tw_np255[i]),
+            ]);
+        }
+        t
+    }
+
+    /// The panel as an ASCII chart.
+    #[must_use]
+    pub fn chart(&self) -> String {
+        let series = |values: &[Option<f64>], label: &str| {
+            Series::new(
+                label,
+                self.voltages
+                    .iter()
+                    .zip(values)
+                    .filter_map(|(&v, tw)| tw.map(|t| (v, t)))
+                    .collect(),
+            )
+        };
+        ascii_chart(
+            &[
+                series(&self.tw_no_stray, "Hz=0"),
+                series(&self.tw_intra, "Hz=intra"),
+                series(&self.tw_np0, "NP8=0"),
+                series(&self.tw_np255, "NP8=255"),
+            ],
+            64,
+            18,
+        )
+    }
+
+    /// The NP-pattern spread `tw(NP0) − tw(NP255)` at a voltage (ns).
+    #[must_use]
+    pub fn np_spread_at(&self, vp: f64) -> Option<f64> {
+        let idx = self
+            .voltages
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - vp)
+                    .abs()
+                    .partial_cmp(&(b.1 - vp).abs())
+                    .unwrap_or(core::cmp::Ordering::Equal)
+            })?
+            .0;
+        match (self.tw_np0[idx], self.tw_np255[idx]) {
+            (Some(a), Some(b)) => Some(a - b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig5 {
+        run(&Params::default()).unwrap()
+    }
+
+    #[test]
+    fn psi_values_match_the_paper_annotations() {
+        // Fig. 5a-c are annotated Ψ = 1 %, 2 %, 7 %; exact loop
+        // integration lands at ≈1 %, ≈3 %, ≈7 % (EXPERIMENTS.md).
+        let f = fig();
+        assert!((f.panels[0].psi - 0.01).abs() < 0.005, "{}", f.panels[0].psi);
+        assert!((f.panels[1].psi - 0.025).abs() < 0.012, "{}", f.panels[1].psi);
+        assert!((f.panels[2].psi - 0.07).abs() < 0.02, "{}", f.panels[2].psi);
+    }
+
+    #[test]
+    fn tw_decreases_with_voltage() {
+        let f = fig();
+        for panel in &f.panels {
+            let valid: Vec<f64> = panel.tw_np0.iter().filter_map(|v| *v).collect();
+            assert!(valid.len() > 10);
+            for w in valid.windows(2) {
+                assert!(w[0] > w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn stray_field_always_slows_ap_to_p() {
+        // Fig. 5: solid lines above the dashed no-stray line.
+        let f = fig();
+        for panel in &f.panels {
+            for i in 0..panel.voltages.len() {
+                if let (Some(base), Some(with)) = (panel.tw_no_stray[i], panel.tw_intra[i]) {
+                    assert!(with > base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn np0_is_the_slowest_pattern() {
+        let f = fig();
+        for panel in &f.panels {
+            for i in 0..panel.voltages.len() {
+                if let (Some(np0), Some(np255)) = (panel.tw_np0[i], panel.tw_np255[i]) {
+                    assert!(np0 > np255);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn np_spread_is_visible_only_at_dense_pitch() {
+        // Paper: negligible change at 3×/2×eCD, "very visible" at
+        // 1.5×eCD — about 4 ns at 0.72 V.
+        let f = fig();
+        let spread_3x = f.panels[0].np_spread_at(0.72).unwrap();
+        let spread_15x = f.panels[2].np_spread_at(0.72).unwrap();
+        assert!(spread_15x > 4.0 * spread_3x, "{spread_3x} vs {spread_15x}");
+        assert!(spread_15x > 1.0, "worst-case spread = {spread_15x} ns");
+    }
+
+    #[test]
+    fn spread_shrinks_at_high_voltage() {
+        let f = fig();
+        let panel = &f.panels[2];
+        let low = panel.np_spread_at(0.72).unwrap();
+        let high = panel.np_spread_at(1.2).unwrap();
+        assert!(low > 5.0 * high, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn tw_window_matches_the_paper_axis() {
+        // 5…25 ns over 0.7…1.2 V (we accept a slightly wider envelope).
+        let f = fig();
+        for panel in &f.panels {
+            for tw in panel.tw_intra.iter().flatten() {
+                assert!(*tw > 1.0 && *tw < 45.0, "tw = {tw}");
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_works() {
+        let f = fig();
+        let t = f.panels[0].to_table();
+        assert_eq!(t.row_count(), 26);
+        assert!(f.panels[2].chart().contains("NP8=0"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Fig. 6b — the worst-case thermal stability `ΔP(NP8=0)` vs
+//! temperature, compared across array pitches.
+
+use crate::report::{ascii_chart, Series, Table};
+use crate::CoreError;
+use mramsim_array::{CouplingAnalyzer, NeighborhoodPattern};
+use mramsim_mtj::{presets, retention_time, MtjState};
+use mramsim_units::{Celsius, Nanometer};
+
+/// Parameters of the Fig. 6b experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Device size (paper: 35 nm).
+    pub ecd: Nanometer,
+    /// Pitch factors to compare (paper: 3×, 2×, 1.5×eCD).
+    pub pitch_factors: Vec<f64>,
+    /// Temperature sweep in °C.
+    pub temps_c: Vec<f64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ecd: Nanometer::new(35.0),
+            pitch_factors: vec![3.0, 2.0, 1.5],
+            temps_c: (0..=15).map(|i| 10.0 * f64::from(i)).collect(),
+        }
+    }
+}
+
+/// One worst-case curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorstCaseCurve {
+    /// Pitch factor (×eCD).
+    pub pitch_factor: f64,
+    /// `(temp [°C], ΔP(NP8=0))` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The regenerated Fig. 6b data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6b {
+    /// One curve per pitch factor.
+    pub curves: Vec<WorstCaseCurve>,
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates device/array failures and invalid parameters.
+pub fn run(params: &Params) -> Result<Fig6b, CoreError> {
+    if params.temps_c.is_empty() || params.pitch_factors.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "temps_c/pitch_factors",
+            message: "need at least one temperature and one pitch factor".into(),
+        });
+    }
+    let device = presets::imec_like(params.ecd)?;
+    let mut curves = Vec::with_capacity(params.pitch_factors.len());
+    for &factor in &params.pitch_factors {
+        let pitch = Nanometer::new(factor * params.ecd.value());
+        let coupling = CouplingAnalyzer::new(device.clone(), pitch)?;
+        let worst = coupling.total_hz(NeighborhoodPattern::ALL_P);
+        let mut points = Vec::with_capacity(params.temps_c.len());
+        for &c in &params.temps_c {
+            let t = Celsius::new(c).to_kelvin();
+            let delta = device.switching().delta(MtjState::Parallel, worst, t)?;
+            points.push((c, delta));
+        }
+        curves.push(WorstCaseCurve {
+            pitch_factor: factor,
+            points,
+        });
+    }
+    Ok(Fig6b { curves })
+}
+
+impl Fig6b {
+    /// The sweep as a table (one column per pitch factor).
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut columns = vec!["temp_c".to_owned()];
+        for c in &self.curves {
+            columns.push(format!("deltaP_np0 @ {}xeCD", c.pitch_factor));
+        }
+        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut t = Table::new("fig6b: worst-case deltaP(NP8=0) vs temperature", &col_refs);
+        let n = self.curves[0].points.len();
+        for i in 0..n {
+            let mut row = vec![format!("{:.0}", self.curves[0].points[i].0)];
+            for c in &self.curves {
+                row.push(format!("{:.2}", c.points[i].1));
+            }
+            t.push_row(&row);
+        }
+        t
+    }
+
+    /// All curves as an ASCII chart.
+    #[must_use]
+    pub fn chart(&self) -> String {
+        let series: Vec<Series> = self
+            .curves
+            .iter()
+            .map(|c| {
+                Series::new(
+                    &format!("pitch={}xeCD", c.pitch_factor),
+                    c.points.clone(),
+                )
+            })
+            .collect();
+        ascii_chart(&series, 64, 18)
+    }
+
+    /// Worst-case retention time (years) at the given temperature, per
+    /// pitch factor — the engineering consequence of the Δ degradation.
+    #[must_use]
+    pub fn retention_years_at(&self, temp_c: f64) -> Vec<(f64, f64)> {
+        self.curves
+            .iter()
+            .map(|c| {
+                let delta = c
+                    .points
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.0 - temp_c)
+                            .abs()
+                            .partial_cmp(&(b.0 - temp_c).abs())
+                            .unwrap()
+                    })
+                    .map_or(f64::NAN, |p| p.1);
+                (c.pitch_factor, retention_time(delta).to_years())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig6b {
+        run(&Params::default()).unwrap()
+    }
+
+    #[test]
+    fn denser_arrays_have_lower_worst_case_delta() {
+        // "marginal degradation … when the array pitch goes down to
+        // 1.5×eCD, in comparison to pitch = 2×eCD".
+        let f = fig();
+        for i in 0..f.curves[0].points.len() {
+            let d3 = f.curves[0].points[i].1;
+            let d2 = f.curves[1].points[i].1;
+            let d15 = f.curves[2].points[i].1;
+            assert!(d3 > d2 && d2 > d15);
+        }
+    }
+
+    #[test]
+    fn degradation_is_marginal_between_2x_and_1_5x() {
+        let f = fig();
+        let at25 = |curve: &WorstCaseCurve| {
+            curve
+                .points
+                .iter()
+                .min_by(|a, b| (a.0 - 25.0).abs().partial_cmp(&(b.0 - 25.0).abs()).unwrap())
+                .unwrap()
+                .1
+        };
+        let d2 = at25(&f.curves[1]);
+        let d15 = at25(&f.curves[2]);
+        let rel = (d2 - d15) / d2;
+        assert!(rel > 0.0 && rel < 0.06, "relative degradation = {rel}");
+    }
+
+    #[test]
+    fn curves_fall_with_temperature() {
+        let f = fig();
+        for c in &f.curves {
+            for w in c.points.windows(2) {
+                assert!(w[1].1 < w[0].1);
+            }
+        }
+    }
+
+    #[test]
+    fn retention_collapses_at_high_temperature() {
+        let f = fig();
+        let cold = f.retention_years_at(0.0);
+        let hot = f.retention_years_at(150.0);
+        for ((_, yc), (_, yh)) in cold.iter().zip(&hot) {
+            assert!(yc > yh);
+        }
+        // At 150 °C even the sparse array falls far below 10 years.
+        assert!(hot[0].1 < 1.0, "retention at 150C: {} years", hot[0].1);
+    }
+
+    #[test]
+    fn rendering_works() {
+        let f = fig();
+        assert_eq!(f.to_table().row_count(), 16);
+        assert!(f.chart().contains("pitch=1.5xeCD"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Design-space exploration: the paper's conclusion ("pitch ≈ 2×eCD
+//! maximizes density at negligible impact") turned into an API.
+//!
+//! Given a device and a coupling budget, [`explore`] finds the densest
+//! admissible pitch and reports the resulting density, worst-case write
+//! time, and worst-case retention — what an array architect actually
+//! needs from the paper.
+
+use crate::report::Table;
+use crate::CoreError;
+use mramsim_array::{
+    array_density_bits_per_um2, max_density_pitch, CouplingAnalyzer, NeighborhoodPattern,
+};
+use mramsim_mtj::{presets, MtjError, MtjState, SwitchDirection};
+use mramsim_units::{Celsius, Nanometer, Volt};
+
+/// A design question: how dense can this array be?
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignQuery {
+    /// Device size.
+    pub ecd: Nanometer,
+    /// Coupling budget Ψ (paper threshold: 0.02).
+    pub psi_target: f64,
+    /// Write pulse amplitude for the timing analysis.
+    pub write_voltage: Volt,
+    /// Operating temperature (°C) for the retention analysis.
+    pub temperature_c: f64,
+    /// Retention requirement in years (10 for storage-class, §II-A).
+    pub retention_target_years: f64,
+}
+
+impl Default for DesignQuery {
+    fn default() -> Self {
+        Self {
+            ecd: Nanometer::new(35.0),
+            psi_target: 0.02,
+            write_voltage: Volt::new(0.9),
+            temperature_c: 85.0,
+            retention_target_years: 10.0,
+        }
+    }
+}
+
+/// The answer to a [`DesignQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignReport {
+    /// The densest pitch meeting the Ψ budget.
+    pub recommended_pitch: Nanometer,
+    /// Ψ at that pitch.
+    pub psi: f64,
+    /// Array density at that pitch.
+    pub density_bits_per_um2: f64,
+    /// Worst-case AP→P write time (`NP8 = 0`) at the write voltage, ns;
+    /// `None` when the voltage is below threshold.
+    pub worst_case_tw_ns: Option<f64>,
+    /// Best-case AP→P write time (`NP8 = 255`), ns.
+    pub best_case_tw_ns: Option<f64>,
+    /// Worst-case thermal stability `ΔP(NP8 = 0)` at temperature.
+    pub worst_case_delta: f64,
+    /// Worst-case mean retention in years.
+    pub worst_case_retention_years: f64,
+    /// Whether the retention requirement is met in the worst case.
+    pub meets_retention_target: bool,
+}
+
+/// Explores the design space for a query.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] for a non-positive Ψ target.
+/// * Propagates analyzer and device-model failures (an unreachable Ψ
+///   target surfaces as an [`CoreError::Array`] error).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_core::explorer::{explore, DesignQuery};
+///
+/// let report = explore(&DesignQuery::default())?;
+/// // The paper's design rule: about 2×eCD for a 35 nm device.
+/// let ratio = report.recommended_pitch.value() / 35.0;
+/// assert!(ratio > 1.7 && ratio < 2.7, "ratio = {ratio}");
+/// # Ok::<(), mramsim_core::CoreError>(())
+/// ```
+pub fn explore(query: &DesignQuery) -> Result<DesignReport, CoreError> {
+    if !(query.psi_target > 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "psi_target",
+            message: format!("must be positive, got {}", query.psi_target),
+        });
+    }
+    let device = presets::imec_like(query.ecd)?;
+    let hc = presets::MEASURED_HC;
+    let lo = Nanometer::new(1.5 * query.ecd.value());
+    let hi = Nanometer::new(250.0);
+    let pitch = max_density_pitch(&device, hc, query.psi_target, (lo, hi))?;
+    let coupling = CouplingAnalyzer::new(device.clone(), pitch)?;
+
+    let t = Celsius::new(query.temperature_c).to_kelvin();
+    let h_np0 = coupling.total_hz(NeighborhoodPattern::ALL_P);
+    let h_np255 = coupling.total_hz(NeighborhoodPattern::ALL_AP);
+
+    let tw = |hz| match device.switching_time(SwitchDirection::ApToP, query.write_voltage, hz, t)
+    {
+        Ok(v) => Ok(Some(v.value())),
+        Err(MtjError::SubCriticalDrive { .. }) => Ok(None),
+        Err(e) => Err(CoreError::from(e)),
+    };
+    let worst_case_tw_ns = tw(h_np0)?;
+    let best_case_tw_ns = tw(h_np255)?;
+
+    let worst_case_delta = device.delta(MtjState::Parallel, h_np0, t)?;
+    let retention_years = mramsim_mtj::retention_time(worst_case_delta).to_years();
+
+    Ok(DesignReport {
+        recommended_pitch: pitch,
+        psi: coupling.psi(hc),
+        density_bits_per_um2: array_density_bits_per_um2(pitch),
+        worst_case_tw_ns,
+        best_case_tw_ns,
+        worst_case_delta,
+        worst_case_retention_years: retention_years,
+        meets_retention_target: retention_years >= query.retention_target_years,
+    })
+}
+
+impl DesignReport {
+    /// Renders the report as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new("design exploration", &["quantity", "value"]);
+        t.push_row(&[
+            "recommended pitch (nm)".into(),
+            format!("{:.1}", self.recommended_pitch.value()),
+        ]);
+        t.push_row(&["psi (%)".into(), format!("{:.2}", 100.0 * self.psi)]);
+        t.push_row(&[
+            "density (bits/um^2)".into(),
+            format!("{:.1}", self.density_bits_per_um2),
+        ]);
+        let fmt = |v: Option<f64>| v.map_or_else(|| "below threshold".into(), |x| format!("{x:.2}"));
+        t.push_row(&["worst-case tw (ns)".into(), fmt(self.worst_case_tw_ns)]);
+        t.push_row(&["best-case tw (ns)".into(), fmt(self.best_case_tw_ns)]);
+        t.push_row(&[
+            "worst-case delta".into(),
+            format!("{:.2}", self.worst_case_delta),
+        ]);
+        t.push_row(&[
+            "worst-case retention (years)".into(),
+            format!("{:.3e}", self.worst_case_retention_years),
+        ]);
+        t.push_row(&[
+            "meets retention target".into(),
+            self.meets_retention_target.to_string(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_query_lands_on_the_paper_design_rule() {
+        let report = explore(&DesignQuery::default()).unwrap();
+        let ratio = report.recommended_pitch.value() / 35.0;
+        assert!(ratio > 1.7 && ratio < 2.7, "ratio = {ratio}");
+        assert!(report.psi <= 0.02 + 1e-9);
+    }
+
+    #[test]
+    fn tighter_budget_costs_density() {
+        let strict = explore(&DesignQuery {
+            psi_target: 0.005,
+            ..DesignQuery::default()
+        })
+        .unwrap();
+        let loose = explore(&DesignQuery {
+            psi_target: 0.05,
+            ..DesignQuery::default()
+        })
+        .unwrap();
+        assert!(strict.density_bits_per_um2 < loose.density_bits_per_um2);
+        assert!(strict.recommended_pitch.value() > loose.recommended_pitch.value());
+    }
+
+    #[test]
+    fn worst_case_write_is_slower_than_best_case() {
+        let report = explore(&DesignQuery::default()).unwrap();
+        let (worst, best) = (
+            report.worst_case_tw_ns.unwrap(),
+            report.best_case_tw_ns.unwrap(),
+        );
+        assert!(worst > best);
+    }
+
+    #[test]
+    fn hot_operation_fails_storage_retention() {
+        // At 85 °C under worst-case coupling the 35 nm device cannot
+        // deliver 10-year storage retention — the trade-off the paper's
+        // Fig. 6 warns about.
+        let report = explore(&DesignQuery {
+            temperature_c: 85.0,
+            retention_target_years: 10.0,
+            ..DesignQuery::default()
+        })
+        .unwrap();
+        assert!(!report.meets_retention_target);
+        // But a millisecond-class cache target is easy.
+        assert!(report.worst_case_retention_years * 365.25 * 24.0 * 3600.0 > 1e-3);
+    }
+
+    #[test]
+    fn subcritical_write_voltage_is_reported_not_fatal() {
+        let report = explore(&DesignQuery {
+            write_voltage: Volt::new(0.3),
+            ..DesignQuery::default()
+        })
+        .unwrap();
+        assert!(report.worst_case_tw_ns.is_none());
+    }
+
+    #[test]
+    fn invalid_target_rejected() {
+        assert!(explore(&DesignQuery {
+            psi_target: 0.0,
+            ..DesignQuery::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = explore(&DesignQuery::default()).unwrap();
+        let md = report.to_table().to_markdown();
+        assert!(md.contains("recommended pitch"));
+    }
+}

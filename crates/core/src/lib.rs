@@ -1,0 +1,46 @@
+//! The paper's contribution as a library: calibration, figure-by-figure
+//! experiment drivers, design-space exploration, and reporting.
+//!
+//! Every figure of *Impact of Magnetic Coupling and Density on STT-MRAM
+//! Performance* (DATE 2020) has a driver in [`experiments`] that
+//! regenerates its data series from the models in the substrate crates:
+//!
+//! | paper figure | driver |
+//! |---|---|
+//! | Fig. 2a (R-H loop) | [`experiments::fig2a`] |
+//! | Fig. 2b (`Hz_s_intra` vs eCD) | [`experiments::fig2b`] |
+//! | Fig. 3c (field map) | [`experiments::fig3c`] |
+//! | Fig. 3d (radial profile) | [`experiments::fig3d`] |
+//! | Fig. 4a (`Hz_s_inter` vs NP classes) | [`experiments::fig4a`] |
+//! | Fig. 4b (Ψ vs pitch) | [`experiments::fig4b`] |
+//! | Fig. 4c (Ic vs pitch) | [`experiments::fig4c`] |
+//! | Fig. 5 (tw vs Vp) | [`experiments::fig5`] |
+//! | Fig. 6a (Δ vs T) | [`experiments::fig6a`] |
+//! | Fig. 6b (worst-case Δ vs T) | [`experiments::fig6b`] |
+//!
+//! The [`calibrate`] module reproduces §IV-A's "calibrated and validated
+//! by silicon data" step against the virtual wafer of `mramsim-vlab`,
+//! and [`report`] renders any driver output as Markdown, CSV, or an
+//! ASCII chart.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramsim_core::experiments::fig4b;
+//!
+//! let data = fig4b::run(&fig4b::Params::default())?;
+//! let table = data.to_table();
+//! assert!(table.to_markdown().contains("psi"));
+//! # Ok::<(), mramsim_core::CoreError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod calibrate;
+mod error;
+pub mod experiments;
+pub mod explorer;
+pub mod report;
+
+pub use error::CoreError;

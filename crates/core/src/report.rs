@@ -1,0 +1,286 @@
+//! Result rendering: tables (Markdown / CSV) and ASCII charts.
+//!
+//! `serde` alone cannot produce text without a format crate, so these
+//! small writers are hand-rolled (see DESIGN.md §2 for the dependency
+//! policy).
+
+/// A rectangular results table.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_core::report::Table;
+///
+/// let mut t = Table::new("fig4b", &["pitch_nm", "psi"]);
+/// t.push_row(&["90", "0.036"]);
+/// assert!(t.to_csv().starts_with("pitch_nm,psi"));
+/// assert!(t.to_markdown().contains("| 90 | 0.036 |"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no columns are given.
+    #[must_use]
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Self {
+            title: title.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arity does not match the header.
+    pub fn push_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity {} does not match {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
+    }
+
+    /// Renders as CSV (header + rows; cells containing commas or quotes
+    /// are quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table with a title line.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// A labelled data series for charting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: &str, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.to_owned(),
+            points,
+        }
+    }
+}
+
+/// Renders one or more series as a monospace scatter chart — enough to
+/// eyeball the *shape* of every paper figure in a terminal.
+///
+/// Each series uses the next symbol from `* o + x # @ % &`. Returns a
+/// `String` ending in a legend.
+///
+/// # Panics
+///
+/// Panics for zero chart dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_core::report::{ascii_chart, Series};
+///
+/// let s = Series::new("tw", (0..20).map(|i| {
+///     let x = 0.7 + 0.025 * f64::from(i);
+///     (x, 10.0 / x)
+/// }).collect());
+/// let chart = ascii_chart(&[s], 40, 12);
+/// assert!(chart.contains('*'));
+/// assert!(chart.contains("tw"));
+/// ```
+#[must_use]
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "chart needs at least 8x4 cells");
+    const SYMBOLS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return "(no data)\n".to_owned();
+    }
+    let (mut x_lo, mut x_hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (x, _)| {
+            (lo.min(*x), hi.max(*x))
+        });
+    let (mut y_lo, mut y_hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, y)| {
+            (lo.min(*y), hi.max(*y))
+        });
+    if x_hi == x_lo {
+        x_hi = x_lo + 1.0;
+        x_lo -= 1.0;
+    }
+    if y_hi == y_lo {
+        y_hi = y_lo + 1.0;
+        y_lo -= 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let symbol = SYMBOLS[si % SYMBOLS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = symbol;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_hi:>12.4} +{}\n", "-".repeat(width)));
+    for row in &grid {
+        out.push_str("             |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>12.4} +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "             {:<width$.4}{:>10.4}\n",
+        x_lo,
+        x_hi,
+        width = width - 8
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "   {} {}\n",
+            SYMBOLS[si % SYMBOLS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(&["1,5", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let mut t = Table::new("demo", &["c1", "c2", "c3"]);
+        t.push_row(&["1", "2", "3"]);
+        let md = t.to_markdown();
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.starts_with("### demo"));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(&["only one"]);
+    }
+
+    #[test]
+    fn chart_places_extremes_on_edges() {
+        let s = Series::new("line", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let chart = ascii_chart(&[s], 20, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // First grid row (top) holds the maximum.
+        assert!(lines[1].ends_with('*'));
+        assert!(chart.contains("line"));
+    }
+
+    #[test]
+    fn chart_with_multiple_series_uses_distinct_symbols() {
+        let a = Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let chart = ascii_chart(&[a, b], 24, 8);
+        assert!(chart.contains('*') && chart.contains('o'));
+    }
+
+    #[test]
+    fn chart_survives_degenerate_data() {
+        let s = Series::new("flat", vec![(2.0, 5.0), (2.0, 5.0)]);
+        let chart = ascii_chart(&[s], 16, 6);
+        assert!(chart.contains('*'));
+        let empty = ascii_chart(&[Series::new("none", vec![])], 16, 6);
+        assert_eq!(empty, "(no data)\n");
+        let nans = Series::new("nan", vec![(f64::NAN, 1.0)]);
+        assert_eq!(ascii_chart(&[nans], 16, 6), "(no data)\n");
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the fault-analysis crate.
+
+use core::fmt;
+
+/// Errors produced by array simulation and fault analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultsError {
+    /// An array dimension or address was out of range.
+    InvalidAddress {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A simulation parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The underlying device model failed.
+    Device(mramsim_mtj::MtjError),
+    /// The underlying array analysis failed.
+    Array(mramsim_array::ArrayError),
+}
+
+impl fmt::Display for FaultsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidAddress { message } => write!(f, "invalid address: {message}"),
+            Self::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            Self::Device(e) => write!(f, "device model failed: {e}"),
+            Self::Array(e) => write!(f, "array analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Device(e) => Some(e),
+            Self::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mramsim_mtj::MtjError> for FaultsError {
+    fn from(e: mramsim_mtj::MtjError) -> Self {
+        Self::Device(e)
+    }
+}
+
+impl From<mramsim_array::ArrayError> for FaultsError {
+    fn from(e: mramsim_array::ArrayError) -> Self {
+        Self::Array(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<FaultsError>();
+    }
+}

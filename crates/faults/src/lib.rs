@@ -1,0 +1,54 @@
+//! Coupling-aware fault models and memory tests for STT-MRAM arrays.
+//!
+//! The paper's motivation (§I) is that inter-cell magnetic coupling
+//! "may lead to write errors \[8\]", and its authors' companion work
+//! (\[6\], \[14\], \[16\]) builds fault models and tests for STT-MRAM.
+//! This crate closes that loop on top of the coupling engine:
+//!
+//! * [`CellArray`] — an N×M array of MTJ states with neighbourhood
+//!   extraction,
+//! * [`ArraySimulator`] — write/read operations whose success depends on
+//!   the *actual data pattern around the victim* (write fails when the
+//!   pattern-dependent switching time exceeds the pulse, Fig. 5 logic),
+//! * [`classify_write_faults`] — per-transition classification of which
+//!   neighbourhood patterns break a write at a given design point,
+//! * [`march`] — a March test engine (MATS+, March C−) that detects the
+//!   resulting pattern-sensitive faults.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramsim_faults::{ArraySimulator, WriteConditions};
+//! use mramsim_mtj::presets;
+//! use mramsim_units::{Nanometer, Nanosecond, Volt};
+//!
+//! // A design-rule-compliant array writes reliably:
+//! let device = presets::imec_like(Nanometer::new(35.0))?;
+//! let sim = ArraySimulator::new(
+//!     device,
+//!     Nanometer::new(70.0), // 2 x eCD
+//!     8,
+//!     8,
+//!     WriteConditions {
+//!         voltage: Volt::new(1.0),
+//!         pulse: Nanosecond::new(20.0),
+//!         ..WriteConditions::default()
+//!     },
+//! )?;
+//! assert!(sim.write_would_succeed_everywhere());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod cell_array;
+mod classify;
+mod error;
+pub mod march;
+mod simulator;
+
+pub use cell_array::CellArray;
+pub use classify::{classify_write_faults, WriteFault, WriteFaultReport};
+pub use error::FaultsError;
+pub use simulator::{ArraySimulator, OpResult, WriteConditions};

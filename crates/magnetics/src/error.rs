@@ -1,0 +1,47 @@
+//! Error type for field-source construction.
+
+use core::fmt;
+
+/// Errors produced when constructing field sources.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MagneticsError {
+    /// A geometric parameter was non-positive or non-finite.
+    InvalidGeometry {
+        /// Description of the offending parameter.
+        message: String,
+    },
+    /// A discretisation parameter was too coarse to be meaningful.
+    InvalidDiscretisation {
+        /// Description of the offending parameter.
+        message: String,
+    },
+}
+
+impl fmt::Display for MagneticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidGeometry { message } => write!(f, "invalid geometry: {message}"),
+            Self::InvalidDiscretisation { message } => {
+                write!(f, "invalid discretisation: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MagneticsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<MagneticsError>();
+        let e = MagneticsError::InvalidGeometry {
+            message: "radius must be positive".into(),
+        };
+        assert!(e.to_string().contains("radius"));
+    }
+}

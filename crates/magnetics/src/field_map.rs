@@ -1,0 +1,251 @@
+//! Spatial sampling of field sources: line scans and plane maps.
+//!
+//! These drive the paper's Fig. 3c (3-D field visualisation around the
+//! device) and Fig. 3d (radial profile of `Hz` across the free layer).
+
+use crate::FieldSource;
+use mramsim_numerics::Vec3;
+
+/// One sample of a line scan: position along the line and the field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSample {
+    /// Signed distance along the scan from its midpoint (metres).
+    pub s: f64,
+    /// Sample position in space (metres).
+    pub position: Vec3,
+    /// Field at the sample (A/m).
+    pub h: Vec3,
+}
+
+/// Samples the field along the segment `[start, end]` at `n` evenly
+/// spaced points (inclusive of both ends).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_magnetics::{field_map::line_scan, LoopSource};
+/// use mramsim_numerics::Vec3;
+///
+/// let fl = LoopSource::with_default_segments(Vec3::ZERO, 27.5e-9, 2.3e-3)?;
+/// let scan = line_scan(&fl, Vec3::new(-4e-8, 0.0, 3e-9), Vec3::new(4e-8, 0.0, 3e-9), 81);
+/// assert_eq!(scan.len(), 81);
+/// // Symmetric scan: Hz profile is even in s.
+/// assert!((scan[0].h.z - scan[80].h.z).abs() < 1e-6 * scan[0].h.z.abs());
+/// # Ok::<(), mramsim_magnetics::MagneticsError>(())
+/// ```
+pub fn line_scan<S: FieldSource + ?Sized>(
+    source: &S,
+    start: Vec3,
+    end: Vec3,
+    n: usize,
+) -> Vec<LineSample> {
+    assert!(n >= 2, "a line scan needs at least two samples");
+    let mid = start.lerp(end, 0.5);
+    let half = (end - start).norm() / 2.0;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            let position = start.lerp(end, t);
+            LineSample {
+                s: (2.0 * t - 1.0) * half,
+                position,
+                h: source.h_field(position),
+            }
+        })
+        .map(|mut s| {
+            // Signed distance measured from the midpoint along the line.
+            s.s = (s.position - mid).norm() * (s.s).signum();
+            s
+        })
+        .collect()
+}
+
+/// A rectangular grid of field samples in a constant-z plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneMap {
+    nx: usize,
+    ny: usize,
+    x0: f64,
+    y0: f64,
+    dx: f64,
+    dy: f64,
+    z: f64,
+    samples: Vec<Vec3>,
+}
+
+impl PlaneMap {
+    /// Samples `source` on an `nx × ny` grid covering
+    /// `[x0, x1] × [y0, y1]` at height `z` (all metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is smaller than 2 or the extents
+    /// are degenerate.
+    pub fn sample<S: FieldSource + ?Sized>(
+        source: &S,
+        (x0, x1): (f64, f64),
+        (y0, y1): (f64, f64),
+        z: f64,
+        nx: usize,
+        ny: usize,
+    ) -> Self {
+        assert!(nx >= 2 && ny >= 2, "plane map needs at least a 2x2 grid");
+        assert!(x1 > x0 && y1 > y0, "plane map extents must be increasing");
+        let dx = (x1 - x0) / (nx - 1) as f64;
+        let dy = (y1 - y0) / (ny - 1) as f64;
+        let mut samples = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let p = Vec3::new(x0 + dx * i as f64, y0 + dy * j as f64, z);
+                samples.push(source.h_field(p));
+            }
+        }
+        Self {
+            nx,
+            ny,
+            x0,
+            y0,
+            dx,
+            dy,
+            z,
+            samples,
+        }
+    }
+
+    /// Grid width (number of x samples).
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height (number of y samples).
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Height of the sampled plane (metres).
+    #[must_use]
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The field sample at grid node `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[must_use]
+    pub fn at(&self, i: usize, j: usize) -> Vec3 {
+        assert!(i < self.nx && j < self.ny, "grid index out of bounds");
+        self.samples[j * self.nx + i]
+    }
+
+    /// Position of grid node `(i, j)` (metres).
+    #[must_use]
+    pub fn position(&self, i: usize, j: usize) -> Vec3 {
+        Vec3::new(
+            self.x0 + self.dx * i as f64,
+            self.y0 + self.dy * j as f64,
+            self.z,
+        )
+    }
+
+    /// Iterator over `(position, field)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec3, Vec3)> + '_ {
+        (0..self.ny).flat_map(move |j| {
+            (0..self.nx).map(move |i| (self.position(i, j), self.at(i, j)))
+        })
+    }
+
+    /// Extreme values of `Hz` over the map, `(min, max)` in A/m.
+    #[must_use]
+    pub fn hz_range(&self) -> (f64, f64) {
+        self.samples.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), h| (lo.min(h.z), hi.max(h.z)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dipole, LoopSource};
+
+    #[test]
+    fn line_scan_endpoints_and_count() {
+        let d = Dipole::new(Vec3::ZERO, 1e-18).unwrap();
+        let scan = line_scan(&d, Vec3::new(-1e-7, 0.0, 0.0), Vec3::new(1e-7, 0.0, 0.0), 5);
+        assert_eq!(scan.len(), 5);
+        assert_eq!(scan[0].position, Vec3::new(-1e-7, 0.0, 0.0));
+        assert_eq!(scan[4].position, Vec3::new(1e-7, 0.0, 0.0));
+        assert!((scan[0].s + 1e-7).abs() < 1e-18);
+        assert!((scan[4].s - 1e-7).abs() < 1e-18);
+        assert!(scan[2].s.abs() < 1e-18);
+    }
+
+    #[test]
+    fn radial_profile_of_saf_pair_is_center_heavy() {
+        // The paper's Fig. 3d observation holds for the *net* RL + HL
+        // field: |Hz| is largest at the FL centre and smaller at the edge
+        // (the nearer layer's positive near-wire spike eats into the net).
+        // eCD = 35 nm (the paper's evaluation device): R = 17.5 nm.
+        let mut saf = crate::SourceSet::new();
+        saf.push(
+            LoopSource::with_default_segments(Vec3::new(0.0, 0.0, -3e-9), 17.5e-9, 0.07e-3)
+                .unwrap(),
+        );
+        saf.push(
+            LoopSource::with_default_segments(Vec3::new(0.0, 0.0, -7.85e-9), 17.5e-9, -1.43e-3)
+                .unwrap(),
+        );
+        let scan = line_scan(
+            &saf,
+            Vec3::new(-1.4e-8, 0.0, 0.0),
+            Vec3::new(1.4e-8, 0.0, 0.0),
+            45,
+        );
+        let center = scan[22].h.z;
+        let edge = scan[0].h.z;
+        assert!(center < 0.0, "net intra-cell field is negative at centre");
+        assert!(center.abs() > edge.abs(), "center {center} vs edge {edge}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn degenerate_scan_panics() {
+        let d = Dipole::new(Vec3::ZERO, 1e-18).unwrap();
+        let _ = line_scan(&d, Vec3::ZERO, Vec3::X, 1);
+    }
+
+    #[test]
+    fn plane_map_indexing_round_trips() {
+        let d = Dipole::new(Vec3::ZERO, 1e-18).unwrap();
+        let map = PlaneMap::sample(&d, (-1e-7, 1e-7), (-1e-7, 1e-7), 5e-9, 9, 7);
+        assert_eq!(map.nx(), 9);
+        assert_eq!(map.ny(), 7);
+        let p = map.position(4, 3);
+        assert!(p.x.abs() < 1e-18 && p.y.abs() < 1e-18);
+        // Center sample equals direct evaluation.
+        let h = map.at(4, 3);
+        assert!((h - d.h_field(p)).norm() < 1e-18);
+        assert_eq!(map.iter().count(), 63);
+    }
+
+    #[test]
+    fn hz_range_brackets_all_samples() {
+        let l = LoopSource::with_default_segments(Vec3::ZERO, 2e-8, 1e-3).unwrap();
+        let map = PlaneMap::sample(&l, (-5e-8, 5e-8), (-5e-8, 5e-8), 2e-9, 11, 11);
+        let (lo, hi) = map.hz_range();
+        assert!(lo < 0.0, "return flux must appear in the map");
+        assert!(hi > 0.0);
+        for (_, h) in map.iter() {
+            assert!(h.z >= lo && h.z <= hi);
+        }
+    }
+}

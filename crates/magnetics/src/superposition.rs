@@ -1,0 +1,129 @@
+//! Superposition of heterogeneous field sources.
+
+use crate::FieldSource;
+use mramsim_numerics::Vec3;
+
+/// A collection of field sources whose fields superpose linearly.
+///
+/// The paper's total stray field at a victim FL is exactly such a sum:
+/// the victim's own RL + HL loops (intra-cell) plus three loops per
+/// aggressor cell (inter-cell).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_magnetics::{Dipole, FieldSource, SourceSet};
+/// use mramsim_numerics::Vec3;
+///
+/// let mut set = SourceSet::new();
+/// set.push(Dipole::new(Vec3::new(-9e-8, 0.0, 0.0), 5.5e-18)?);
+/// set.push(Dipole::new(Vec3::new(9e-8, 0.0, 0.0), 5.5e-18)?);
+/// let h = set.h_field(Vec3::ZERO);
+/// // Two symmetric equatorial dipoles: doubled z field, cancelled x.
+/// assert!(h.x.abs() < 1e-12 * h.z.abs());
+/// # Ok::<(), mramsim_magnetics::MagneticsError>(())
+/// ```
+#[derive(Default)]
+pub struct SourceSet {
+    sources: Vec<Box<dyn FieldSource + Send + Sync>>,
+}
+
+impl SourceSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a source to the set.
+    pub fn push<S: FieldSource + Send + Sync + 'static>(&mut self, source: S) {
+        self.sources.push(Box::new(source));
+    }
+
+    /// Number of sources in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+impl core::fmt::Debug for SourceSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SourceSet({} sources)", self.sources.len())
+    }
+}
+
+impl FieldSource for SourceSet {
+    fn h_field(&self, p: Vec3) -> Vec3 {
+        self.sources.iter().map(|s| s.h_field(p)).sum()
+    }
+}
+
+impl<S: FieldSource + Send + Sync + 'static> Extend<S> for SourceSet {
+    fn extend<I: IntoIterator<Item = S>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+impl<S: FieldSource + Send + Sync + 'static> FromIterator<S> for SourceSet {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        let mut set = Self::new();
+        set.extend(iter);
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dipole, LoopSource};
+
+    #[test]
+    fn empty_set_produces_zero_field() {
+        let set = SourceSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.h_field(Vec3::new(1.0, 2.0, 3.0)), Vec3::ZERO);
+    }
+
+    #[test]
+    fn superposition_is_linear() {
+        let a = Dipole::new(Vec3::new(-5e-8, 0.0, 0.0), 2e-18).unwrap();
+        let b = LoopSource::with_default_segments(Vec3::new(5e-8, 0.0, 0.0), 1e-8, 1e-3).unwrap();
+        let p = Vec3::new(0.0, 3e-8, 2e-9);
+        let separate = a.h_field(p) + b.h_field(p);
+
+        let mut set = SourceSet::new();
+        set.push(a);
+        set.push(b);
+        assert_eq!(set.len(), 2);
+        let combined = set.h_field(p);
+        assert!((combined - separate).norm() < 1e-12 * separate.norm().max(1.0));
+    }
+
+    #[test]
+    fn equal_and_opposite_sources_cancel() {
+        let mut set = SourceSet::new();
+        set.push(Dipole::new(Vec3::ZERO, 4e-18).unwrap());
+        set.push(Dipole::new(Vec3::ZERO, -4e-18).unwrap());
+        let h = set.h_field(Vec3::new(1e-7, 2e-8, -3e-8));
+        assert!(h.norm() < 1e-18);
+    }
+
+    #[test]
+    fn from_iterator_collects_sources() {
+        let set: SourceSet = (0..8)
+            .map(|i| {
+                Dipole::new(Vec3::new(f64::from(i) * 9e-8, 0.0, 0.0), 1e-18).unwrap()
+            })
+            .collect();
+        assert_eq!(set.len(), 8);
+    }
+}

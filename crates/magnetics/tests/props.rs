@@ -1,0 +1,125 @@
+//! Property tests for the field engine: the polygonal Biot–Savart sum
+//! must obey the physics the analytic references encode.
+
+use mramsim_magnetics::{on_axis_field, AnalyticLoop, Dipole, FieldSource, LoopSource, SourceSet};
+use mramsim_numerics::Vec3;
+use proptest::prelude::*;
+
+const R: f64 = 27.5e-9;
+const I: f64 = 2.06e-3;
+
+/// Probe points at least one radius away from the wire.
+fn far_probe() -> impl Strategy<Value = Vec3> {
+    (2.0f64..8.0, 0.0f64..core::f64::consts::TAU, -3.0f64..3.0).prop_map(|(rho, phi, zf)| {
+        Vec3::new(rho * R * phi.cos(), rho * R * phi.sin(), zf * R)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Discrete Biot–Savart matches the elliptic exact solution away
+    /// from the wire.
+    #[test]
+    fn polygon_matches_elliptic(p in far_probe()) {
+        let poly = LoopSource::new(Vec3::ZERO, R, I, 512).unwrap();
+        let exact = AnalyticLoop::new(Vec3::ZERO, R, I).unwrap();
+        let hp = poly.h_field(p);
+        let he = exact.h_field(p);
+        let scale = he.norm().max(1e-2);
+        prop_assert!((hp - he).norm() / scale < 5e-4, "at {p:?}: {hp:?} vs {he:?}");
+    }
+
+    /// Field is linear in the loop current.
+    #[test]
+    fn linearity_in_current(p in far_probe(), k in 0.1f64..10.0) {
+        let a = LoopSource::new(Vec3::ZERO, R, I, 128).unwrap();
+        let b = LoopSource::new(Vec3::ZERO, R, k * I, 128).unwrap();
+        let ha = a.h_field(p) * k;
+        let hb = b.h_field(p);
+        prop_assert!((ha - hb).norm() <= 1e-9 * hb.norm().max(1e-9));
+    }
+
+    /// Reversing the current reverses the field exactly.
+    #[test]
+    fn current_reversal(p in far_probe()) {
+        let a = LoopSource::new(Vec3::ZERO, R, I, 128).unwrap();
+        let b = LoopSource::new(Vec3::ZERO, R, -I, 128).unwrap();
+        prop_assert!((a.h_field(p) + b.h_field(p)).norm() < 1e-12 * a.h_field(p).norm().max(1e-12));
+    }
+
+    /// Azimuthal symmetry of Hz for any probe radius and height.
+    #[test]
+    fn azimuthal_symmetry(rho in 0.1f64..6.0, z in -3.0f64..3.0, phi in 0.0f64..core::f64::consts::TAU) {
+        let exact = AnalyticLoop::new(Vec3::ZERO, R, I).unwrap();
+        let p0 = Vec3::new(rho * R, 0.0, z * R);
+        let p1 = Vec3::new(rho * R * phi.cos(), rho * R * phi.sin(), z * R);
+        let h0 = exact.h_field(p0).z;
+        let h1 = exact.h_field(p1).z;
+        prop_assert!((h0 - h1).abs() <= 1e-9 * h0.abs().max(1e-9));
+    }
+
+    /// Far-field convergence to the dipole: at ≥ 20 radii the relative
+    /// difference is below 1 %.
+    #[test]
+    fn dipole_far_field(dist in 20.0f64..100.0, phi in 0.0f64..core::f64::consts::TAU) {
+        let exact = AnalyticLoop::new(Vec3::ZERO, R, I).unwrap();
+        let dip = Dipole::new(Vec3::ZERO, I * core::f64::consts::PI * R * R).unwrap();
+        let p = Vec3::new(dist * R * phi.cos(), dist * R * phi.sin(), 0.3 * R);
+        let he = exact.h_field(p);
+        let hd = dip.h_field(p);
+        prop_assert!((he - hd).norm() / he.norm().max(1e-9) < 0.01);
+    }
+
+    /// Superposition: a set of sources equals the sum of its parts.
+    #[test]
+    fn superposition_linearity(p in far_probe(), offset in -3.0f64..3.0) {
+        let a = LoopSource::new(Vec3::ZERO, R, I, 64).unwrap();
+        let b = LoopSource::new(Vec3::new(offset * R, 0.0, -7.85e-9), R, -0.5 * I, 64).unwrap();
+        let separate = a.h_field(p) + b.h_field(p);
+        let mut set = SourceSet::new();
+        set.push(a);
+        set.push(b);
+        let combined = set.h_field(p);
+        prop_assert!((combined - separate).norm() <= 1e-12 * separate.norm().max(1e-12));
+    }
+
+    /// On-axis closed form agrees with the elliptic solution everywhere
+    /// on the axis.
+    #[test]
+    fn on_axis_agreement(z in -10.0f64..10.0) {
+        let exact = AnalyticLoop::new(Vec3::ZERO, R, I).unwrap();
+        let h = exact.h_field(Vec3::new(0.0, 0.0, z * R)).z;
+        let formula = on_axis_field(R, I, z * R);
+        prop_assert!((h - formula).abs() <= 1e-9 * formula.abs().max(1e-9));
+    }
+
+    /// Gauss's law proxy: the flux of H through a closed axis-aligned
+    /// box away from the source is (numerically) zero.
+    #[test]
+    fn closed_box_flux_vanishes(cx in 3.0f64..5.0, cz in -1.0f64..1.0) {
+        let exact = AnalyticLoop::new(Vec3::ZERO, R, I).unwrap();
+        let center = Vec3::new(cx * R, 0.0, cz * R);
+        let half = 0.4 * R;
+        let n = 8;
+        let mut flux = 0.0;
+        let dxyz = 2.0 * half / n as f64;
+        let da = dxyz * dxyz;
+        // ±x faces, ±y faces, ±z faces sampled on an n×n grid each.
+        for i in 0..n {
+            for j in 0..n {
+                let u = -half + (i as f64 + 0.5) * dxyz;
+                let v = -half + (j as f64 + 0.5) * dxyz;
+                flux += exact.h_field(center + Vec3::new(half, u, v)).x * da;
+                flux -= exact.h_field(center + Vec3::new(-half, u, v)).x * da;
+                flux += exact.h_field(center + Vec3::new(u, half, v)).y * da;
+                flux -= exact.h_field(center + Vec3::new(u, -half, v)).y * da;
+                flux += exact.h_field(center + Vec3::new(u, v, half)).z * da;
+                flux -= exact.h_field(center + Vec3::new(u, v, -half)).z * da;
+            }
+        }
+        // Normalise by the typical |H|·area over the box.
+        let scale = exact.h_field(center).norm() * 6.0 * (2.0 * half).powi(2);
+        prop_assert!(flux.abs() / scale.max(1e-12) < 0.02, "flux ratio {}", flux.abs() / scale);
+    }
+}

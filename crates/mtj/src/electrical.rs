@@ -1,0 +1,184 @@
+//! Electrical model of the tunnel junction: RA product and bias-dependent
+//! TMR.
+
+use crate::{MtjError, MtjState};
+use mramsim_units::{Ampere, Ohm, ResistanceArea, SquareMeter, Volt};
+
+/// Electrical parameters of the MgO tunnel barrier.
+///
+/// * `RA` — resistance-area product, size-independent (paper §II-A,
+///   measured 4.5 Ω·µm² at blanket stage).
+/// * `TMR(V) = TMR0 / (1 + (V/Vh)²)` — the standard bias rolloff of the
+///   anti-parallel resistance; `RP` is taken bias-independent, which is
+///   the usual approximation (paper §V-B notes the non-linear `R(Vp)`).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_mtj::{ElectricalParams, MtjState};
+/// use mramsim_units::{circle_area, Nanometer, ResistanceArea, Volt};
+///
+/// let el = ElectricalParams::new(ResistanceArea::new(4.5), 1.5, Volt::new(1.1))?;
+/// let area = circle_area(Nanometer::new(55.0));
+/// let rp = el.resistance(MtjState::Parallel, Volt::new(0.1), area);
+/// assert!((rp.value() - 1894.0).abs() / 1894.0 < 0.01);
+/// # Ok::<(), mramsim_mtj::MtjError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectricalParams {
+    ra: ResistanceArea,
+    tmr0: f64,
+    vh: Volt,
+}
+
+impl ElectricalParams {
+    /// Creates the electrical model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::InvalidParameter`] for non-positive `RA`,
+    /// negative `TMR0`, or non-positive `Vh`.
+    pub fn new(ra: ResistanceArea, tmr0: f64, vh: Volt) -> Result<Self, MtjError> {
+        if !(ra.value() > 0.0) || !ra.is_finite() {
+            return Err(MtjError::InvalidParameter {
+                name: "ra",
+                message: format!("RA must be positive, got {ra:?}"),
+            });
+        }
+        if !(tmr0 >= 0.0) || !tmr0.is_finite() {
+            return Err(MtjError::InvalidParameter {
+                name: "tmr0",
+                message: format!("TMR0 must be non-negative, got {tmr0}"),
+            });
+        }
+        if !(vh.value() > 0.0) || !vh.is_finite() {
+            return Err(MtjError::InvalidParameter {
+                name: "vh",
+                message: format!("Vh must be positive, got {vh:?}"),
+            });
+        }
+        Ok(Self { ra, tmr0, vh })
+    }
+
+    /// The resistance-area product.
+    #[must_use]
+    pub fn ra(&self) -> ResistanceArea {
+        self.ra
+    }
+
+    /// Zero-bias TMR ratio (e.g. `1.5` for 150 %).
+    #[must_use]
+    pub fn tmr0(&self) -> f64 {
+        self.tmr0
+    }
+
+    /// The bias rolloff voltage `Vh` at which TMR halves.
+    #[must_use]
+    pub fn vh(&self) -> Volt {
+        self.vh
+    }
+
+    /// TMR at the given bias: `TMR0 / (1 + (V/Vh)²)`.
+    #[must_use]
+    pub fn tmr(&self, v: Volt) -> f64 {
+        let x = v.value() / self.vh.value();
+        self.tmr0 / (1.0 + x * x)
+    }
+
+    /// Parallel-state resistance for a junction of the given area
+    /// (bias-independent in this model).
+    #[must_use]
+    pub fn rp(&self, area: SquareMeter) -> Ohm {
+        self.ra.resistance(area)
+    }
+
+    /// Anti-parallel resistance at bias `v`:
+    /// `RAP(V) = RP·(1 + TMR(V))`.
+    #[must_use]
+    pub fn rap(&self, v: Volt, area: SquareMeter) -> Ohm {
+        self.rp(area) * (1.0 + self.tmr(v))
+    }
+
+    /// Resistance of the junction in `state` at bias `v`.
+    #[must_use]
+    pub fn resistance(&self, state: MtjState, v: Volt, area: SquareMeter) -> Ohm {
+        match state {
+            MtjState::Parallel => self.rp(area),
+            MtjState::AntiParallel => self.rap(v, area),
+        }
+    }
+
+    /// Current through the junction in `state` under bias `v` — the
+    /// `Vp/R(Vp)` drive term of the paper's Eq. 4.
+    #[must_use]
+    pub fn current(&self, state: MtjState, v: Volt, area: SquareMeter) -> Ampere {
+        v.across(self.resistance(state, v, area))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_units::{circle_area, Nanometer};
+
+    fn params() -> ElectricalParams {
+        ElectricalParams::new(ResistanceArea::new(4.5), 1.5, Volt::new(1.1)).unwrap()
+    }
+
+    #[test]
+    fn tmr_rolls_off_with_bias() {
+        let el = params();
+        assert!((el.tmr(Volt::ZERO) - 1.5).abs() < 1e-12);
+        assert!((el.tmr(Volt::new(1.1)) - 0.75).abs() < 1e-12); // half at Vh
+        assert!(el.tmr(Volt::new(2.0)) < el.tmr(Volt::new(1.0)));
+        // Symmetric in bias polarity.
+        assert!((el.tmr(Volt::new(-0.7)) - el.tmr(Volt::new(0.7))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rap_exceeds_rp_and_converges_at_high_bias() {
+        let el = params();
+        let area = circle_area(Nanometer::new(35.0));
+        let rp = el.rp(area);
+        assert!(el.rap(Volt::new(0.1), area) > rp);
+        let high = el.rap(Volt::new(20.0), area);
+        assert!((high.value() - rp.value()) / rp.value() < 0.01);
+    }
+
+    #[test]
+    fn current_is_superlinear_in_ap_state() {
+        // As TMR rolls off, I(V) grows faster than linear.
+        let el = params();
+        let area = circle_area(Nanometer::new(35.0));
+        let i1 = el.current(MtjState::AntiParallel, Volt::new(0.6), area);
+        let i2 = el.current(MtjState::AntiParallel, Volt::new(1.2), area);
+        assert!(i2.value() > 2.0 * i1.value());
+    }
+
+    #[test]
+    fn p_state_current_is_ohmic() {
+        let el = params();
+        let area = circle_area(Nanometer::new(35.0));
+        let i1 = el.current(MtjState::Parallel, Volt::new(0.5), area);
+        let i2 = el.current(MtjState::Parallel, Volt::new(1.0), area);
+        assert!((i2.value() - 2.0 * i1.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_drive_currents() {
+        // eCD = 35 nm at 0.72 V in AP state: tens of µA (Fig. 5 regime).
+        let el = params();
+        let area = circle_area(Nanometer::new(35.0));
+        let i = el
+            .current(MtjState::AntiParallel, Volt::new(0.72), area)
+            .to_micro_ampere();
+        assert!(i.value() > 50.0 && i.value() < 120.0, "I = {i}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ElectricalParams::new(ResistanceArea::new(0.0), 1.5, Volt::new(1.0)).is_err());
+        assert!(ElectricalParams::new(ResistanceArea::new(4.5), -0.1, Volt::new(1.0)).is_err());
+        assert!(ElectricalParams::new(ResistanceArea::new(4.5), 1.5, Volt::ZERO).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for MTJ device construction and evaluation.
+
+use core::fmt;
+
+/// Errors produced by the MTJ device model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MtjError {
+    /// A physical parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The requested write current does not exceed the critical current:
+    /// precessional (STT) switching does not occur (Eq. 4 would give a
+    /// non-positive overdrive `Im`).
+    SubCriticalDrive {
+        /// The drive current through the junction, in µA.
+        drive_ua: f64,
+        /// The critical current for the requested transition, in µA.
+        critical_ua: f64,
+    },
+    /// A stack was built without the required layers.
+    IncompleteStack {
+        /// Which layer is missing.
+        missing: &'static str,
+    },
+    /// An underlying field-source construction failed.
+    Magnetics(mramsim_magnetics::MagneticsError),
+}
+
+impl fmt::Display for MtjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            Self::SubCriticalDrive {
+                drive_ua,
+                critical_ua,
+            } => write!(
+                f,
+                "drive current {drive_ua:.2} uA does not exceed the critical current {critical_ua:.2} uA"
+            ),
+            Self::IncompleteStack { missing } => write!(f, "stack is missing the {missing} layer"),
+            Self::Magnetics(e) => write!(f, "field source construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MtjError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Magnetics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mramsim_magnetics::MagneticsError> for MtjError {
+    fn from(e: mramsim_magnetics::MagneticsError) -> Self {
+        Self::Magnetics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<MtjError>();
+    }
+
+    #[test]
+    fn magnetics_error_is_wrapped_with_source() {
+        use std::error::Error;
+        let inner = mramsim_magnetics::MagneticsError::InvalidGeometry {
+            message: "radius".into(),
+        };
+        let e: MtjError = inner.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn subcritical_message_mentions_both_currents() {
+        let e = MtjError::SubCriticalDrive {
+            drive_ua: 42.0,
+            critical_ua: 57.2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("42.0") && msg.contains("57.2"));
+    }
+}

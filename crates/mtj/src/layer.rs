@@ -1,0 +1,194 @@
+//! Ferromagnetic layer description.
+
+use crate::MtjError;
+use mramsim_units::{MagnetizationThickness, Nanometer};
+
+/// Fixed magnetisation orientation of a pinned layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Magnetised along +z.
+    Up,
+    /// Magnetised along −z.
+    Down,
+}
+
+impl Orientation {
+    /// Signed direction along z.
+    #[inline]
+    #[must_use]
+    pub fn sign(self) -> f64 {
+        match self {
+            Self::Up => 1.0,
+            Self::Down => -1.0,
+        }
+    }
+}
+
+/// A uniformly magnetised ferromagnetic layer of the MTJ stack, described
+/// by the only quantities the bound-current model needs: its `Ms·t`
+/// product (what VSM measures at blanket level), its vertical position
+/// relative to the FL mid-plane, and its thickness.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_mtj::{FerroLayer, Orientation};
+/// use mramsim_units::{MagnetizationThickness, Nanometer};
+///
+/// let hl = FerroLayer::new(
+///     "HL",
+///     MagnetizationThickness::new(1.43e-3),
+///     Orientation::Down,
+///     Nanometer::new(-7.85),
+///     Nanometer::new(6.0),
+/// )?;
+/// assert!(hl.signed_sheet_current() < 0.0);
+/// # Ok::<(), mramsim_mtj::MtjError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FerroLayer {
+    name: &'static str,
+    ms_t: MagnetizationThickness,
+    orientation: Orientation,
+    z_center: Nanometer,
+    thickness: Nanometer,
+}
+
+impl FerroLayer {
+    /// Creates a layer.
+    ///
+    /// `ms_t` is the magnitude of the `Ms·t` product (must be positive);
+    /// the magnetisation direction is carried by `orientation`.
+    /// `z_center` is the layer mid-plane relative to the FL mid-plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::InvalidParameter`] for a non-positive `Ms·t`
+    /// or thickness, or non-finite positions.
+    pub fn new(
+        name: &'static str,
+        ms_t: MagnetizationThickness,
+        orientation: Orientation,
+        z_center: Nanometer,
+        thickness: Nanometer,
+    ) -> Result<Self, MtjError> {
+        if !(ms_t.value() > 0.0) || !ms_t.is_finite() {
+            return Err(MtjError::InvalidParameter {
+                name: "ms_t",
+                message: format!("Ms*t must be positive and finite, got {ms_t:?}"),
+            });
+        }
+        if !(thickness.value() > 0.0) || !thickness.is_finite() || !z_center.is_finite() {
+            return Err(MtjError::InvalidParameter {
+                name: "thickness/z_center",
+                message: format!("got thickness {thickness:?}, z_center {z_center:?}"),
+            });
+        }
+        Ok(Self {
+            name,
+            ms_t,
+            orientation,
+            z_center,
+            thickness,
+        })
+    }
+
+    /// Layer name (e.g. `"RL"`, `"HL"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Magnitude of the `Ms·t` product.
+    #[must_use]
+    pub fn ms_t(&self) -> MagnetizationThickness {
+        self.ms_t
+    }
+
+    /// Magnetisation orientation.
+    #[must_use]
+    pub fn orientation(&self) -> Orientation {
+        self.orientation
+    }
+
+    /// Mid-plane height relative to the FL mid-plane.
+    #[must_use]
+    pub fn z_center(&self) -> Nanometer {
+        self.z_center
+    }
+
+    /// Physical layer thickness.
+    #[must_use]
+    pub fn thickness(&self) -> Nanometer {
+        self.thickness
+    }
+
+    /// The signed bound current `Ib = ±Ms·t` in amperes (the paper's
+    /// §IV-A), positive for +z magnetisation.
+    #[must_use]
+    pub fn signed_sheet_current(&self) -> f64 {
+        self.orientation.sign() * self.ms_t.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(orient: Orientation) -> FerroLayer {
+        FerroLayer::new(
+            "RL",
+            MagnetizationThickness::new(2.2e-3),
+            orient,
+            Nanometer::new(-3.0),
+            Nanometer::new(2.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn signed_current_follows_orientation() {
+        assert!((layer(Orientation::Up).signed_sheet_current() - 2.2e-3).abs() < 1e-15);
+        assert!((layer(Orientation::Down).signed_sheet_current() + 2.2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_nonpositive_ms_t() {
+        assert!(FerroLayer::new(
+            "X",
+            MagnetizationThickness::new(0.0),
+            Orientation::Up,
+            Nanometer::new(0.0),
+            Nanometer::new(1.0),
+        )
+        .is_err());
+        assert!(FerroLayer::new(
+            "X",
+            MagnetizationThickness::new(-1e-3),
+            Orientation::Up,
+            Nanometer::new(0.0),
+            Nanometer::new(1.0),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_geometry() {
+        assert!(FerroLayer::new(
+            "X",
+            MagnetizationThickness::new(1e-3),
+            Orientation::Up,
+            Nanometer::new(f64::NAN),
+            Nanometer::new(1.0),
+        )
+        .is_err());
+        assert!(FerroLayer::new(
+            "X",
+            MagnetizationThickness::new(1e-3),
+            Orientation::Up,
+            Nanometer::new(0.0),
+            Nanometer::new(0.0),
+        )
+        .is_err());
+    }
+}

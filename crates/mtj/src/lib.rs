@@ -1,0 +1,65 @@
+//! Magnetic tunnel junction device model for `mramsim`.
+//!
+//! Implements the paper's device layer (§II): the FL/TB/RL/HL stack with
+//! its bound-current stray-field image, the electrical model (RA product,
+//! TMR with bias rolloff), and the three performance models the paper
+//! evaluates:
+//!
+//! * **Eq. 2** — critical switching current
+//!   `Ic(Hz) = (1/η)(2αe/ℏ)·Ms·V·Hk·(1 ± Hz/Hk)`
+//!   ([`SwitchingParams::critical_current`]),
+//! * **Eq. 3–4** — Sun's precessional switching time
+//!   ([`MtjDevice::switching_time`]),
+//! * **Eq. 5** — thermal stability `Δ(Hz) = Δ0(1 ± Hz/Hk)²`
+//!   ([`MtjDevice::delta`]) with an `Ms(T)`/`Hk(T)` thermal model.
+//!
+//! Sign conventions (fixed across the crate, see `DESIGN.md` §4): +z is
+//! the easy axis, the RL is magnetised +z, the HL −z; P state means FL
+//! along +z; data bit `0` ≙ P, `1` ≙ AP. `Ic(AP→P)` carries the `−` sign
+//! of Eq. 2 and `ΔP` the `+` sign of Eq. 5, which makes a negative
+//! (measured) intra-cell stray field raise `Ic(AP→P)` and depress `ΔP` —
+//! exactly the orderings of the paper's Fig. 4c and Fig. 6.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramsim_mtj::{presets, SwitchDirection};
+//! use mramsim_units::{Kelvin, Oersted};
+//!
+//! let device = presets::imec_like(mramsim_units::Nanometer::new(35.0))?;
+//! let ic0 = device.switching().critical_current(
+//!     SwitchDirection::ApToP,
+//!     Oersted::ZERO,
+//!     Kelvin::new(300.0),
+//! );
+//! // The paper's intrinsic Ic for eCD = 35 nm is 57.2 µA.
+//! assert!((ic0.value() - 57.2).abs() < 0.2);
+//! # Ok::<(), mramsim_mtj::MtjError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod device;
+mod electrical;
+mod error;
+mod layer;
+pub mod presets;
+mod retention;
+mod sharrock;
+mod stack;
+mod state;
+mod switching;
+mod thermal;
+pub mod wer;
+
+pub use device::MtjDevice;
+pub use electrical::ElectricalParams;
+pub use error::MtjError;
+pub use layer::{FerroLayer, Orientation};
+pub use retention::{retention_fault_probability, retention_time, ATTEMPT_TIME};
+pub use sharrock::{SharrockModel, ATTEMPT_FREQUENCY};
+pub use stack::{MtjStack, MtjStackBuilder};
+pub use state::MtjState;
+pub use switching::{SwitchDirection, SwitchingParams};
+pub use thermal::ThermalModel;

@@ -1,0 +1,103 @@
+//! Retention-time model built on the thermal stability factor.
+//!
+//! A retention fault occurs when the FL flips spontaneously by thermal
+//! fluctuation (paper §II-A). The Néel–Arrhenius law gives the mean time
+//! to such a flip: `τ = τ0·exp(Δ)`.
+
+use mramsim_units::Second;
+
+/// Néel attempt time `τ0 = 1 ns` (attempt frequency 1 GHz).
+pub const ATTEMPT_TIME: Second = Second::new(1e-9);
+
+/// Mean retention time `τ = τ0·exp(Δ)`.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_mtj::retention_time;
+///
+/// // Storage-class retention (> 10 years) needs Δ ≳ 40.3 at τ0 = 1 ns;
+/// // the paper's median Δ0 = 45.5 comfortably exceeds it.
+/// assert!(retention_time(40.0).to_years() < 10.0);
+/// assert!(retention_time(41.0).to_years() > 10.0);
+/// assert!(retention_time(45.5).to_years() > 1000.0);
+/// ```
+#[must_use]
+pub fn retention_time(delta: f64) -> Second {
+    ATTEMPT_TIME * delta.exp()
+}
+
+/// Probability that a bit flips within `horizon`:
+/// `P = 1 − exp(−t/τ)` (Poisson escape).
+///
+/// Returns `1.0` for a destroyed state (`Δ = 0` gives `τ = τ0`, so any
+/// horizon ≫ 1 ns flips with certainty).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_mtj::retention_fault_probability;
+/// use mramsim_units::Second;
+///
+/// let p = retention_fault_probability(30.0, Second::from_years(10.0));
+/// assert!(p > 0.999); // Δ = 30 cannot hold data for 10 years
+/// let p = retention_fault_probability(60.0, Second::from_years(10.0));
+/// assert!(p < 1e-6); // Δ = 60 easily can
+/// ```
+#[must_use]
+pub fn retention_fault_probability(delta: f64, horizon: Second) -> f64 {
+    let tau = retention_time(delta);
+    -(-horizon.value() / tau.value()).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_time_is_exponential_in_delta() {
+        let a = retention_time(40.0);
+        let b = retention_time(41.0);
+        assert!((b.value() / a.value() - 1.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_probability_is_monotone_in_horizon() {
+        let short = retention_fault_probability(45.0, Second::new(1.0));
+        let long = retention_fault_probability(45.0, Second::new(1e6));
+        assert!(short < long);
+        assert!((0.0..=1.0).contains(&short));
+        assert!((0.0..=1.0).contains(&long));
+    }
+
+    #[test]
+    fn fault_probability_is_monotone_decreasing_in_delta() {
+        let weak = retention_fault_probability(30.0, Second::new(1.0));
+        let strong = retention_fault_probability(50.0, Second::new(1.0));
+        assert!(weak > strong);
+    }
+
+    #[test]
+    fn destroyed_state_flips_immediately() {
+        let p = retention_fault_probability(0.0, Second::new(1e-3));
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_probability_matches_linear_approximation() {
+        // For t ≪ τ, P ≈ t/τ.
+        let delta = 55.0;
+        let t = Second::new(1.0);
+        let p = retention_fault_probability(delta, t);
+        let linear = t.value() / retention_time(delta).value();
+        assert!((p - linear).abs() / linear < 1e-6);
+    }
+
+    #[test]
+    fn paper_applications_scale() {
+        // Cache-class ms-scale retention needs only Δ ≈ 14+ (paper cites
+        // Cache Revive [17]); storage needs ≳ 47.
+        assert!(retention_time(16.0).value() > 1e-3);
+        assert!(retention_time(47.5).to_years() > 10.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Binary magnetic state of an MTJ.
+
+use core::fmt;
+
+/// The two stable magnetic configurations of an MTJ.
+///
+/// The RL is magnetised +z in this crate's convention, so the FL points
+/// +z in [`MtjState::Parallel`] and −z in [`MtjState::AntiParallel`].
+/// Data encoding follows the paper (§IV-B): bit `0` ≙ P, bit `1` ≙ AP.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_mtj::MtjState;
+///
+/// assert_eq!(MtjState::from_bit(true), MtjState::AntiParallel);
+/// assert_eq!(MtjState::Parallel.fl_direction(), 1.0);
+/// assert_eq!(MtjState::AntiParallel.flipped(), MtjState::Parallel);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MtjState {
+    /// FL parallel to RL (low resistance, bit 0). The default state after
+    /// a strong set field.
+    #[default]
+    Parallel,
+    /// FL anti-parallel to RL (high resistance, bit 1).
+    AntiParallel,
+}
+
+impl MtjState {
+    /// Decodes a data bit (`false` = 0 = P, `true` = 1 = AP).
+    #[inline]
+    #[must_use]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Self::AntiParallel
+        } else {
+            Self::Parallel
+        }
+    }
+
+    /// Encodes this state as a data bit.
+    #[inline]
+    #[must_use]
+    pub fn to_bit(self) -> bool {
+        self == Self::AntiParallel
+    }
+
+    /// The signed FL magnetisation direction along z (+1 for P, −1 for
+    /// AP), used when building the FL bound-current loop.
+    #[inline]
+    #[must_use]
+    pub fn fl_direction(self) -> f64 {
+        match self {
+            Self::Parallel => 1.0,
+            Self::AntiParallel => -1.0,
+        }
+    }
+
+    /// The opposite state.
+    #[inline]
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Self::Parallel => Self::AntiParallel,
+            Self::AntiParallel => Self::Parallel,
+        }
+    }
+}
+
+impl fmt::Display for MtjState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parallel => write!(f, "P"),
+            Self::AntiParallel => write!(f, "AP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_round_trip() {
+        for bit in [false, true] {
+            assert_eq!(MtjState::from_bit(bit).to_bit(), bit);
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for s in [MtjState::Parallel, MtjState::AntiParallel] {
+            assert_eq!(s.flipped().flipped(), s);
+            assert_ne!(s.flipped(), s);
+        }
+    }
+
+    #[test]
+    fn directions_are_opposite() {
+        assert_eq!(
+            MtjState::Parallel.fl_direction(),
+            -MtjState::AntiParallel.fl_direction()
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(MtjState::Parallel.to_string(), "P");
+        assert_eq!(MtjState::AntiParallel.to_string(), "AP");
+    }
+}

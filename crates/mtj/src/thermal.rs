@@ -1,0 +1,186 @@
+//! Temperature dependence of the magnetic parameters.
+//!
+//! The paper's Fig. 6 sweeps operating temperature from 0 °C to 150 °C.
+//! `Δ0 = Hk·Ms·V/(2·kB·T)` falls both explicitly (the `1/T`) and through
+//! `Ms(T)` and `Hk(T)`. We use a Bloch-law magnetisation with an
+//! effective Curie temperature and the standard power-law coupling
+//! `Hk ∝ Ms^p` for interfacial PMA.
+
+use crate::MtjError;
+use mramsim_units::Kelvin;
+
+/// Thermal scaling model for `Ms`, `Hk`, and `Δ0`.
+///
+/// Relative to the reference temperature `T_ref`:
+///
+/// * `ms_ratio(T) = (1 − (T/Tc)^1.5) / (1 − (T_ref/Tc)^1.5)` (Bloch),
+/// * `hk_ratio(T) = ms_ratio(T)^p`,
+/// * `delta0_ratio(T) = (T_ref/T) · ms_ratio(T)^(p+1)`.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_mtj::ThermalModel;
+/// use mramsim_units::Kelvin;
+///
+/// let tm = ThermalModel::default();
+/// // Δ0 falls monotonically with temperature.
+/// let hot = tm.delta0_ratio(Kelvin::new(423.15))?;
+/// let cold = tm.delta0_ratio(Kelvin::new(273.15))?;
+/// assert!(hot < 1.0 && 1.0 < cold);
+/// # Ok::<(), mramsim_mtj::MtjError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    curie: Kelvin,
+    hk_exponent: f64,
+    reference: Kelvin,
+}
+
+impl Default for ThermalModel {
+    /// Effective `Tc = 1120 K` (thin CoFeB), `Hk ∝ Ms²`, reference 300 K.
+    fn default() -> Self {
+        Self {
+            curie: Kelvin::new(1120.0),
+            hk_exponent: 2.0,
+            reference: Kelvin::new(300.0),
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Creates a thermal model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::InvalidParameter`] unless
+    /// `0 < T_ref < Tc` and the exponent is finite and non-negative.
+    pub fn new(curie: Kelvin, hk_exponent: f64, reference: Kelvin) -> Result<Self, MtjError> {
+        if !curie.is_physical() || !reference.is_physical() || reference.value() >= curie.value() {
+            return Err(MtjError::InvalidParameter {
+                name: "curie/reference",
+                message: format!("need 0 < T_ref < Tc, got T_ref {reference:?}, Tc {curie:?}"),
+            });
+        }
+        if !(hk_exponent >= 0.0) || !hk_exponent.is_finite() {
+            return Err(MtjError::InvalidParameter {
+                name: "hk_exponent",
+                message: format!("exponent must be finite and >= 0, got {hk_exponent}"),
+            });
+        }
+        Ok(Self {
+            curie,
+            hk_exponent,
+            reference,
+        })
+    }
+
+    /// The reference temperature at which device parameters were
+    /// extracted.
+    #[must_use]
+    pub fn reference(&self) -> Kelvin {
+        self.reference
+    }
+
+    /// Effective Curie temperature.
+    #[must_use]
+    pub fn curie(&self) -> Kelvin {
+        self.curie
+    }
+
+    /// `Ms(T)/Ms(T_ref)` by the Bloch T^{3/2} law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::InvalidParameter`] for `T` outside
+    /// `(0, Tc)`.
+    pub fn ms_ratio(&self, t: Kelvin) -> Result<f64, MtjError> {
+        if !t.is_physical() || t.value() >= self.curie.value() {
+            return Err(MtjError::InvalidParameter {
+                name: "temperature",
+                message: format!("need 0 < T < Tc = {:?}, got {t:?}", self.curie),
+            });
+        }
+        let bloch = |temp: f64| 1.0 - (temp / self.curie.value()).powf(1.5);
+        Ok(bloch(t.value()) / bloch(self.reference.value()))
+    }
+
+    /// `Hk(T)/Hk(T_ref) = ms_ratio(T)^p`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThermalModel::ms_ratio`].
+    pub fn hk_ratio(&self, t: Kelvin) -> Result<f64, MtjError> {
+        Ok(self.ms_ratio(t)?.powf(self.hk_exponent))
+    }
+
+    /// `Δ0(T)/Δ0(T_ref) = (T_ref/T)·ms_ratio^(p+1)` — from
+    /// `Δ0 = Hk·Ms·V/(2 kB T)`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThermalModel::ms_ratio`].
+    pub fn delta0_ratio(&self, t: Kelvin) -> Result<f64, MtjError> {
+        let ms = self.ms_ratio(t)?;
+        Ok(self.reference.value() / t.value() * ms.powf(self.hk_exponent + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_one_at_reference() {
+        let tm = ThermalModel::default();
+        let t = Kelvin::new(300.0);
+        assert!((tm.ms_ratio(t).unwrap() - 1.0).abs() < 1e-12);
+        assert!((tm.hk_ratio(t).unwrap() - 1.0).abs() < 1e-12);
+        assert!((tm.delta0_ratio(t).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta0_declines_monotonically_over_paper_range() {
+        let tm = ThermalModel::default();
+        let mut previous = f64::INFINITY;
+        for celsius in [0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0] {
+            let r = tm
+                .delta0_ratio(mramsim_units::Celsius::new(celsius).to_kelvin())
+                .unwrap();
+            assert!(r < previous, "Δ0 ratio must fall with T");
+            previous = r;
+        }
+    }
+
+    #[test]
+    fn paper_range_magnitude() {
+        // With Δ0(300 K) = 45.5: about 52 at 0 °C and about 23 at 150 °C.
+        let tm = ThermalModel::default();
+        let cold = 45.5 * tm.delta0_ratio(Kelvin::new(273.15)).unwrap();
+        let hot = 45.5 * tm.delta0_ratio(Kelvin::new(423.15)).unwrap();
+        assert!(cold > 49.0 && cold < 58.0, "cold = {cold}");
+        assert!(hot > 20.0 && hot < 28.0, "hot = {hot}");
+    }
+
+    #[test]
+    fn ms_falls_with_temperature() {
+        let tm = ThermalModel::default();
+        assert!(tm.ms_ratio(Kelvin::new(400.0)).unwrap() < 1.0);
+        assert!(tm.ms_ratio(Kelvin::new(200.0)).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn out_of_domain_temperatures_rejected() {
+        let tm = ThermalModel::default();
+        assert!(tm.ms_ratio(Kelvin::new(0.0)).is_err());
+        assert!(tm.ms_ratio(Kelvin::new(-10.0)).is_err());
+        assert!(tm.ms_ratio(Kelvin::new(1120.0)).is_err());
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(ThermalModel::new(Kelvin::new(250.0), 2.0, Kelvin::new(300.0)).is_err());
+        assert!(ThermalModel::new(Kelvin::new(1120.0), -1.0, Kelvin::new(300.0)).is_err());
+        assert!(ThermalModel::new(Kelvin::new(1120.0), f64::NAN, Kelvin::new(300.0)).is_err());
+    }
+}

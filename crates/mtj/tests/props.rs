@@ -1,0 +1,124 @@
+//! Property tests for the device models (Eq. 2, Eq. 5, Sun's model,
+//! Sharrock) and their couplings.
+
+use mramsim_mtj::{presets, MtjState, SharrockModel, SwitchDirection, ThermalModel};
+use mramsim_units::{Kelvin, Nanometer, Oersted, Second, Volt};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 2 is exactly linear in the stray field.
+    #[test]
+    fn eq2_linearity(h in -1000.0f64..1000.0) {
+        let dev = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        let t = Kelvin::new(300.0);
+        let sw = dev.switching();
+        let ic0 = sw.intrinsic_critical_current(t).value();
+        let up = sw.critical_current(SwitchDirection::ApToP, Oersted::new(h), t).value();
+        let expected = ic0 * (1.0 - h / 4646.8);
+        prop_assert!((up - expected).abs() < 1e-9 * ic0);
+    }
+
+    /// The two polarities of Eq. 2 always average to the intrinsic Ic.
+    #[test]
+    fn eq2_polarity_symmetry(h in -2000.0f64..2000.0, ecd in 20.0f64..90.0) {
+        let dev = presets::imec_like(Nanometer::new(ecd)).unwrap();
+        let t = Kelvin::new(300.0);
+        let sw = dev.switching();
+        let up = sw.critical_current(SwitchDirection::ApToP, Oersted::new(h), t).value();
+        let dn = sw.critical_current(SwitchDirection::PToAp, Oersted::new(h), t).value();
+        let ic0 = sw.intrinsic_critical_current(t).value();
+        prop_assert!((0.5 * (up + dn) - ic0).abs() < 1e-9 * ic0);
+    }
+
+    /// Eq. 5: the geometric mean of ΔP and ΔAP never exceeds Δ0
+    /// (AM-GM on the (1±h)² factors), with equality at h = 0.
+    #[test]
+    fn eq5_geometric_mean_bound(h in -3000.0f64..3000.0) {
+        let dev = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        let t = Kelvin::new(300.0);
+        let dp = dev.delta(MtjState::Parallel, Oersted::new(h), t).unwrap();
+        let dap = dev.delta(MtjState::AntiParallel, Oersted::new(h), t).unwrap();
+        let d0 = dev.switching().delta0_at(t).unwrap();
+        prop_assert!((dp * dap).sqrt() <= d0 + 1e-9);
+    }
+
+    /// Thermal model ratios are continuous and monotone in T over the
+    /// operating range.
+    #[test]
+    fn thermal_monotonicity(t1 in 250.0f64..450.0, t2 in 250.0f64..450.0) {
+        let tm = ThermalModel::default();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(tm.ms_ratio(Kelvin::new(lo)).unwrap() >= tm.ms_ratio(Kelvin::new(hi)).unwrap() - 1e-12);
+        prop_assert!(tm.delta0_ratio(Kelvin::new(lo)).unwrap() >= tm.delta0_ratio(Kelvin::new(hi)).unwrap() - 1e-12);
+    }
+
+    /// Sun's tw decreases monotonically with voltage above threshold.
+    #[test]
+    fn tw_monotone_in_voltage(v1 in 0.75f64..1.2, v2 in 0.75f64..1.2) {
+        let dev = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        let t = Kelvin::new(300.0);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let slow = dev.switching_time(SwitchDirection::ApToP, Volt::new(lo), Oersted::ZERO, t);
+        let fast = dev.switching_time(SwitchDirection::ApToP, Volt::new(hi), Oersted::ZERO, t);
+        if let (Ok(s), Ok(f)) = (slow, fast) {
+            prop_assert!(s.value() >= f.value() - 1e-12);
+        }
+    }
+
+    /// tw scales with the FL moment: a bigger device (same drive
+    /// *density*) is slower per Sun's 1/m factor — verified via the
+    /// explicit moment accessor.
+    #[test]
+    fn fl_moment_scales_quadratically(ecd in 20.0f64..120.0) {
+        let d1 = presets::imec_like(Nanometer::new(ecd)).unwrap();
+        let d2 = d1.with_ecd(Nanometer::new(2.0 * ecd)).unwrap();
+        prop_assert!((d2.fl_moment() / d1.fl_moment() - 4.0).abs() < 1e-9);
+    }
+
+    /// Sharrock: switching probability is monotone in field and dwell.
+    #[test]
+    fn sharrock_monotonicity(h1 in 0.0f64..4600.0, h2 in 0.0f64..4600.0,
+                             d1 in -6.0f64..-2.0, d2 in -6.0f64..-2.0) {
+        let m = SharrockModel::new(Oersted::new(4646.8), 45.5).unwrap();
+        let (hlo, hhi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        let dwell = Second::new(10f64.powf(d1));
+        prop_assert!(
+            m.switching_probability(Oersted::new(hlo), dwell)
+                <= m.switching_probability(Oersted::new(hhi), dwell) + 1e-12
+        );
+        let (dlo, dhi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let h = Oersted::new(hhi);
+        prop_assert!(
+            m.switching_probability(h, Second::new(10f64.powf(dlo)))
+                <= m.switching_probability(h, Second::new(10f64.powf(dhi))) + 1e-12
+        );
+    }
+
+    /// Sharrock's median field solves P = 1/2 for any dwell in the
+    /// measurement range.
+    #[test]
+    fn sharrock_median_consistency(log_dwell in -7.0f64..-2.0) {
+        let m = SharrockModel::new(Oersted::new(4646.8), 45.5).unwrap();
+        let dwell = Second::new(10f64.powf(log_dwell));
+        let med = m.median_switching_field(dwell).unwrap();
+        let p = m.switching_probability(med, dwell);
+        prop_assert!((p - 0.5).abs() < 1e-6, "P(median) = {p}");
+    }
+
+    /// The intra-cell field is negative and monotone in eCD across the
+    /// measured wafer range (the Fig. 2b backbone). Below ~23 nm the
+    /// model's magnitude peaks and turns around (the HL sits too deep
+    /// relative to a tiny radius) — outside the paper's 35–175 nm data,
+    /// so the property is asserted on eCD ≥ 25 nm.
+    #[test]
+    fn intra_field_monotone(e1 in 25.0f64..200.0, e2 in 25.0f64..200.0) {
+        let stack = mramsim_mtj::MtjStack::builder().build_imec_like().unwrap();
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let hlo = stack.intra_hz_at_fl_center(Nanometer::new(lo)).unwrap().value();
+        let hhi = stack.intra_hz_at_fl_center(Nanometer::new(hi)).unwrap().value();
+        prop_assert!(hlo < 0.0 && hhi < 0.0);
+        prop_assert!(hlo <= hhi + 1e-9, "smaller device must couple harder");
+    }
+}

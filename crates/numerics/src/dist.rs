@@ -1,0 +1,192 @@
+//! Random sampling for process variation and thermal stochasticity.
+//!
+//! Implemented on top of `rand`'s uniform source (Box–Muller transform)
+//! rather than pulling in `rand_distr`: the distributions are part of the
+//! scientific substrate this reproduction is asked to build, and the
+//! dependency budget stays minimal.
+
+use crate::{NumericsError, Result};
+use rand::Rng;
+
+/// A normal (Gaussian) distribution `N(mean, std_dev²)`.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::dist::Normal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let ecd_variation = Normal::new(55.0, 1.5)?; // nm, device-to-device
+/// let sample = ecd_variation.sample(&mut rng);
+/// assert!((sample - 55.0).abs() < 10.0);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidDomain`] for a negative or
+    /// non-finite standard deviation, or a non-finite mean.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NumericsError::InvalidDomain {
+                routine: "Normal::new",
+                message: format!("mean = {mean}, std_dev = {std_dev}"),
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample (Box–Muller; one of the pair is discarded for
+    /// statelessness).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// A log-normal distribution: `exp(N(mu, sigma²))`.
+///
+/// Used for strictly positive quantities such as `RA` spreads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    log_mean: f64,
+    log_std: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidDomain`] for non-finite input or
+    /// negative `log_std`.
+    pub fn new(log_mean: f64, log_std: f64) -> Result<Self> {
+        if !log_mean.is_finite() || !log_std.is_finite() || log_std < 0.0 {
+            return Err(NumericsError::InvalidDomain {
+                routine: "LogNormal::new",
+                message: format!("log_mean = {log_mean}, log_std = {log_std}"),
+            });
+        }
+        Ok(Self { log_mean, log_std })
+    }
+
+    /// Creates a log-normal whose *median* is `median` and whose
+    /// multiplicative spread is `exp(log_std)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidDomain`] for a non-positive median.
+    pub fn from_median(median: f64, log_std: f64) -> Result<Self> {
+        if !(median > 0.0) {
+            return Err(NumericsError::InvalidDomain {
+                routine: "LogNormal::from_median",
+                message: format!("median = {median} must be positive"),
+            });
+        }
+        Self::new(median.ln(), log_std)
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.log_mean + self.log_std * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let xs = d.sample_n(&mut rng, 40_000);
+        let m = stats::mean(&xs).unwrap();
+        let s = stats::std_dev(&xs).unwrap();
+        assert!((m - 10.0).abs() < 0.05, "mean = {m}");
+        assert!((s - 2.0).abs() < 0.05, "std = {s}");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.5, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn standard_normal_tail_fractions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 60_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count();
+        let frac = beyond_2sigma as f64 / f64::from(n);
+        // True value 4.55 %.
+        assert!((frac - 0.0455).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LogNormal::from_median(4.5, 0.05).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let med = stats::median(&xs).unwrap();
+        assert!((med - 4.5).abs() < 0.05, "median = {med}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::from_median(0.0, 0.1).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn seeded_rng_reproduces_sequences() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let a: Vec<f64> = d.sample_n(&mut StdRng::seed_from_u64(99), 16);
+        let b: Vec<f64> = d.sample_n(&mut StdRng::seed_from_u64(99), 16);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,150 @@
+//! Numerical quadrature: adaptive Simpson integration.
+
+use crate::{NumericsError, Result};
+
+/// Integrates `f` over `[a, b]` with adaptive Simpson quadrature to the
+/// requested absolute tolerance.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidDomain`] for non-finite bounds or a
+///   non-finite integrand at the initial sample points.
+/// * [`NumericsError::NoConvergence`] if the recursion depth budget is
+///   exhausted before reaching the tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::integrate::adaptive_simpson;
+/// let v = adaptive_simpson(|x| x.sin(), 0.0, std::f64::consts::PI, 1e-10)?;
+/// assert!((v - 2.0).abs() < 1e-9);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+pub fn adaptive_simpson<F>(mut f: F, a: f64, b: f64, tolerance: f64) -> Result<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::InvalidDomain {
+            routine: "adaptive_simpson",
+            message: format!("bounds must be finite, got [{a}, {b}]"),
+        });
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    let (lo, hi, sign) = if a < b { (a, b, 1.0) } else { (b, a, -1.0) };
+
+    let flo = f(lo);
+    let fhi = f(hi);
+    let fmid = f(0.5 * (lo + hi));
+    if !flo.is_finite() || !fhi.is_finite() || !fmid.is_finite() {
+        return Err(NumericsError::InvalidDomain {
+            routine: "adaptive_simpson",
+            message: "integrand is not finite at the initial samples".into(),
+        });
+    }
+    let whole = simpson(lo, hi, flo, fmid, fhi);
+    const MAX_DEPTH: u32 = 48;
+    let v = recurse(
+        &mut f,
+        lo,
+        hi,
+        flo,
+        fmid,
+        fhi,
+        whole,
+        tolerance.max(f64::EPSILON),
+        MAX_DEPTH,
+    )?;
+    Ok(sign * v)
+}
+
+#[inline]
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse<F>(
+    f: &mut F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> Result<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if delta.abs() <= 15.0 * tol {
+        return Ok(left + right + delta / 15.0);
+    }
+    if depth == 0 {
+        return Err(NumericsError::NoConvergence {
+            algorithm: "adaptive_simpson",
+            iterations: 48,
+        });
+    }
+    let lv = recurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)?;
+    let rv = recurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)?;
+    Ok(lv + rv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let v = adaptive_simpson(|x| x.powi(3) - 2.0 * x + 1.0, -1.0, 2.0, 1e-12).unwrap();
+        // ∫ = x⁴/4 − x² + x over [−1,2] = (4−4+2) − (1/4−1−1) = 2 + 7/4.
+        assert!((v - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_bounds_flip_sign() {
+        let fwd = adaptive_simpson(|x| x.exp(), 0.0, 1.0, 1e-12).unwrap();
+        let rev = adaptive_simpson(|x| x.exp(), 1.0, 0.0, 1e-12).unwrap();
+        assert!((fwd + rev).abs() < 1e-12);
+        assert!((fwd - (std::f64::consts::E - 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(adaptive_simpson(|x| x, 3.0, 3.0, 1e-9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sharply_peaked_integrand_converges() {
+        // Narrow Gaussian: ∫ exp(−(x/σ)²/2) = σ√(2π) for wide bounds.
+        let sigma = 1e-3;
+        let v = adaptive_simpson(
+            |x| (-(x / sigma).powi(2) / 2.0).exp(),
+            -1.0,
+            1.0,
+            1e-12,
+        )
+        .unwrap();
+        let expect = sigma * (2.0 * std::f64::consts::PI).sqrt();
+        assert!((v - expect).abs() / expect < 1e-8);
+    }
+
+    #[test]
+    fn non_finite_bounds_rejected() {
+        assert!(adaptive_simpson(|x| x, 0.0, f64::INFINITY, 1e-9).is_err());
+        assert!(adaptive_simpson(|_| f64::NAN, 0.0, 1.0, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Interpolation on tabulated data.
+
+use crate::{NumericsError, Result};
+
+/// A piecewise-linear interpolant over a strictly increasing grid.
+///
+/// Used for tabulated `R(V)` curves and for inverting simulated sweep
+/// results.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::interp::Linear;
+/// let f = Linear::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0])?;
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(1.5), 25.0);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Linear {
+    /// Builds an interpolant from matched samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadShape`] when lengths differ, fewer
+    /// than two points are given, or `xs` is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(NumericsError::BadShape {
+                message: format!("x and y lengths differ: {} vs {}", xs.len(), ys.len()),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(NumericsError::BadShape {
+                message: "need at least two samples".into(),
+            });
+        }
+        if xs.windows(2).any(|w| !(w[1] > w[0])) {
+            return Err(NumericsError::BadShape {
+                message: "x grid must be strictly increasing".into(),
+            });
+        }
+        Ok(Self { xs, ys })
+    }
+
+    /// Evaluates the interpolant, extrapolating linearly outside the grid.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        // Segment index: clamp to the first/last segment for extrapolation.
+        let idx = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).unwrap_or(core::cmp::Ordering::Less))
+        {
+            Ok(i) => return self.ys[i],
+            Err(0) => 0,
+            Err(i) if i >= n => n - 2,
+            Err(i) => i - 1,
+        };
+        let (x0, x1) = (self.xs[idx], self.xs[idx + 1]);
+        let (y0, y1) = (self.ys[idx], self.ys[idx + 1]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The domain covered by actual samples.
+    #[must_use]
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("len >= 2"))
+    }
+
+    /// Finds `x` with `eval(x) = y` on a monotone interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidDomain`] when `y` is outside the
+    /// range of the samples or the data is not monotone.
+    pub fn invert(&self, y: f64) -> Result<f64> {
+        let increasing = self.ys.last() >= self.ys.first();
+        let monotone = self
+            .ys
+            .windows(2)
+            .all(|w| if increasing { w[1] >= w[0] } else { w[1] <= w[0] });
+        if !monotone {
+            return Err(NumericsError::InvalidDomain {
+                routine: "Linear::invert",
+                message: "samples are not monotone".into(),
+            });
+        }
+        let (lo, hi) = if increasing {
+            (self.ys[0], *self.ys.last().expect("len >= 2"))
+        } else {
+            (*self.ys.last().expect("len >= 2"), self.ys[0])
+        };
+        if y < lo || y > hi {
+            return Err(NumericsError::InvalidDomain {
+                routine: "Linear::invert",
+                message: format!("target {y} outside sampled range [{lo}, {hi}]"),
+            });
+        }
+        for w in 0..self.xs.len() - 1 {
+            let (y0, y1) = (self.ys[w], self.ys[w + 1]);
+            let inside = if increasing {
+                (y0..=y1).contains(&y)
+            } else {
+                (y1..=y0).contains(&y)
+            };
+            if inside {
+                if (y1 - y0).abs() < 1e-300 {
+                    return Ok(self.xs[w]);
+                }
+                let t = (y - y0) / (y1 - y0);
+                return Ok(self.xs[w] + t * (self.xs[w + 1] - self.xs[w]));
+            }
+        }
+        unreachable!("target inside range must fall in a segment");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_sample_points_exactly() {
+        let f = Linear::new(vec![0.0, 1.0, 3.0], vec![2.0, 4.0, -2.0]).unwrap();
+        assert_eq!(f.eval(0.0), 2.0);
+        assert_eq!(f.eval(1.0), 4.0);
+        assert_eq!(f.eval(3.0), -2.0);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let f = Linear::new(vec![0.0, 2.0], vec![0.0, 8.0]).unwrap();
+        assert_eq!(f.eval(0.25), 1.0);
+    }
+
+    #[test]
+    fn extrapolates_linearly() {
+        let f = Linear::new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
+        assert_eq!(f.eval(2.0), 4.0);
+        assert_eq!(f.eval(-1.0), -2.0);
+    }
+
+    #[test]
+    fn inversion_of_monotone_data() {
+        let f = Linear::new(vec![0.0, 1.0, 2.0], vec![10.0, 20.0, 40.0]).unwrap();
+        assert!((f.invert(15.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((f.invert(30.0).unwrap() - 1.5).abs() < 1e-12);
+        assert!(f.invert(50.0).is_err());
+    }
+
+    #[test]
+    fn inversion_of_decreasing_data() {
+        let f = Linear::new(vec![0.0, 1.0], vec![5.0, 1.0]).unwrap();
+        assert!((f.invert(3.0).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_grids() {
+        assert!(Linear::new(vec![0.0], vec![1.0]).is_err());
+        assert!(Linear::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Linear::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Linear::new(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn non_monotone_inversion_is_rejected() {
+        let f = Linear::new(vec![0.0, 1.0, 2.0], vec![0.0, 5.0, 1.0]).unwrap();
+        assert!(f.invert(2.0).is_err());
+    }
+}

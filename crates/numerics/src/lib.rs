@@ -1,0 +1,55 @@
+//! Self-contained numerics substrate for `mramsim`.
+//!
+//! The offline Rust scientific-computing ecosystem is thin, so every
+//! numerical tool the reproduction needs is implemented (and tested) here:
+//!
+//! * [`Vec3`] — 3-component vectors for Biot–Savart geometry,
+//! * [`special`] — complete elliptic integrals `K`, `E` (off-axis loop
+//!   field reference solution) and friends,
+//! * [`linalg`] — small dense matrices with LU solve (normal equations of
+//!   the Levenberg–Marquardt fitter),
+//! * [`optimize`] — Nelder–Mead simplex and Levenberg–Marquardt least
+//!   squares (the paper extracts `Hk`, `Δ0` by curve fitting, §V-A),
+//! * [`roots`] — bisection and Brent root finding (calibration, crossover
+//!   searches),
+//! * [`integrate`] — adaptive Simpson quadrature,
+//! * [`interp`] — linear interpolation on tabulated curves,
+//! * [`stats`] — descriptive statistics for device populations,
+//! * [`dist`] — Normal / LogNormal sampling built on `rand` (process
+//!   variation, thermal switching stochasticity),
+//! * [`histogram`] — switching-field histograms.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramsim_numerics::{Vec3, special};
+//!
+//! let r = Vec3::new(3.0, 4.0, 0.0);
+//! assert_eq!(r.norm(), 5.0);
+//!
+//! // K(0) = E(0) = π/2
+//! let (k, e) = special::ellip_ke(0.0).unwrap();
+//! assert!((k - std::f64::consts::FRAC_PI_2).abs() < 1e-14);
+//! assert!((e - std::f64::consts::FRAC_PI_2).abs() < 1e-14);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+pub mod dist;
+pub mod histogram;
+pub mod integrate;
+pub mod interp;
+pub mod linalg;
+pub mod optimize;
+pub mod roots;
+pub mod special;
+pub mod stats;
+mod vec3;
+
+pub use error::NumericsError;
+pub use vec3::Vec3;
+
+/// Convenience result alias for fallible numerics routines.
+pub type Result<T> = core::result::Result<T, NumericsError>;

@@ -1,0 +1,315 @@
+//! Small dense matrices with LU factorisation.
+//!
+//! Sized for the normal equations of few-parameter least-squares fits
+//! (2–6 unknowns), not for large-scale linear algebra.
+
+use crate::{NumericsError, Result};
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let x = a.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadShape`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(NumericsError::BadShape {
+                message: format!("matrix dimensions must be positive, got {rows}x{cols}"),
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the `n×n` identity matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadShape`] if `n` is zero.
+    pub fn identity(n: usize) -> Result<Self> {
+        let mut m = Self::zeros(n, n)?;
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadShape`] for empty input or ragged rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        if nrows == 0 || ncols == 0 {
+            return Err(NumericsError::BadShape {
+                message: "matrix must have at least one row and column".into(),
+            });
+        }
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(NumericsError::BadShape {
+                message: "all rows must have the same length".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut out = Self {
+            rows: self.cols,
+            cols: self.rows,
+            data: vec![0.0; self.data.len()],
+        };
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadShape`] on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self> {
+        if self.cols != rhs.rows {
+            return Err(NumericsError::BadShape {
+                message: format!(
+                    "cannot multiply {}x{} by {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols)?;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadShape`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(NumericsError::BadShape {
+                message: format!("vector length {} != cols {}", v.len(), self.cols),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// Solves `self · x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::BadShape`] if the matrix is not square or `b`
+    ///   has the wrong length.
+    /// * [`NumericsError::SingularMatrix`] if a pivot vanishes.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(NumericsError::BadShape {
+                message: format!("solve requires a square matrix, got {}x{}", self.rows, self.cols),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(NumericsError::BadShape {
+                message: format!("rhs length {} != {}", b.len(), self.rows),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = lu[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(NumericsError::SingularMatrix);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    lu.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            let pivot = lu[col * n + col];
+            for row in (col + 1)..n {
+                let factor = lu[row * n + col] / pivot;
+                lu[row * n + col] = 0.0;
+                for j in (col + 1)..n {
+                    lu[row * n + j] -= factor * lu[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for row in (0..n).rev() {
+            let mut acc = x[row];
+            for j in (row + 1)..n {
+                acc -= lu[row * n + j] * x[j];
+            }
+            let d = lu[row * n + row];
+            if d.abs() < 1e-300 {
+                return Err(NumericsError::SingularMatrix);
+            }
+            x[row] = acc / d;
+        }
+        Ok(x)
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let id = Matrix::identity(3).unwrap();
+        let x = id.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3_against_hand_solution() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expect) {
+            assert!((xi - ei).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), NumericsError::SingularMatrix);
+    }
+
+    #[test]
+    fn matmul_and_transpose_consistency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let ata = a.transpose().matmul(&a).unwrap();
+        assert_eq!(ata.rows(), 2);
+        assert_eq!(ata.cols(), 2);
+        assert!((ata[(0, 0)] - 35.0).abs() < 1e-12);
+        assert!((ata[(0, 1)] - 44.0).abs() < 1e-12);
+        assert!((ata[(1, 1)] - 56.0).abs() < 1e-12);
+        // Symmetric.
+        assert!((ata[(0, 1)] - ata[(1, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0]]).unwrap();
+        let v = a.matvec(&[2.0, 3.0]).unwrap();
+        assert_eq!(v, vec![-1.0, 7.0]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        let a = Matrix::identity(2).unwrap();
+        assert!(a.solve(&[1.0]).is_err());
+        assert!(a.matvec(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

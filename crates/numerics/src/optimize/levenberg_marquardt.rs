@@ -1,0 +1,300 @@
+//! Levenberg–Marquardt damped least squares with numerical Jacobian.
+
+use crate::linalg::Matrix;
+use crate::{NumericsError, Result};
+
+/// Options controlling the Levenberg–Marquardt iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmOptions {
+    /// Maximum number of outer iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the relative reduction of the cost.
+    pub cost_tolerance: f64,
+    /// Convergence tolerance on the gradient infinity norm.
+    pub gradient_tolerance: f64,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Relative step for the forward-difference Jacobian.
+    pub jacobian_step: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            cost_tolerance: 1e-12,
+            gradient_tolerance: 1e-12,
+            initial_lambda: 1e-3,
+            jacobian_step: 1e-6,
+        }
+    }
+}
+
+/// Outcome of a Levenberg–Marquardt fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmReport {
+    /// Fitted parameter vector.
+    pub x: Vec<f64>,
+    /// Final cost `0.5·Σ rᵢ²`.
+    pub cost: f64,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+}
+
+/// Minimises `0.5·‖r(x)‖²` for a residual function `r: ℝⁿ → ℝᵐ`.
+///
+/// The Jacobian is formed by forward differences, and the damped normal
+/// equations `(JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀr` are solved with the LU
+/// factorisation from [`crate::linalg`]. λ shrinks on accepted steps and
+/// grows on rejected ones (Marquardt's strategy).
+///
+/// # Errors
+///
+/// * [`NumericsError::BadShape`] when `x0` is empty or `residuals`
+///   returns fewer residuals than parameters.
+/// * [`NumericsError::InvalidDomain`] when residuals are not finite at
+///   the start point.
+/// * [`NumericsError::NoConvergence`] when the iteration budget is
+///   exhausted (λ runaway is reported the same way).
+///
+/// # Examples
+///
+/// Fitting an exponential decay `y = a·exp(−b·t)`:
+///
+/// ```
+/// use mramsim_numerics::optimize::{levenberg_marquardt, LmOptions};
+///
+/// let t: Vec<f64> = (0..20).map(|i| f64::from(i) * 0.1).collect();
+/// let y: Vec<f64> = t.iter().map(|&ti| 2.5 * (-1.3 * ti).exp()).collect();
+/// let report = levenberg_marquardt(
+///     |p, out| {
+///         for ((ti, yi), r) in t.iter().zip(&y).zip(out.iter_mut()) {
+///             *r = p[0] * (-p[1] * ti).exp() - yi;
+///         }
+///     },
+///     &[1.0, 1.0],
+///     t.len(),
+///     &LmOptions::default(),
+/// )?;
+/// assert!((report.x[0] - 2.5).abs() < 1e-6);
+/// assert!((report.x[1] - 1.3).abs() < 1e-6);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+pub fn levenberg_marquardt<F>(
+    mut residuals: F,
+    x0: &[f64],
+    residual_count: usize,
+    options: &LmOptions,
+) -> Result<LmReport>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let n = x0.len();
+    let m = residual_count;
+    if n == 0 {
+        return Err(NumericsError::BadShape {
+            message: "start point must have at least one parameter".into(),
+        });
+    }
+    if m < n {
+        return Err(NumericsError::BadShape {
+            message: format!("need at least as many residuals ({m}) as parameters ({n})"),
+        });
+    }
+
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; m];
+    residuals(&x, &mut r);
+    if r.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::InvalidDomain {
+            routine: "levenberg_marquardt",
+            message: "residuals are not finite at the start point".into(),
+        });
+    }
+    let mut cost = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
+    let mut lambda = options.initial_lambda;
+
+    let mut r_step = vec![0.0; m];
+    for iteration in 1..=options.max_iterations {
+        // Forward-difference Jacobian J (m×n).
+        let mut jac = Matrix::zeros(m, n)?;
+        for j in 0..n {
+            let saved = x[j];
+            let h = options.jacobian_step * saved.abs().max(1e-8);
+            x[j] = saved + h;
+            residuals(&x, &mut r_step);
+            x[j] = saved;
+            for i in 0..m {
+                jac[(i, j)] = (r_step[i] - r[i]) / h;
+            }
+        }
+
+        // Normal equations.
+        let jt = jac.transpose();
+        let jtj = jt.matmul(&jac)?;
+        let grad = jt.matvec(&r)?;
+        let g_inf = grad.iter().fold(0.0f64, |acc, g| acc.max(g.abs()));
+        if g_inf <= options.gradient_tolerance {
+            return Ok(LmReport {
+                x,
+                cost,
+                iterations: iteration,
+            });
+        }
+
+        // Inner loop: adjust λ until a step reduces the cost.
+        let mut accepted = false;
+        for _ in 0..24 {
+            let mut damped = jtj.clone();
+            for k in 0..n {
+                let d = jtj[(k, k)].max(1e-30);
+                damped[(k, k)] = jtj[(k, k)] + lambda * d;
+            }
+            let rhs: Vec<f64> = grad.iter().map(|g| -g).collect();
+            let delta = match damped.solve(&rhs) {
+                Ok(d) => d,
+                Err(NumericsError::SingularMatrix) => {
+                    lambda *= 10.0;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let x_new: Vec<f64> = x.iter().zip(&delta).map(|(a, d)| a + d).collect();
+            residuals(&x_new, &mut r_step);
+            let cost_new = if r_step.iter().all(|v| v.is_finite()) {
+                0.5 * r_step.iter().map(|v| v * v).sum::<f64>()
+            } else {
+                f64::INFINITY
+            };
+            if cost_new < cost {
+                let improvement = (cost - cost_new) / cost.max(1e-300);
+                x = x_new;
+                core::mem::swap(&mut r, &mut r_step);
+                cost = cost_new;
+                lambda = (lambda * 0.3).max(1e-15);
+                accepted = true;
+                if improvement <= options.cost_tolerance {
+                    return Ok(LmReport {
+                        x,
+                        cost,
+                        iterations: iteration,
+                    });
+                }
+                break;
+            }
+            lambda *= 10.0;
+            if lambda > 1e15 {
+                // Damping saturated: we are at a (possibly flat) minimum.
+                return Ok(LmReport {
+                    x,
+                    cost,
+                    iterations: iteration,
+                });
+            }
+        }
+        if !accepted {
+            return Ok(LmReport {
+                x,
+                cost,
+                iterations: iteration,
+            });
+        }
+    }
+
+    Err(NumericsError::NoConvergence {
+        algorithm: "levenberg-marquardt",
+        iterations: options.max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_model_exactly() {
+        // y = 2x + 1 sampled without noise.
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let report = levenberg_marquardt(
+            |p, out| {
+                for ((x, y), r) in xs.iter().zip(&ys).zip(out.iter_mut()) {
+                    *r = p[0] * x + p[1] - y;
+                }
+            },
+            &[0.0, 0.0],
+            xs.len(),
+            &LmOptions::default(),
+        )
+        .unwrap();
+        assert!((report.x[0] - 2.0).abs() < 1e-8);
+        assert!((report.x[1] - 1.0).abs() < 1e-8);
+        assert!(report.cost < 1e-16);
+    }
+
+    #[test]
+    fn fits_sigmoid_like_switching_probability() {
+        // P(h) = 1/(1+exp(-(h-h0)/w)) — the shape of a switching-field
+        // probability curve; recover h0 and w.
+        let h: Vec<f64> = (0..60).map(|i| 2000.0 + 10.0 * f64::from(i)).collect();
+        let truth = |hi: f64| 1.0 / (1.0 + (-(hi - 2300.0) / 55.0).exp());
+        let p: Vec<f64> = h.iter().map(|&hi| truth(hi)).collect();
+        let report = levenberg_marquardt(
+            |q, out| {
+                for ((hi, pi), r) in h.iter().zip(&p).zip(out.iter_mut()) {
+                    *r = 1.0 / (1.0 + (-(hi - q[0]) / q[1]).exp()) - pi;
+                }
+            },
+            &[2200.0, 100.0],
+            h.len(),
+            &LmOptions::default(),
+        )
+        .unwrap();
+        assert!((report.x[0] - 2300.0).abs() < 0.5);
+        assert!((report.x[1] - 55.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn rejects_underdetermined_problem() {
+        let r = levenberg_marquardt(|_, out| out[0] = 0.0, &[1.0, 2.0], 1, &LmOptions::default());
+        assert!(matches!(r, Err(NumericsError::BadShape { .. })));
+    }
+
+    #[test]
+    fn rejects_non_finite_start() {
+        let r = levenberg_marquardt(
+            |_, out| {
+                out[0] = f64::NAN;
+                out[1] = 0.0;
+            },
+            &[1.0],
+            2,
+            &LmOptions::default(),
+        );
+        assert!(matches!(r, Err(NumericsError::InvalidDomain { .. })));
+    }
+
+    #[test]
+    fn noisy_fit_lands_near_truth() {
+        // Deterministic pseudo-noise; checks robustness, not statistics.
+        let xs: Vec<f64> = (0..50).map(|i| f64::from(i) * 0.2).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 4.0 * (-0.7 * x).exp() + 0.005 * ((i as f64 * 12.9898).sin()))
+            .collect();
+        let report = levenberg_marquardt(
+            |p, out| {
+                for ((x, y), r) in xs.iter().zip(&ys).zip(out.iter_mut()) {
+                    *r = p[0] * (-p[1] * x).exp() - y;
+                }
+            },
+            &[1.0, 0.1],
+            xs.len(),
+            &LmOptions::default(),
+        )
+        .unwrap();
+        assert!((report.x[0] - 4.0).abs() < 0.05);
+        assert!((report.x[1] - 0.7).abs() < 0.05);
+    }
+}

@@ -1,0 +1,281 @@
+//! Nelder–Mead downhill-simplex minimisation.
+
+use crate::{NumericsError, Result};
+
+/// Options controlling the Nelder–Mead iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evaluations: usize,
+    /// Convergence tolerance on the simplex spread of objective values.
+    pub f_tolerance: f64,
+    /// Convergence tolerance on the simplex spread in parameter space.
+    pub x_tolerance: f64,
+    /// Relative size of the initial simplex around the start point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self {
+            max_evaluations: 2000,
+            f_tolerance: 1e-12,
+            x_tolerance: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Outcome of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadReport {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// Minimises `f` starting from `x0` with the downhill-simplex method.
+///
+/// # Errors
+///
+/// * [`NumericsError::BadShape`] for an empty start vector.
+/// * [`NumericsError::InvalidDomain`] when the objective returns a
+///   non-finite value at the start point.
+/// * [`NumericsError::NoConvergence`] when the evaluation budget is
+///   exhausted before the tolerances are met.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::optimize::{nelder_mead, NelderMeadOptions};
+///
+/// // Rosenbrock valley, minimum at (1, 1).
+/// let rosen = |p: &[f64]| {
+///     let (x, y) = (p[0], p[1]);
+///     (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+/// };
+/// let report = nelder_mead(rosen, &[-1.2, 1.0], &NelderMeadOptions {
+///     max_evaluations: 20_000,
+///     ..NelderMeadOptions::default()
+/// })?;
+/// assert!((report.x[0] - 1.0).abs() < 1e-4);
+/// assert!((report.x[1] - 1.0).abs() < 1e-4);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+pub fn nelder_mead<F>(mut f: F, x0: &[f64], options: &NelderMeadOptions) -> Result<NelderMeadReport>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    if n == 0 {
+        return Err(NumericsError::BadShape {
+            message: "start point must have at least one dimension".into(),
+        });
+    }
+
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let mut evaluations = 0usize;
+    let mut eval = |p: &[f64], evaluations: &mut usize| -> f64 {
+        *evaluations += 1;
+        let v = f(p);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus a perturbation along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evaluations);
+    if !f0.is_finite() {
+        return Err(NumericsError::InvalidDomain {
+            routine: "nelder_mead",
+            message: "objective is not finite at the start point".into(),
+        });
+    }
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        let step = if xi[i] != 0.0 {
+            options.initial_step * xi[i].abs()
+        } else {
+            options.initial_step.max(1e-8)
+        };
+        xi[i] += step;
+        let fi = eval(&xi, &mut evaluations);
+        simplex.push((xi, fi));
+    }
+
+    loop {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(core::cmp::Ordering::Equal));
+
+        // Convergence checks.
+        let best = &simplex[0];
+        let worst = &simplex[n];
+        let f_spread = (worst.1 - best.1).abs();
+        let x_spread = simplex[1..]
+            .iter()
+            .map(|(x, _)| {
+                x.iter()
+                    .zip(&best.0)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        if f_spread <= options.f_tolerance && x_spread <= options.x_tolerance {
+            return Ok(NelderMeadReport {
+                x: simplex[0].0.clone(),
+                fx: simplex[0].1,
+                evaluations,
+            });
+        }
+        if evaluations >= options.max_evaluations {
+            return Err(NumericsError::NoConvergence {
+                algorithm: "nelder-mead",
+                iterations: evaluations,
+            });
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&simplex[n].0)
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        let f_reflect = eval(&reflect, &mut evaluations);
+
+        if f_reflect < simplex[0].1 {
+            // Try expanding further.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + GAMMA * (r - c))
+                .collect();
+            let f_expand = eval(&expand, &mut evaluations);
+            simplex[n] = if f_expand < f_reflect {
+                (expand, f_expand)
+            } else {
+                (reflect, f_reflect)
+            };
+            continue;
+        }
+        if f_reflect < simplex[n - 1].1 {
+            simplex[n] = (reflect, f_reflect);
+            continue;
+        }
+
+        // Contraction (outside if the reflection improved on the worst).
+        let (base, f_base) = if f_reflect < simplex[n].1 {
+            (&reflect, f_reflect)
+        } else {
+            (&simplex[n].0.clone(), simplex[n].1)
+        };
+        let contract: Vec<f64> = centroid
+            .iter()
+            .zip(base)
+            .map(|(c, b)| c + RHO * (b - c))
+            .collect();
+        let f_contract = eval(&contract, &mut evaluations);
+        if f_contract < f_base {
+            simplex[n] = (contract, f_contract);
+            continue;
+        }
+
+        // Shrink towards the best vertex.
+        let best_x = simplex[0].0.clone();
+        for vertex in simplex.iter_mut().skip(1) {
+            let shrunk: Vec<f64> = best_x
+                .iter()
+                .zip(&vertex.0)
+                .map(|(b, v)| b + SIGMA * (v - b))
+                .collect();
+            let fv = eval(&shrunk, &mut evaluations);
+            *vertex = (shrunk, fv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic_bowl() {
+        let report = nelder_mead(
+            |p| (p[0] - 3.0).powi(2) + (p[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((report.x[0] - 3.0).abs() < 1e-4);
+        assert!((report.x[1] + 2.0).abs() < 1e-4);
+        assert!(report.fx < 1e-8);
+    }
+
+    #[test]
+    fn one_dimensional_minimisation_works() {
+        let report = nelder_mead(
+            |p| (p[0] - 0.5).powi(2) + 1.0,
+            &[10.0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((report.x[0] - 0.5).abs() < 1e-4);
+        assert!((report.fx - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn handles_nan_plateaus_as_infinite() {
+        // Objective undefined for x < 0: NaN treated as +inf keeps the
+        // simplex inside the valid region.
+        let report = nelder_mead(
+            |p| {
+                if p[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (p[0] - 1.0).powi(2)
+                }
+            },
+            &[2.0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((report.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_empty_start() {
+        let r = nelder_mead(|_| 0.0, &[], &NelderMeadOptions::default());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reports_no_convergence_on_tiny_budget() {
+        let r = nelder_mead(
+            |p| (p[0] - 3.0).powi(2) + (p[1] - 4.0).powi(2) + (p[2] + 1.0).powi(2),
+            &[100.0, -50.0, 42.0],
+            &NelderMeadOptions {
+                max_evaluations: 5,
+                f_tolerance: 0.0,
+                x_tolerance: 0.0,
+                ..NelderMeadOptions::default()
+            },
+        );
+        assert!(matches!(r, Err(NumericsError::NoConvergence { .. })));
+    }
+}

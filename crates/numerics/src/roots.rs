@@ -1,0 +1,221 @@
+//! Scalar root finding: bisection and Brent's method.
+
+use crate::{NumericsError, Result};
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Robust but linear-rate; prefer [`brent`] unless the function is very
+/// cheap or very ill-behaved.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidDomain`] when `f(a)` and `f(b)` do not
+///   bracket a root or the interval is degenerate.
+/// * [`NumericsError::NoConvergence`] if the tolerance is not reached
+///   within `max_iterations`.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::roots::bisect;
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+pub fn bisect<F>(mut f: F, a: f64, b: f64, tolerance: f64, max_iterations: usize) -> Result<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut lo, mut hi) = (a.min(b), a.max(b));
+    let (mut flo, fhi) = (f(lo), f(hi));
+    if lo >= hi || !flo.is_finite() || !fhi.is_finite() {
+        return Err(NumericsError::InvalidDomain {
+            routine: "bisect",
+            message: format!("degenerate or non-finite bracket [{a}, {b}]"),
+        });
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericsError::InvalidDomain {
+            routine: "bisect",
+            message: format!("f({lo}) and f({hi}) have the same sign"),
+        });
+    }
+    for _ in 0..max_iterations {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < tolerance {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        algorithm: "bisect",
+        iterations: max_iterations,
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation + secant + bisection safeguards).
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::roots::brent;
+/// // Crossover search: where does cos(x) = x?
+/// let root = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14, 100)?;
+/// assert!((root - 0.739_085_133_215).abs() < 1e-9);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+pub fn brent<F>(mut f: F, a: f64, b: f64, tolerance: f64, max_iterations: usize) -> Result<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut a, mut b) = (a, b);
+    let (mut fa, mut fb) = (f(a), f(b));
+    if !fa.is_finite() || !fb.is_finite() || a == b {
+        return Err(NumericsError::InvalidDomain {
+            routine: "brent",
+            message: format!("degenerate or non-finite bracket [{a}, {b}]"),
+        });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::InvalidDomain {
+            routine: "brent",
+            message: format!("f({a}) and f({b}) have the same sign"),
+        });
+    }
+
+    if fa.abs() < fb.abs() {
+        core::mem::swap(&mut a, &mut b);
+        core::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..max_iterations {
+        if fb == 0.0 || (b - a).abs() < tolerance {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond_outside = !((lo.min(b)..=lo.max(b)).contains(&s));
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_dflag = !mflag && (s - b).abs() >= d.abs() / 2.0;
+        let cond_tiny_b = mflag && (b - c).abs() < tolerance;
+        let cond_tiny_d = !mflag && d.abs() < tolerance;
+        if cond_outside || cond_mflag || cond_dflag || cond_tiny_b || cond_tiny_d {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            core::mem::swap(&mut a, &mut b);
+            core::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        algorithm: "brent",
+        iterations: max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 100).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_accepts_reversed_bracket() {
+        let r = bisect(|x| x - 1.0, 3.0, 0.0, 1e-12, 100).unwrap();
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_matches_bisect_on_polynomial() {
+        let f = |x: f64| x.powi(3) - x - 2.0;
+        let rb = brent(f, 1.0, 2.0, 1e-14, 100).unwrap();
+        let ri = bisect(f, 1.0, 2.0, 1e-12, 200).unwrap();
+        assert!((rb - ri).abs() < 1e-9);
+        assert!((rb - 1.521_379_706_804_567_7).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_is_fast_on_smooth_functions() {
+        let mut evals = 0usize;
+        let r = brent(
+            |x| {
+                evals += 1;
+                (x / 3.0).tanh() - 0.25
+            },
+            -10.0,
+            10.0,
+            1e-13,
+            100,
+        )
+        .unwrap();
+        assert!((r - 3.0 * 0.25_f64.atanh()).abs() < 1e-9);
+        assert!(evals < 30, "brent took {evals} evaluations");
+    }
+
+    #[test]
+    fn same_sign_bracket_is_rejected() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 50).is_err());
+        assert!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 50).is_err());
+    }
+
+    #[test]
+    fn exact_root_at_endpoint_is_returned() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9, 50).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-9, 50).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Special functions: complete elliptic integrals and the error function.
+//!
+//! The off-axis magnetic field of a circular current loop has a closed
+//! form in terms of the complete elliptic integrals `K(k)` and `E(k)`;
+//! `mramsim-magnetics` uses it as an exact reference against which the
+//! paper's segment-sum Biot–Savart discretisation is validated.
+
+use crate::{NumericsError, Result};
+
+/// Computes the complete elliptic integrals `K(k)` and `E(k)` of the
+/// first and second kind for modulus `k ∈ [0, 1)`.
+///
+/// Uses the arithmetic-geometric-mean (AGM) iteration, which converges
+/// quadratically; accuracy is close to machine precision over the whole
+/// domain.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidDomain`] when `k` is not in `[0, 1)`
+/// or not finite (`K` diverges as `k → 1`).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::special::ellip_ke;
+///
+/// let (k, e) = ellip_ke(0.5)?;
+/// // Reference values (Abramowitz & Stegun 17.3):
+/// assert!((k - 1.685750354812596).abs() < 1e-12);
+/// assert!((e - 1.467462209339427).abs() < 1e-12);
+/// # Ok::<(), mramsim_numerics::NumericsError>(())
+/// ```
+pub fn ellip_ke(k: f64) -> Result<(f64, f64)> {
+    if !k.is_finite() || !(0.0..1.0).contains(&k) {
+        return Err(NumericsError::InvalidDomain {
+            routine: "ellip_ke",
+            message: format!("modulus k = {k} must lie in [0, 1)"),
+        });
+    }
+
+    let mut a = 1.0_f64;
+    let mut b = (1.0 - k * k).sqrt();
+    let mut c = k;
+    let mut c_sum = 0.5 * c * c; // Σ 2^{n-1} c_n², n = 0 term uses 2^{-1}
+    let mut pow2 = 0.5;
+    let mut iterations = 0usize;
+
+    while c.abs() > f64::EPSILON * a {
+        let an = 0.5 * (a + b);
+        let bn = (a * b).sqrt();
+        c = 0.5 * (a - b);
+        a = an;
+        b = bn;
+        pow2 *= 2.0;
+        c_sum += pow2 * c * c;
+        iterations += 1;
+        if iterations > 64 {
+            return Err(NumericsError::NoConvergence {
+                algorithm: "ellip_ke (agm)",
+                iterations,
+            });
+        }
+    }
+
+    let big_k = core::f64::consts::FRAC_PI_2 / a;
+    let big_e = big_k * (1.0 - c_sum);
+    Ok((big_k, big_e))
+}
+
+/// The error function `erf(x)`, accurate to ~1.2e-7 (Abramowitz & Stegun
+/// 7.1.26 rational approximation with exactness at 0 and ±∞).
+///
+/// Used for thermally-distributed switching-field probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::special::erf;
+/// assert!((erf(0.0)).abs() < 1e-12);
+/// assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+/// assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    // A&S 7.1.26, max abs error 1.5e-7.
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::special::normal_cdf;
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+/// assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / core::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elliptic_at_zero_modulus() {
+        let (k, e) = ellip_ke(0.0).unwrap();
+        assert!((k - core::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((e - core::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn elliptic_reference_values() {
+        // k = sin(45°): K = 1.8540746773, E = 1.3506438810 (A&S).
+        let (k, e) = ellip_ke(core::f64::consts::FRAC_1_SQRT_2).unwrap();
+        assert!((k - 1.854_074_677_301_372).abs() < 1e-12);
+        assert!((e - 1.350_643_881_047_675_5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elliptic_near_unity_modulus_is_large_but_finite() {
+        let (k, e) = ellip_ke(0.999_999).unwrap();
+        assert!(k > 7.0 && k < 9.0);
+        assert!((e - 1.0) < 0.1 && e >= 1.0);
+    }
+
+    #[test]
+    fn elliptic_rejects_out_of_domain() {
+        assert!(ellip_ke(1.0).is_err());
+        assert!(ellip_ke(-0.1).is_err());
+        assert!(ellip_ke(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn legendre_relation_holds() {
+        // E(k)K'(k) + E'(k)K(k) − K(k)K'(k) = π/2 with k' = sqrt(1−k²).
+        let k = 0.6;
+        let kp = (1.0f64 - k * k).sqrt();
+        let (big_k, big_e) = ellip_ke(k).unwrap();
+        let (big_kp, big_ep) = ellip_ke(kp).unwrap();
+        let lhs = big_e * big_kp + big_ep * big_k - big_k * big_kp;
+        assert!((lhs - core::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for x in [0.1, 0.5, 1.0, 2.0, 3.5] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+            assert!(erf(x) <= 1.0 && erf(x) >= 0.0);
+        }
+        assert!((erf(6.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for z in [0.5, 1.0, 2.0] {
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-12);
+        }
+    }
+}

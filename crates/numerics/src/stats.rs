@@ -1,0 +1,178 @@
+//! Descriptive statistics for device populations.
+//!
+//! The paper reports medians (e.g. `Δ0 = 45.5` and `Hk = 4646.8 Oe` "both
+//! in median") and device-to-device error bars; this module provides
+//! exactly those summaries.
+
+use crate::{NumericsError, Result};
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::BadShape`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::BadShape {
+            message: "mean of empty slice".into(),
+        });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (n−1 denominator).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::BadShape`] for fewer than two samples.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(NumericsError::BadShape {
+            message: "variance needs at least two samples".into(),
+        });
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+///
+/// # Errors
+///
+/// Same contract as [`variance`].
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median (averages the middle pair for even counts).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::BadShape`] for an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile, `p ∈ [0, 100]`.
+///
+/// # Errors
+///
+/// * [`NumericsError::BadShape`] for an empty slice.
+/// * [`NumericsError::InvalidDomain`] for `p` outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::BadShape {
+            message: "percentile of empty slice".into(),
+        });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(NumericsError::InvalidDomain {
+            routine: "percentile",
+            message: format!("p = {p} outside [0, 100]"),
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let t = rank - lo as f64;
+        Ok(sorted[lo] * (1.0 - t) + sorted[hi] * t)
+    }
+}
+
+/// Five-number style summary of a sample, as used for measurement error
+/// bars in Fig. 2b.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub std_dev: f64,
+    /// Median.
+    pub median: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a non-empty sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadShape`] for an empty slice.
+    pub fn of(xs: &[f64]) -> Result<Self> {
+        let count = xs.len();
+        let mean_v = mean(xs)?;
+        let std_v = if count >= 2 { std_dev(xs)? } else { 0.0 };
+        let median_v = median(xs)?;
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Self {
+            count,
+            mean: mean_v,
+            std_dev: std_v,
+            median: median_v,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 30.0);
+        assert_eq!(percentile(&xs, 50.0).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = Summary::of(&[7.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(mean(&[]).is_err());
+        assert!(median(&[]).is_err());
+        assert!(Summary::of(&[]).is_err());
+        assert!(percentile(&[1.0], 101.0).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! 3-component double-precision vectors.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component `f64` vector.
+///
+/// Used for positions (metres) and magnetic fields (A/m) in the
+/// Biot–Savart engine.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::Vec3;
+///
+/// let dl = Vec3::new(0.0, 1.0, 0.0);
+/// let r = Vec3::new(1.0, 0.0, 0.0);
+/// // dl × r points in −z: the right-hand rule of Eq. (1).
+/// assert_eq!(dl.cross(r), Vec3::new(0.0, 0.0, -1.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Unit vector along +x.
+    pub const X: Self = Self {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Unit vector along +y.
+    pub const Y: Self = Self {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+
+    /// Unit vector along +z (the out-of-plane easy axis).
+    pub const Z: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
+
+    /// Creates a vector from components.
+    #[inline]
+    #[must_use]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    #[must_use]
+    pub fn dot(self, rhs: Self) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    #[must_use]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    #[must_use]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    #[must_use]
+    pub fn distance(self, other: Self) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the unit vector in this direction, or `None` for a vector
+    /// too short to normalise reliably.
+    #[inline]
+    #[must_use]
+    pub fn normalized(self) -> Option<Self> {
+        let n = self.norm();
+        if n > f64::EPSILON {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Component-wise check that all entries are finite.
+    #[inline]
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// In-plane (xy) magnitude — the paper splits stray fields into an
+    /// out-of-plane `Hz` and a marginal in-plane component.
+    #[inline]
+    #[must_use]
+    pub fn in_plane_norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Linear interpolation `self + t·(other − self)`.
+    #[inline]
+    #[must_use]
+    pub fn lerp(self, other: Self, t: f64) -> Self {
+        self + (other - self) * t
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl core::iter::Sum for Vec3 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, v| acc + v)
+    }
+}
+
+impl fmt::Debug for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vec3({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_is_right_handed() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn cross_product_is_antisymmetric() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        assert_eq!(a.cross(b), -(b.cross(a)));
+    }
+
+    #[test]
+    fn cross_is_orthogonal_to_operands() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(3.0, 0.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-15);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn in_plane_norm_ignores_z() {
+        let v = Vec3::new(3.0, 4.0, 100.0);
+        assert!((v.in_plane_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn sum_of_contributions() {
+        let total: Vec3 = (0..4).map(|i| Vec3::new(f64::from(i), 0.0, 1.0)).sum();
+        assert_eq!(total, Vec3::new(6.0, 0.0, 4.0));
+    }
+}

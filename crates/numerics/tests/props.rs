@@ -1,0 +1,142 @@
+//! Property tests for the numerics substrate.
+
+use mramsim_numerics::optimize::{levenberg_marquardt, nelder_mead, LmOptions, NelderMeadOptions};
+use mramsim_numerics::{dist, histogram::Histogram, integrate, interp, roots, special, stats, Vec3};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    /// Lagrange identity: |a×b|² + (a·b)² = |a|²|b|².
+    #[test]
+    fn lagrange_identity(a in vec3(), b in vec3()) {
+        let lhs = a.cross(b).norm_squared() + a.dot(b).powi(2);
+        let rhs = a.norm_squared() * b.norm_squared();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.max(1.0));
+    }
+
+    /// Triangle inequality for the Euclidean norm.
+    #[test]
+    fn triangle_inequality(a in vec3(), b in vec3()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    /// E(k) ≤ K(k), E decreasing, K increasing over the modulus range.
+    #[test]
+    fn elliptic_orderings(k1 in 0.0f64..0.99, k2 in 0.0f64..0.99) {
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        let (klo, elo) = special::ellip_ke(lo).unwrap();
+        let (khi, ehi) = special::ellip_ke(hi).unwrap();
+        prop_assert!(elo <= klo + 1e-12 && ehi <= khi + 1e-12);
+        prop_assert!(khi >= klo - 1e-12);
+        prop_assert!(ehi <= elo + 1e-12);
+    }
+
+    /// erf is odd, bounded, and monotone.
+    #[test]
+    fn erf_properties(x1 in -5.0f64..5.0, x2 in -5.0f64..5.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!((special::erf(lo) + special::erf(-lo)).abs() < 1e-12);
+        prop_assert!(special::erf(hi) >= special::erf(lo) - 1e-12);
+        prop_assert!(special::erf(hi).abs() <= 1.0);
+    }
+
+    /// Brent finds the root of any monotone cubic with a sign change.
+    #[test]
+    fn brent_on_monotone_cubics(shift in -50.0f64..50.0) {
+        let f = |x: f64| (x - shift).powi(3) + (x - shift);
+        let root = roots::brent(f, shift - 100.0, shift + 100.0, 1e-12, 200).unwrap();
+        prop_assert!((root - shift).abs() < 1e-6);
+    }
+
+    /// Adaptive Simpson integrates polynomials of degree ≤ 3 exactly.
+    #[test]
+    fn simpson_exact_for_cubics(
+        a in -3.0f64..3.0, b in -3.0f64..3.0, c in -3.0f64..3.0, d in -3.0f64..3.0,
+        lo in -5.0f64..0.0, hi in 0.0f64..5.0,
+    ) {
+        let f = |x: f64| a * x.powi(3) + b * x * x + c * x + d;
+        let exact = a / 4.0 * (hi.powi(4) - lo.powi(4))
+            + b / 3.0 * (hi.powi(3) - lo.powi(3))
+            + c / 2.0 * (hi * hi - lo * lo)
+            + d * (hi - lo);
+        let v = integrate::adaptive_simpson(f, lo, hi, 1e-12).unwrap();
+        prop_assert!((v - exact).abs() < 1e-7 * exact.abs().max(1.0));
+    }
+
+    /// Linear interpolation is exact on affine data, including
+    /// extrapolation.
+    #[test]
+    fn interp_exact_on_affine(m in -10.0f64..10.0, q in -10.0f64..10.0, x in -20.0f64..20.0) {
+        let xs: Vec<f64> = (0..6).map(|i| f64::from(i)).collect();
+        let ys: Vec<f64> = xs.iter().map(|&t| m * t + q).collect();
+        let f = interp::Linear::new(xs, ys).unwrap();
+        prop_assert!((f.eval(x) - (m * x + q)).abs() < 1e-9 * (m.abs() * 20.0 + q.abs()).max(1.0));
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_monotone(values in prop::collection::vec(-100.0f64..100.0, 1..40),
+                           p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = stats::percentile(&values, lo).unwrap();
+        let b = stats::percentile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        let s = stats::Summary::of(&values).unwrap();
+        prop_assert!(a >= s.min - 1e-12 && b <= s.max + 1e-12);
+    }
+
+    /// Histograms never lose observations.
+    #[test]
+    fn histogram_conserves_counts(values in prop::collection::vec(-10.0f64..10.0, 0..200)) {
+        let mut h = Histogram::new(-5.0, 5.0, 10).unwrap();
+        h.extend(values.iter().copied());
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+
+    /// Nelder–Mead finds the minimum of shifted quadratic bowls.
+    #[test]
+    fn nelder_mead_on_bowls(cx in -10.0f64..10.0, cy in -10.0f64..10.0) {
+        let report = nelder_mead(
+            |p| (p[0] - cx).powi(2) + 2.0 * (p[1] - cy).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions { max_evaluations: 4000, ..NelderMeadOptions::default() },
+        ).unwrap();
+        prop_assert!((report.x[0] - cx).abs() < 1e-3);
+        prop_assert!((report.x[1] - cy).abs() < 1e-3);
+    }
+
+    /// LM recovers line parameters from exact data for any slope.
+    #[test]
+    fn lm_recovers_lines(m in -5.0f64..5.0, q in -5.0f64..5.0) {
+        let xs: Vec<f64> = (0..12).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| m * x + q).collect();
+        let report = levenberg_marquardt(
+            |p, out| {
+                for ((x, y), r) in xs.iter().zip(&ys).zip(out.iter_mut()) {
+                    *r = p[0] * x + p[1] - y;
+                }
+            },
+            &[0.0, 0.0],
+            xs.len(),
+            &LmOptions::default(),
+        ).unwrap();
+        prop_assert!((report.x[0] - m).abs() < 1e-6);
+        prop_assert!((report.x[1] - q).abs() < 1e-6);
+    }
+
+    /// Normal sampling stays within plausible bounds for its σ.
+    #[test]
+    fn normal_samples_are_bounded(seed in 0u64..1000, mean in -10.0f64..10.0, sd in 0.0f64..3.0) {
+        let d = dist::Normal::new(mean, sd).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = d.sample(&mut rng);
+            prop_assert!((x - mean).abs() <= 8.0 * sd + 1e-12);
+        }
+    }
+}

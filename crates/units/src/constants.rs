@@ -1,0 +1,77 @@
+//! Physical constants (CODATA 2018 values) used throughout the simulator.
+//!
+//! All constants are in SI units. The paper's equations (Eq. 2, 3, 5) use
+//! exactly this set: `µ0`, `ℏ`, `e`, `kB`, `µB`, plus Euler's constant `C`
+//! from Sun's switching-time model.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramsim_units::constants::{K_B, OERSTED_PER_AMPERE_PER_METER};
+//!
+//! // Thermal energy at room temperature, in joule:
+//! let kbt = K_B * 300.0;
+//! assert!((kbt - 4.1419e-21).abs() < 1e-24);
+//! assert!((1.0 / OERSTED_PER_AMPERE_PER_METER - 79.577_471).abs() < 1e-5);
+//! ```
+
+/// Vacuum permeability `µ0` \[T·m/A\].
+pub const MU_0: f64 = 1.256_637_062_12e-6;
+
+/// Reduced Planck constant `ℏ` \[J·s\].
+pub const H_BAR: f64 = 1.054_571_817e-34;
+
+/// Elementary charge `e` \[C\].
+pub const E_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant `kB` \[J/K\].
+pub const K_B: f64 = 1.380_649e-23;
+
+/// Bohr magneton `µB` \[J/T\].
+pub const MU_B: f64 = 9.274_010_078_3e-24;
+
+/// Euler–Mascheroni constant `C ≈ 0.577` (Sun's model, Eq. 3).
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Conversion factor: `1 A/m = OERSTED_PER_AMPERE_PER_METER Oe`.
+///
+/// `1 Oe = 1000/(4π) A/m ≈ 79.577 A/m`, hence `1 A/m = 4π/1000 Oe`.
+pub const OERSTED_PER_AMPERE_PER_METER: f64 = 4.0 * core::f64::consts::PI / 1000.0;
+
+/// Conversion factor: `1 Oe = AMPERE_PER_METER_PER_OERSTED A/m`.
+pub const AMPERE_PER_METER_PER_OERSTED: f64 = 1000.0 / (4.0 * core::f64::consts::PI);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oersted_conversion_factors_are_inverse() {
+        let product = OERSTED_PER_AMPERE_PER_METER * AMPERE_PER_METER_PER_OERSTED;
+        assert!((product - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn oersted_factor_matches_reference_value() {
+        assert!((AMPERE_PER_METER_PER_OERSTED - 79.577_471_545_947_67).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_energy_at_room_temperature() {
+        let kbt = K_B * 300.0;
+        assert!((kbt - 4.141_947e-21).abs() < 1e-26);
+    }
+
+    #[test]
+    fn paper_ic_identity_holds_with_these_constants() {
+        // Ic0 = 4·α·e·Δ0·kB·T / (ℏ·η) with the paper's extracted values must
+        // land on the quoted 57.2 µA (paper §V-A).
+        let alpha = 0.01;
+        let eta = 0.2;
+        let delta0 = 45.5;
+        let t = 300.0;
+        let ic = 4.0 * alpha * E_CHARGE * delta0 * K_B * t / (H_BAR * eta);
+        let ic_ua = ic * 1e6;
+        assert!((ic_ua - 57.2).abs() < 0.15, "Ic0 = {ic_ua} µA");
+    }
+}

@@ -1,0 +1,143 @@
+//! Magnetic field strength and flux density units.
+
+use crate::constants::{AMPERE_PER_METER_PER_OERSTED, MU_0, OERSTED_PER_AMPERE_PER_METER};
+
+unit_scalar! {
+    /// Magnetic field strength `H` in oersted (CGS).
+    ///
+    /// The paper reports all fields in Oe; the device coercivity of the
+    /// measured devices is 2.2 kOe and the inter-cell stray field at the
+    /// SK hynix design point spans −16…+64 Oe.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mramsim_units::Oersted;
+    /// let h = Oersted::new(-366.0);
+    /// assert!(h.abs().value() > 300.0);
+    /// ```
+    Oersted, "Oe"
+}
+
+unit_scalar! {
+    /// Magnetic field strength `H` in ampere per metre (SI).
+    ///
+    /// All Biot–Savart arithmetic happens in A/m; presentation happens in
+    /// [`Oersted`].
+    AmperePerMeter, "A/m"
+}
+
+unit_scalar! {
+    /// Magnetic flux density `B` in tesla.
+    Tesla, "T"
+}
+
+impl Oersted {
+    /// Converts to SI field strength. `1 Oe = 1000/(4π) A/m`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mramsim_units::Oersted;
+    /// let si = Oersted::new(1.0).to_ampere_per_meter();
+    /// assert!((si.value() - 79.5775).abs() < 1e-3);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn to_ampere_per_meter(self) -> AmperePerMeter {
+        AmperePerMeter::new(self.value() * AMPERE_PER_METER_PER_OERSTED)
+    }
+
+    /// Converts to flux density in vacuum, `B = µ0·H`.
+    #[inline]
+    #[must_use]
+    pub fn to_tesla(self) -> Tesla {
+        self.to_ampere_per_meter().to_tesla()
+    }
+}
+
+impl AmperePerMeter {
+    /// Converts to CGS field strength. `1 A/m = 4π/1000 Oe`.
+    #[inline]
+    #[must_use]
+    pub fn to_oersted(self) -> Oersted {
+        Oersted::new(self.value() * OERSTED_PER_AMPERE_PER_METER)
+    }
+
+    /// Converts to flux density in vacuum, `B = µ0·H`.
+    #[inline]
+    #[must_use]
+    pub fn to_tesla(self) -> Tesla {
+        Tesla::new(self.value() * MU_0)
+    }
+}
+
+impl Tesla {
+    /// Converts to SI field strength in vacuum, `H = B/µ0`.
+    #[inline]
+    #[must_use]
+    pub fn to_ampere_per_meter(self) -> AmperePerMeter {
+        AmperePerMeter::new(self.value() / MU_0)
+    }
+
+    /// Converts to CGS field strength in vacuum.
+    #[inline]
+    #[must_use]
+    pub fn to_oersted(self) -> Oersted {
+        self.to_ampere_per_meter().to_oersted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oersted_round_trip_through_si() {
+        let h = Oersted::new(2200.0);
+        let back = h.to_ampere_per_meter().to_oersted();
+        assert!((back.value() - 2200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_tesla_is_ten_kilo_oersted() {
+        // In vacuum, 1 T corresponds to 10 kOe.
+        let h = Tesla::new(1.0).to_oersted();
+        assert!((h.value() - 10_000.0).abs() / 10_000.0 < 1e-4);
+    }
+
+    #[test]
+    fn field_arithmetic_behaves_linearly() {
+        let a = Oersted::new(15.0);
+        let b = Oersted::new(5.0);
+        assert_eq!((a + b).value(), 20.0);
+        assert_eq!((a - b).value(), 10.0);
+        assert_eq!((-a).value(), -15.0);
+        assert_eq!((a * 2.0).value(), 30.0);
+        assert_eq!((2.0 * a).value(), 30.0);
+        assert_eq!(a / b, 3.0);
+    }
+
+    #[test]
+    fn sum_over_neighbour_contributions() {
+        // Four direct neighbours at 15 Oe plus four diagonal at 5 Oe — the
+        // paper's Fig. 4a step sizes.
+        let total: Oersted = std::iter::repeat(Oersted::new(15.0))
+            .take(4)
+            .chain(std::iter::repeat(Oersted::new(5.0)).take(4))
+            .sum();
+        assert_eq!(total.value(), 80.0);
+    }
+
+    #[test]
+    fn display_includes_unit_symbol() {
+        assert_eq!(format!("{}", Oersted::new(64.0)), "64 Oe");
+        assert_eq!(format!("{:.1}", AmperePerMeter::new(2.25)), "2.2 A/m");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let s = format!("{:?}", Tesla::ZERO);
+        assert!(s.contains("Tesla"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Physical unit newtypes, conversions, and constants for `mramsim`.
+//!
+//! STT-MRAM literature mixes CGS magnetics (oersted, emu) with SI
+//! electronics (volts, ohms, amperes). This crate gives every quantity a
+//! dedicated newtype ([C-NEWTYPE]) so that a pitch in nanometres can never
+//! be fed where a field in oersted is expected, and centralises the CGS↔SI
+//! conversion factors that the paper uses implicitly.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramsim_units::{Oersted, AmperePerMeter, Nanometer};
+//!
+//! let h = Oersted::new(2_200.0); // device coercivity from the paper
+//! let si: AmperePerMeter = h.to_ampere_per_meter();
+//! assert!((si.value() - 175_070.4) / 175_070.4 < 1e-4);
+//!
+//! let pitch = Nanometer::new(90.0);
+//! assert!((pitch.to_meter().value() - 9e-8).abs() < 1e-20);
+//! ```
+//!
+//! All types are plain `f64` wrappers: `Copy`, ordered, displayable with
+//! their unit symbol, and supporting the linear arithmetic that is
+//! meaningful for a physical quantity (addition, subtraction, scaling by a
+//! dimensionless factor, and division yielding a dimensionless ratio).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+#[macro_use]
+mod scalar;
+
+pub mod constants;
+mod electrical;
+mod energy;
+mod field;
+mod geometry_units;
+mod magnetic;
+mod temperature;
+mod time;
+
+pub use electrical::{Ampere, MicroAmpere, Ohm, ResistanceArea, Volt};
+pub use energy::Joule;
+pub use field::{AmperePerMeter, Oersted, Tesla};
+pub use geometry_units::{circle_area, Meter, Nanometer, SquareMeter};
+pub use magnetic::{AmpereMeterSquared, MagnetizationThickness, SaturationMagnetization};
+pub use temperature::{Celsius, Kelvin};
+pub use time::{Nanosecond, Second};

@@ -1,0 +1,63 @@
+//! Time units. Switching times are ns-scale; retention times span seconds
+//! to decades, so both a ns and an s type exist.
+
+unit_scalar! {
+    /// Time in seconds.
+    Second, "s"
+}
+
+unit_scalar! {
+    /// Time in nanoseconds — the scale of `tw` in Fig. 5 (5…25 ns).
+    Nanosecond, "ns"
+}
+
+impl Nanosecond {
+    /// Converts to seconds.
+    #[inline]
+    #[must_use]
+    pub fn to_second(self) -> Second {
+        Second::new(self.value() * 1e-9)
+    }
+}
+
+impl Second {
+    /// Converts to nanoseconds.
+    #[inline]
+    #[must_use]
+    pub fn to_nanosecond(self) -> Nanosecond {
+        Nanosecond::new(self.value() * 1e9)
+    }
+
+    /// Converts to years (Julian year, 365.25 days) — retention targets
+    /// are stated in years (">10 years" for storage, paper §II-A).
+    #[inline]
+    #[must_use]
+    pub fn to_years(self) -> f64 {
+        self.value() / (365.25 * 24.0 * 3600.0)
+    }
+
+    /// Builds a duration from years.
+    #[inline]
+    #[must_use]
+    pub fn from_years(years: f64) -> Self {
+        Self::new(years * 365.25 * 24.0 * 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanosecond_round_trip() {
+        let t = Nanosecond::new(7.4);
+        assert!((t.to_second().to_nanosecond().value() - 7.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ten_year_retention_target() {
+        let t = Second::from_years(10.0);
+        assert!((t.to_years() - 10.0).abs() < 1e-12);
+        assert!((t.value() - 3.156e8).abs() / 3.156e8 < 1e-3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the virtual lab.
+
+use core::fmt;
+
+/// Errors produced by virtual measurements and extractions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VlabError {
+    /// A measurement configuration parameter was invalid.
+    InvalidSetup {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The measured data did not contain the feature being extracted
+    /// (e.g. no switching transition inside the sweep window).
+    FeatureNotFound {
+        /// What was being looked for.
+        feature: &'static str,
+    },
+    /// The underlying device model failed.
+    Device(mramsim_mtj::MtjError),
+    /// A numeric routine (fitting, statistics) failed.
+    Numerics(mramsim_numerics::NumericsError),
+}
+
+impl fmt::Display for VlabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSetup { name, message } => {
+                write!(f, "invalid measurement setup {name}: {message}")
+            }
+            Self::FeatureNotFound { feature } => {
+                write!(f, "measured data does not contain {feature}")
+            }
+            Self::Device(e) => write!(f, "device model failed: {e}"),
+            Self::Numerics(e) => write!(f, "numeric routine failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VlabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Device(e) => Some(e),
+            Self::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mramsim_mtj::MtjError> for VlabError {
+    fn from(e: mramsim_mtj::MtjError) -> Self {
+        Self::Device(e)
+    }
+}
+
+impl From<mramsim_numerics::NumericsError> for VlabError {
+    fn from(e: mramsim_numerics::NumericsError) -> Self {
+        Self::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<VlabError>();
+        let e = VlabError::FeatureNotFound {
+            feature: "AP->P transition",
+        };
+        assert!(e.to_string().contains("AP->P"));
+    }
+}

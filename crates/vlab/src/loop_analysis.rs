@@ -1,0 +1,183 @@
+//! Extraction of device parameters from a measured R-H loop (paper §III).
+
+use crate::{RhLoop, VlabError};
+use mramsim_numerics::stats;
+use mramsim_units::{Nanometer, Oersted, Ohm, ResistanceArea};
+
+/// Parameters extracted from one R-H loop, exactly the §III set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopExtraction {
+    /// AP→P switching field (up sweep).
+    pub hsw_p: Oersted,
+    /// P→AP switching field (down sweep, negative).
+    pub hsw_n: Oersted,
+    /// Coercivity `Hc = (Hsw_p − Hsw_n)/2`.
+    pub hc: Oersted,
+    /// Loop offset `Hoffset = (Hsw_p + Hsw_n)/2`.
+    pub h_offset: Oersted,
+    /// The intra-cell stray field inferred from the offset:
+    /// `Hz_s_intra = −Hoffset`.
+    pub hz_s_intra: Oersted,
+    /// Parallel-state resistance (median of the P plateau).
+    pub rp: Ohm,
+    /// Anti-parallel resistance at the read voltage.
+    pub rap: Ohm,
+    /// Electrical critical diameter from `eCD = √(4/π · RA/RP)`.
+    pub ecd: Nanometer,
+}
+
+/// Analyzes a measured loop, using only observable quantities (applied
+/// field and resistance) — never the ground-truth state.
+///
+/// The resistance threshold separating P from AP is the midpoint of the
+/// observed resistance range, which is robust for TMR ≫ read noise.
+///
+/// # Errors
+///
+/// * [`VlabError::FeatureNotFound`] when a branch contains no switching
+///   transition (e.g. a locked device, paper \[11\]).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_vlab::{analyze_loop, RhLoopTester};
+/// use mramsim_mtj::presets;
+/// use mramsim_units::Nanometer;
+/// use rand::SeedableRng;
+///
+/// let device = presets::imec_like(Nanometer::new(35.0))?;
+/// let rh = RhLoopTester::paper_setup()
+///     .run(&device, &mut rand::rngs::StdRng::seed_from_u64(5))?;
+/// let x = analyze_loop(&rh, device.electrical().ra())?;
+/// // One loop carries ~90 Oe of thermal noise around the true −366 Oe.
+/// assert!(x.hz_s_intra.value() < -100.0 && x.hz_s_intra.value() > -650.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze_loop(rh: &RhLoop, ra: ResistanceArea) -> Result<LoopExtraction, VlabError> {
+    let rs: Vec<f64> = rh.points().iter().map(|p| p.resistance.value()).collect();
+    let lo = rs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = rs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let threshold = 0.5 * (lo + hi);
+    if !(hi > 1.2 * lo) {
+        return Err(VlabError::FeatureNotFound {
+            feature: "a bimodal resistance distribution (device may be locked)",
+        });
+    }
+    let is_ap = |r: f64| r > threshold;
+
+    // AP→P on the up branch: first high→low resistance crossing.
+    let hsw_p = rh
+        .up_branch()
+        .windows(2)
+        .find(|w| is_ap(w[0].resistance.value()) && !is_ap(w[1].resistance.value()))
+        .map(|w| w[1].h_applied)
+        .ok_or(VlabError::FeatureNotFound {
+            feature: "the AP->P transition on the up sweep",
+        })?;
+
+    // P→AP on the down branch: first low→high crossing.
+    let hsw_n = rh
+        .down_branch()
+        .windows(2)
+        .find(|w| !is_ap(w[0].resistance.value()) && is_ap(w[1].resistance.value()))
+        .map(|w| w[1].h_applied)
+        .ok_or(VlabError::FeatureNotFound {
+            feature: "the P->AP transition on the down sweep",
+        })?;
+
+    let hc = (hsw_p - hsw_n) * 0.5;
+    let h_offset = (hsw_p + hsw_n) * 0.5;
+
+    let p_plateau: Vec<f64> = rs.iter().copied().filter(|&r| !is_ap(r)).collect();
+    let ap_plateau: Vec<f64> = rs.iter().copied().filter(|&r| is_ap(r)).collect();
+    let rp = Ohm::new(stats::median(&p_plateau)?);
+    let rap = Ohm::new(stats::median(&ap_plateau)?);
+
+    let ecd = ra.ecd_from_rp(rp);
+
+    Ok(LoopExtraction {
+        hsw_p,
+        hsw_n,
+        hc,
+        h_offset,
+        hz_s_intra: -h_offset,
+        rp,
+        rap,
+        ecd,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RhLoopTester;
+    use mramsim_mtj::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn extract(ecd: f64, seed: u64) -> LoopExtraction {
+        let device = presets::imec_like(Nanometer::new(ecd)).unwrap();
+        let rh = RhLoopTester::paper_setup()
+            .run(&device, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        analyze_loop(&rh, device.electrical().ra()).unwrap()
+    }
+
+    #[test]
+    fn extraction_recovers_the_paper_coercivity() {
+        let x = extract(55.0, 11);
+        assert!((x.hc.value() - 2200.0).abs() < 200.0, "Hc = {:?}", x.hc);
+    }
+
+    #[test]
+    fn extraction_recovers_the_intra_field_when_averaged() {
+        // A single loop carries ~90 Oe of thermal switching-field noise
+        // (the "intrinsic switching stochasticity" behind the paper's
+        // error bars); averaging a dozen loops recovers the truth.
+        let device = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let truth = device.intra_hz_at_fl_center().unwrap();
+        let tester = RhLoopTester::paper_setup();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut values = Vec::new();
+        for _ in 0..12 {
+            let rh = tester.run(&device, &mut rng).unwrap();
+            let x = analyze_loop(&rh, device.electrical().ra()).unwrap();
+            values.push(x.hz_s_intra.value());
+        }
+        let mean = mramsim_numerics::stats::mean(&values).unwrap();
+        assert!(mean < 0.0);
+        assert!(
+            (mean - truth.value()).abs() < 80.0,
+            "mean extracted {mean} vs truth {truth:?}"
+        );
+    }
+
+    #[test]
+    fn extraction_recovers_the_ecd() {
+        for ecd in [35.0, 55.0, 90.0] {
+            let x = extract(ecd, 13);
+            assert!(
+                (x.ecd.value() - ecd).abs() < 0.05 * ecd,
+                "eCD {ecd}: extracted {:?}",
+                x.ecd
+            );
+        }
+    }
+
+    #[test]
+    fn rap_exceeds_rp_by_the_low_bias_tmr() {
+        let x = extract(55.0, 14);
+        let ratio = x.rap.value() / x.rp.value();
+        assert!(ratio > 2.2 && ratio < 2.7, "RAP/RP = {ratio}");
+    }
+
+    #[test]
+    fn coercivity_window_is_consistent() {
+        let x = extract(35.0, 15);
+        assert!(x.hsw_p.value() > 0.0);
+        assert!(x.hsw_n.value() < 0.0);
+        assert!((x.h_offset.value() + x.hz_s_intra.value()).abs() < 1e-12);
+        let reconstructed_p = x.hc + x.h_offset;
+        assert!((reconstructed_p.value() - x.hsw_p.value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,180 @@
+//! Switching-probability measurement (paper §V-A: "we measured the R-H
+//! loop of the same device for 1000 cycles to obtain a statistical
+//! result of the switching probability at varying fields").
+
+use crate::VlabError;
+use mramsim_mtj::{MtjDevice, SharrockModel};
+use mramsim_units::{Oersted, Second};
+use rand::Rng;
+
+/// One point of a switching-probability curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchingProbePoint {
+    /// Applied external field.
+    pub h_applied: Oersted,
+    /// Fraction of cycles in which the device switched.
+    pub probability: f64,
+    /// Number of cycles behind the estimate.
+    pub cycles: usize,
+}
+
+/// Measures AP→P switching probability vs applied field by repeated
+/// reset-and-probe cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchingProbe {
+    dwell: Second,
+    cycles: usize,
+}
+
+impl SwitchingProbe {
+    /// Creates a probe with the given per-point dwell and cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VlabError::InvalidSetup`] for a non-positive dwell or
+    /// zero cycles.
+    pub fn new(dwell: Second, cycles: usize) -> Result<Self, VlabError> {
+        if !(dwell.value() > 0.0) {
+            return Err(VlabError::InvalidSetup {
+                name: "dwell",
+                message: format!("must be positive, got {dwell:?}"),
+            });
+        }
+        if cycles == 0 {
+            return Err(VlabError::InvalidSetup {
+                name: "cycles",
+                message: "need at least one cycle".into(),
+            });
+        }
+        Ok(Self { dwell, cycles })
+    }
+
+    /// The paper's protocol: 1000 cycles at the R-H tester dwell.
+    #[must_use]
+    pub fn paper_setup() -> Self {
+        Self {
+            dwell: Second::new(1e-4),
+            cycles: 1000,
+        }
+    }
+
+    /// The per-point dwell.
+    #[must_use]
+    pub fn dwell(&self) -> Second {
+        self.dwell
+    }
+
+    /// Measures the AP→P switching probability at each applied field.
+    ///
+    /// Each cycle resets the device to AP (a large negative field) and
+    /// then applies `h` for the dwell time; the device's own intra-cell
+    /// stray field adds to the applied field, exactly as in the real
+    /// measurement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-model failures.
+    pub fn measure_ap_to_p<R: Rng + ?Sized>(
+        &self,
+        device: &MtjDevice,
+        fields: &[Oersted],
+        rng: &mut R,
+    ) -> Result<Vec<SwitchingProbePoint>, VlabError> {
+        let sharrock = SharrockModel::new(
+            device.switching().hk(),
+            device.switching().delta0(),
+        )?;
+        let stray = device.intra_hz_at_fl_center()?;
+        let mut out = Vec::with_capacity(fields.len());
+        for &h in fields {
+            // AP state: destabilising field = +(H + stray).
+            let h_eff = h + stray;
+            let p = sharrock.switching_probability(h_eff, self.dwell);
+            let switched = (0..self.cycles).filter(|_| rng.gen::<f64>() < p).count();
+            out.push(SwitchingProbePoint {
+                h_applied: h,
+                probability: switched as f64 / self.cycles as f64,
+                cycles: self.cycles,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::presets;
+    use mramsim_units::Nanometer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn probe_curve(seed: u64) -> Vec<SwitchingProbePoint> {
+        let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        let fields: Vec<Oersted> = (0..40)
+            .map(|i| Oersted::new(1800.0 + 30.0 * f64::from(i)))
+            .collect();
+        SwitchingProbe::paper_setup()
+            .measure_ap_to_p(&device, &fields, &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn probability_rises_monotonically_through_the_transition() {
+        let curve = probe_curve(21);
+        assert!(curve.first().unwrap().probability < 0.05);
+        assert!(curve.last().unwrap().probability > 0.95);
+        // Smoothed monotonicity: the cumulative max never drops by more
+        // than statistical noise.
+        let mut max_so_far: f64 = 0.0;
+        for p in &curve {
+            assert!(p.probability > max_so_far - 0.08, "noise bound exceeded");
+            max_so_far = max_so_far.max(p.probability);
+        }
+    }
+
+    #[test]
+    fn transition_sits_near_hc_plus_offset() {
+        // AP→P switches at Hc + Hoffset in applied-field terms.
+        let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        let stray = device.intra_hz_at_fl_center().unwrap();
+        let curve = probe_curve(22);
+        let h50 = curve
+            .iter()
+            .find(|p| p.probability >= 0.5)
+            .unwrap()
+            .h_applied;
+        let expected = 2200.0 - stray.value(); // Hc − Hz_s_intra
+        assert!(
+            (h50.value() - expected).abs() < 120.0,
+            "H50 = {h50}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn cycle_count_controls_estimator_noise() {
+        let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        let fields = [Oersted::new(2500.0)];
+        let mut rng = StdRng::seed_from_u64(23);
+        let few = SwitchingProbe::new(Second::new(1e-4), 50).unwrap();
+        let many = SwitchingProbe::new(Second::new(1e-4), 5000).unwrap();
+        let spread = |probe: &SwitchingProbe, rng: &mut StdRng| -> f64 {
+            let samples: Vec<f64> = (0..12)
+                .map(|_| {
+                    probe
+                        .measure_ap_to_p(&device, &fields, rng)
+                        .unwrap()[0]
+                        .probability
+                })
+                .collect();
+            mramsim_numerics::stats::std_dev(&samples).unwrap()
+        };
+        assert!(spread(&few, &mut rng) > spread(&many, &mut rng));
+    }
+
+    #[test]
+    fn invalid_setup_is_rejected() {
+        assert!(SwitchingProbe::new(Second::ZERO, 100).is_err());
+        assert!(SwitchingProbe::new(Second::new(1e-4), 0).is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! The R-H hysteresis loop tester (paper §III, Fig. 2a).
+//!
+//! The virtual tester reproduces the paper's measurement protocol: the
+//! external field ramps `0 → +3 kOe → −3 kOe → 0` over 1000 points, and
+//! after every field step the device resistance is read at 20 mV.
+//! Switching is thermally stochastic: at every point the FL escapes its
+//! state with the Sharrock rate for the current *effective* field
+//! (applied + the device's own intra-cell stray field) — this is what
+//! offsets the measured loop (`Hoffset = −Hz_s_intra`).
+
+use crate::VlabError;
+use mramsim_mtj::{MtjDevice, MtjState, SharrockModel};
+use mramsim_units::{Oersted, Ohm, Second, Volt};
+use rand::Rng;
+
+/// One point of a measured R-H loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RhPoint {
+    /// Applied external field.
+    pub h_applied: Oersted,
+    /// Resistance read back at the read voltage.
+    pub resistance: Ohm,
+    /// True device state after this field step (ground truth, not
+    /// observable on real silicon; used only for validation).
+    pub true_state: MtjState,
+}
+
+/// A complete measured R-H loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RhLoop {
+    points: Vec<RhPoint>,
+    up_sweep_len: usize,
+}
+
+impl RhLoop {
+    /// All points in measurement order.
+    #[must_use]
+    pub fn points(&self) -> &[RhPoint] {
+        &self.points
+    }
+
+    /// The points of the ascending branch (`0 → +Hmax`) plus descending
+    /// start — the branch containing the AP→P transition.
+    #[must_use]
+    pub fn up_branch(&self) -> &[RhPoint] {
+        &self.points[..self.up_sweep_len]
+    }
+
+    /// The descending branch (`+Hmax → −Hmax`) containing the P→AP
+    /// transition.
+    #[must_use]
+    pub fn down_branch(&self) -> &[RhPoint] {
+        &self.points[self.up_sweep_len..]
+    }
+}
+
+/// The virtual R-H loop tester.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RhLoopTester {
+    max_field: Oersted,
+    field_points: usize,
+    read_voltage: Volt,
+    dwell: Second,
+    read_noise_rel: f64,
+}
+
+impl RhLoopTester {
+    /// Creates a tester.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VlabError::InvalidSetup`] for a non-positive field
+    /// range, fewer than 16 points, or non-positive dwell.
+    pub fn new(
+        max_field: Oersted,
+        field_points: usize,
+        read_voltage: Volt,
+        dwell: Second,
+        read_noise_rel: f64,
+    ) -> Result<Self, VlabError> {
+        if !(max_field.value() > 0.0) {
+            return Err(VlabError::InvalidSetup {
+                name: "max_field",
+                message: format!("must be positive, got {max_field:?}"),
+            });
+        }
+        if field_points < 16 {
+            return Err(VlabError::InvalidSetup {
+                name: "field_points",
+                message: format!("need at least 16 points, got {field_points}"),
+            });
+        }
+        if !(dwell.value() > 0.0) {
+            return Err(VlabError::InvalidSetup {
+                name: "dwell",
+                message: format!("must be positive, got {dwell:?}"),
+            });
+        }
+        if !(0.0..0.5).contains(&read_noise_rel) {
+            return Err(VlabError::InvalidSetup {
+                name: "read_noise_rel",
+                message: format!("must be in [0, 0.5), got {read_noise_rel}"),
+            });
+        }
+        Ok(Self {
+            max_field,
+            field_points,
+            read_voltage,
+            dwell,
+            read_noise_rel,
+        })
+    }
+
+    /// The paper's setup: ±3 kOe, 1000 field points, 20 mV read, 0.1 ms
+    /// dwell per point, 0.2 % read noise.
+    #[must_use]
+    pub fn paper_setup() -> Self {
+        Self {
+            max_field: Oersted::new(3000.0),
+            field_points: 1000,
+            read_voltage: Volt::new(0.02),
+            dwell: Second::new(1e-4),
+            read_noise_rel: 0.002,
+        }
+    }
+
+    /// Per-point dwell time (needed by the Sharrock extraction).
+    #[must_use]
+    pub fn dwell(&self) -> Second {
+        self.dwell
+    }
+
+    /// Number of field points over the full sweep.
+    #[must_use]
+    pub fn field_points(&self) -> usize {
+        self.field_points
+    }
+
+    /// Runs one loop on a device.
+    ///
+    /// The device starts in AP (the state a preceding loop leaves at
+    /// `H = 0` after returning from `−Hmax`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-model failures.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        device: &MtjDevice,
+        rng: &mut R,
+    ) -> Result<RhLoop, VlabError> {
+        let sharrock = SharrockModel::new(
+            device.switching().hk(),
+            device.switching().delta0(),
+        )?;
+        let stray = device.intra_hz_at_fl_center()?;
+        let area = device.area();
+        let el = device.electrical();
+
+        // Field schedule: 0 → +Hmax → −Hmax → 0, evenly spaced.
+        let n = self.field_points;
+        let hmax = self.max_field.value();
+        let quarter = n / 4;
+        let mut fields = Vec::with_capacity(n);
+        for i in 0..quarter {
+            fields.push(hmax * i as f64 / quarter as f64);
+        }
+        for i in 0..(2 * quarter) {
+            fields.push(hmax - 2.0 * hmax * i as f64 / (2 * quarter) as f64);
+        }
+        let rest = n - fields.len();
+        for i in 0..rest {
+            fields.push(-hmax + hmax * i as f64 / rest as f64);
+        }
+
+        let mut state = MtjState::AntiParallel;
+        let mut points = Vec::with_capacity(n);
+        let mut up_sweep_len = 0usize;
+        for (idx, h) in fields.iter().copied().enumerate() {
+            let h_total = Oersted::new(h) + stray;
+            // Destabilising field for the current state: positive total
+            // field pushes AP→P (FL −z → +z); negative pushes P→AP.
+            let h_eff = -state.fl_direction() * h_total;
+            let p_switch = sharrock.switching_probability(h_eff, self.dwell);
+            if rng.gen::<f64>() < p_switch {
+                state = state.flipped();
+            }
+            let r = el.resistance(state, self.read_voltage, area);
+            let noisy =
+                r.value() * (1.0 + self.read_noise_rel * (2.0 * rng.gen::<f64>() - 1.0));
+            points.push(RhPoint {
+                h_applied: Oersted::new(h),
+                resistance: Ohm::new(noisy),
+                true_state: state,
+            });
+            if idx < quarter {
+                up_sweep_len = idx + 1;
+            }
+        }
+        Ok(RhLoop {
+            points,
+            up_sweep_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::presets;
+    use mramsim_units::Nanometer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_loop(seed: u64) -> RhLoop {
+        let device = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let tester = RhLoopTester::paper_setup();
+        tester
+            .run(&device, &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn loop_has_the_requested_point_count() {
+        let rh = run_loop(1);
+        assert_eq!(rh.points().len(), 1000);
+    }
+
+    #[test]
+    fn device_switches_to_p_on_the_up_sweep() {
+        let rh = run_loop(2);
+        // At the top of the up branch the device must be P.
+        let top = rh.up_branch().last().unwrap();
+        assert_eq!(top.true_state, MtjState::Parallel);
+        // And at the bottom of the down branch it must be AP again.
+        let bottom = rh
+            .down_branch()
+            .iter()
+            .min_by(|a, b| a.h_applied.partial_cmp(&b.h_applied).unwrap())
+            .unwrap();
+        assert_eq!(bottom.true_state, MtjState::AntiParallel);
+    }
+
+    #[test]
+    fn resistance_is_bimodal() {
+        let rh = run_loop(3);
+        let rs: Vec<f64> = rh.points().iter().map(|p| p.resistance.value()).collect();
+        let lo = rs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = rs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // RAP(20 mV)/RP ≈ 1 + TMR(0.02) ≈ 2.5.
+        assert!(hi / lo > 2.0, "lo {lo}, hi {hi}");
+    }
+
+    #[test]
+    fn switching_fields_are_offset_to_positive_side() {
+        // Hsw_p + Hsw_n > 0 because Hz_s_intra < 0 (Fig. 2a).
+        let rh = run_loop(4);
+        let hsw_p = rh
+            .up_branch()
+            .windows(2)
+            .find(|w| w[0].true_state != w[1].true_state)
+            .map(|w| w[1].h_applied.value())
+            .expect("AP->P transition on the up sweep");
+        let hsw_n = rh
+            .down_branch()
+            .windows(2)
+            .find(|w| w[0].true_state != w[1].true_state)
+            .map(|w| w[1].h_applied.value())
+            .expect("P->AP transition on the down sweep");
+        assert!(hsw_p > 0.0 && hsw_n < 0.0);
+        assert!(hsw_p + hsw_n > 0.0, "offset: {}", (hsw_p + hsw_n) / 2.0);
+    }
+
+    #[test]
+    fn switching_field_is_stochastic_across_cycles() {
+        let device = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let tester = RhLoopTester::paper_setup();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut hsw = Vec::new();
+        for _ in 0..20 {
+            let rh = tester.run(&device, &mut rng).unwrap();
+            let h = rh
+                .up_branch()
+                .windows(2)
+                .find(|w| w[0].true_state != w[1].true_state)
+                .map(|w| w[1].h_applied.value())
+                .unwrap();
+            hsw.push(h);
+        }
+        let spread = hsw.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - hsw.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread > 1.0, "thermal stochasticity must spread Hsw: {spread}");
+        assert!(spread < 500.0, "but not absurdly: {spread}");
+    }
+
+    #[test]
+    fn invalid_setups_are_rejected() {
+        assert!(RhLoopTester::new(
+            Oersted::ZERO,
+            1000,
+            Volt::new(0.02),
+            Second::new(1e-4),
+            0.0
+        )
+        .is_err());
+        assert!(RhLoopTester::new(
+            Oersted::new(3000.0),
+            4,
+            Volt::new(0.02),
+            Second::new(1e-4),
+            0.0
+        )
+        .is_err());
+        assert!(RhLoopTester::new(
+            Oersted::new(3000.0),
+            1000,
+            Volt::new(0.02),
+            Second::ZERO,
+            0.0
+        )
+        .is_err());
+        assert!(RhLoopTester::new(
+            Oersted::new(3000.0),
+            1000,
+            Volt::new(0.02),
+            Second::new(1e-4),
+            0.9
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Device-to-device process variation.
+
+use crate::VlabError;
+use mramsim_mtj::{ElectricalParams, MtjDevice, SwitchingParams};
+use mramsim_numerics::dist::Normal;
+use mramsim_units::{Nanometer, ResistanceArea};
+use rand::Rng;
+
+/// Relative (1σ) process spreads applied when sampling devices from a
+/// nominal design. The defaults are typical for a mature MTJ process and
+/// produce error bars comparable to the paper's Fig. 2b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessVariation {
+    /// eCD spread, relative (e.g. `0.02` = 2 %): litho/etch CD control.
+    pub ecd_rel: f64,
+    /// `Hk` spread, relative: interface anisotropy non-uniformity.
+    pub hk_rel: f64,
+    /// `Δ0` spread, relative.
+    pub delta0_rel: f64,
+    /// `RA` spread, relative: barrier thickness non-uniformity.
+    pub ra_rel: f64,
+}
+
+impl Default for ProcessVariation {
+    fn default() -> Self {
+        Self {
+            ecd_rel: 0.02,
+            hk_rel: 0.03,
+            delta0_rel: 0.05,
+            ra_rel: 0.03,
+        }
+    }
+}
+
+impl ProcessVariation {
+    /// A zero-variation process (every sampled device is nominal) —
+    /// useful to isolate intrinsic switching stochasticity in tests.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            ecd_rel: 0.0,
+            hk_rel: 0.0,
+            delta0_rel: 0.0,
+            ra_rel: 0.0,
+        }
+    }
+
+    /// Samples one varied device from the nominal design.
+    ///
+    /// # Errors
+    ///
+    /// * [`VlabError::InvalidSetup`] for negative spreads.
+    /// * [`VlabError::Device`] if a sampled parameter lands outside the
+    ///   physical range (essentially impossible for sane spreads).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        nominal: &MtjDevice,
+        rng: &mut R,
+    ) -> Result<MtjDevice, VlabError> {
+        for (name, v) in [
+            ("ecd_rel", self.ecd_rel),
+            ("hk_rel", self.hk_rel),
+            ("delta0_rel", self.delta0_rel),
+            ("ra_rel", self.ra_rel),
+        ] {
+            if !(v >= 0.0) || !v.is_finite() {
+                return Err(VlabError::InvalidSetup {
+                    name,
+                    message: format!("spread must be >= 0 and finite, got {v}"),
+                });
+            }
+        }
+
+        let draw = |rng: &mut R, nominal_value: f64, rel: f64| -> Result<f64, VlabError> {
+            let d = Normal::new(nominal_value, nominal_value.abs() * rel)?;
+            Ok(d.sample(rng))
+        };
+
+        let ecd = Nanometer::new(draw(rng, nominal.ecd().value(), self.ecd_rel)?);
+        let sw = nominal.switching();
+        let hk = mramsim_units::Oersted::new(draw(rng, sw.hk().value(), self.hk_rel)?);
+        let delta0 = draw(rng, sw.delta0(), self.delta0_rel)?;
+        let switching = SwitchingParams::new(
+            hk,
+            delta0,
+            sw.alpha(),
+            sw.eta(),
+            sw.spin_polarization(),
+            *sw.thermal(),
+        )?;
+        let el = nominal.electrical();
+        let ra = ResistanceArea::new(draw(rng, el.ra().value(), self.ra_rel)?);
+        let electrical = ElectricalParams::new(ra, el.tmr0(), el.vh())?;
+
+        Ok(MtjDevice::new(
+            ecd,
+            nominal.stack().clone(),
+            electrical,
+            switching,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::presets;
+    use mramsim_numerics::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_variation_reproduces_the_nominal_device() {
+        let nominal = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampled = ProcessVariation::none().sample(&nominal, &mut rng).unwrap();
+        assert_eq!(sampled.ecd().value(), 55.0);
+        assert_eq!(sampled.switching().hk().value(), 4646.8);
+        assert_eq!(sampled.switching().delta0(), 45.5);
+    }
+
+    #[test]
+    fn sampled_spread_matches_requested_sigma() {
+        let nominal = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let var = ProcessVariation::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let ecds: Vec<f64> = (0..4000)
+            .map(|_| var.sample(&nominal, &mut rng).unwrap().ecd().value())
+            .collect();
+        let mean = stats::mean(&ecds).unwrap();
+        let sd = stats::std_dev(&ecds).unwrap();
+        assert!((mean - 55.0).abs() < 0.1, "mean = {mean}");
+        assert!((sd - 55.0 * 0.02).abs() < 0.1, "sd = {sd}");
+    }
+
+    #[test]
+    fn negative_spread_is_rejected() {
+        let nominal = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let bad = ProcessVariation {
+            ecd_rel: -0.1,
+            ..ProcessVariation::default()
+        };
+        assert!(matches!(
+            bad.sample(&nominal, &mut rng),
+            Err(VlabError::InvalidSetup { .. })
+        ));
+    }
+
+    #[test]
+    fn variation_is_reproducible_under_a_seed() {
+        let nominal = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        let var = ProcessVariation::default();
+        let a = var
+            .sample(&nominal, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = var
+            .sample(&nominal, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a.ecd().value(), b.ecd().value());
+        assert_eq!(a.switching().hk().value(), b.switching().hk().value());
+    }
+}

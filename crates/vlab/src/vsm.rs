@@ -1,0 +1,100 @@
+//! Vibrating-sample magnetometry at blanket-film level.
+//!
+//! The paper measures each layer's `Ms·t` product by VSM before
+//! patterning (§IV-A); those numbers feed the bound-current model. The
+//! virtual VSM reads the ground-truth stack with a small instrument
+//! error.
+
+use crate::VlabError;
+use mramsim_mtj::MtjStack;
+use mramsim_numerics::dist::Normal;
+use rand::Rng;
+
+/// One VSM reading of a blanket film.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VsmReading {
+    /// Layer name as deposited (`"FL"`, `"RL"`, `"HL"`).
+    pub layer: String,
+    /// Measured `Ms·t` magnitude in amperes (`= emu/cm² × 10⁴`… the SI
+    /// sheet-moment convention used throughout this workspace).
+    pub ms_t: f64,
+}
+
+/// Measures every layer of a stack at blanket level.
+///
+/// # Errors
+///
+/// Returns [`VlabError::InvalidSetup`] for a negative instrument error.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_vlab::vsm_measure_stack;
+/// use mramsim_mtj::MtjStack;
+/// use rand::SeedableRng;
+///
+/// let stack = MtjStack::builder().build_imec_like()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let readings = vsm_measure_stack(&stack, 0.01, &mut rng)?;
+/// assert_eq!(readings.len(), 3); // FL + RL + HL
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn vsm_measure_stack<R: Rng + ?Sized>(
+    stack: &MtjStack,
+    instrument_error_rel: f64,
+    rng: &mut R,
+) -> Result<Vec<VsmReading>, VlabError> {
+    if !(instrument_error_rel >= 0.0) || !instrument_error_rel.is_finite() {
+        return Err(VlabError::InvalidSetup {
+            name: "instrument_error_rel",
+            message: format!("must be >= 0, got {instrument_error_rel}"),
+        });
+    }
+    let mut read = |name: &str, truth: f64| -> Result<VsmReading, VlabError> {
+        let noise = Normal::new(truth, truth.abs() * instrument_error_rel)?;
+        Ok(VsmReading {
+            layer: name.to_owned(),
+            ms_t: noise.sample(rng),
+        })
+    };
+    let mut out = vec![read("FL", stack.fl_ms_t().value())?];
+    for layer in stack.fixed_layers() {
+        out.push(read(layer.name(), layer.ms_t().value())?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_instrument_reads_ground_truth() {
+        let stack = MtjStack::builder().build_imec_like().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = vsm_measure_stack(&stack, 0.0, &mut rng).unwrap();
+        assert_eq!(r[0].layer, "FL");
+        assert!((r[0].ms_t - 2.06e-3).abs() < 1e-12);
+        assert!((r[1].ms_t - 0.07e-3).abs() < 1e-12);
+        assert!((r[2].ms_t - 1.43e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_instrument_stays_near_truth() {
+        let stack = MtjStack::builder().build_imec_like().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let r = vsm_measure_stack(&stack, 0.02, &mut rng).unwrap();
+            assert!((r[0].ms_t - 2.06e-3).abs() / 2.06e-3 < 0.12);
+        }
+    }
+
+    #[test]
+    fn negative_error_is_rejected() {
+        let stack = MtjStack::builder().build_imec_like().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(vsm_measure_stack(&stack, -0.1, &mut rng).is_err());
+    }
+}

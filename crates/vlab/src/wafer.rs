@@ -1,0 +1,216 @@
+//! Wafer-level device populations.
+//!
+//! The paper's wafer carries isolated (0T1R) MTJ devices of several
+//! sizes (35–175 nm); Fig. 1c shows the floor plan. [`Wafer`] is the
+//! synthetic equivalent: per size, a group of devices sampled from the
+//! nominal design under process variation.
+
+use crate::{ProcessVariation, VlabError};
+use mramsim_mtj::MtjDevice;
+use mramsim_units::Nanometer;
+use rand::Rng;
+
+/// One fabricated device with its identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceUnderTest {
+    device: MtjDevice,
+    nominal_ecd: Nanometer,
+    id: u32,
+}
+
+impl DeviceUnderTest {
+    /// The (ground-truth) device model.
+    #[must_use]
+    pub fn device(&self) -> &MtjDevice {
+        &self.device
+    }
+
+    /// The size group this device was designed into.
+    #[must_use]
+    pub fn nominal_ecd(&self) -> Nanometer {
+        self.nominal_ecd
+    }
+
+    /// Die identifier.
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+/// Specification for fabricating a synthetic wafer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferSpec {
+    /// Nominal device sizes, one group per entry (paper: 35–175 nm).
+    pub sizes: Vec<Nanometer>,
+    /// Devices fabricated per size group.
+    pub devices_per_size: usize,
+    /// Process variation applied when sampling.
+    pub variation: ProcessVariation,
+}
+
+impl WaferSpec {
+    /// The paper's size range with a practical per-size count.
+    #[must_use]
+    pub fn paper_sizes(devices_per_size: usize) -> Self {
+        Self {
+            sizes: [20.0, 35.0, 55.0, 90.0, 130.0, 175.0]
+                .into_iter()
+                .map(Nanometer::new)
+                .collect(),
+            devices_per_size,
+            variation: ProcessVariation::default(),
+        }
+    }
+}
+
+/// A group of devices sharing a nominal size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeGroup<'a> {
+    /// The nominal size of the group.
+    pub nominal_ecd: Nanometer,
+    /// The devices in the group.
+    pub devices: &'a [DeviceUnderTest],
+}
+
+/// A fabricated wafer: devices grouped by nominal size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wafer {
+    duts: Vec<DeviceUnderTest>,
+    sizes: Vec<Nanometer>,
+    per_size: usize,
+}
+
+impl Wafer {
+    /// Fabricates a wafer from a nominal design and a spec.
+    ///
+    /// # Errors
+    ///
+    /// * [`VlabError::InvalidSetup`] for an empty spec.
+    /// * Propagates sampling failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mramsim_vlab::{Wafer, WaferSpec};
+    /// use mramsim_mtj::presets;
+    /// use mramsim_units::Nanometer;
+    /// use rand::SeedableRng;
+    ///
+    /// let nominal = presets::imec_like(Nanometer::new(55.0))?;
+    /// let spec = WaferSpec::paper_sizes(10);
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let wafer = Wafer::fabricate(&nominal, &spec, &mut rng)?;
+    /// assert_eq!(wafer.devices().len(), 60);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn fabricate<R: Rng + ?Sized>(
+        nominal: &MtjDevice,
+        spec: &WaferSpec,
+        rng: &mut R,
+    ) -> Result<Self, VlabError> {
+        if spec.sizes.is_empty() || spec.devices_per_size == 0 {
+            return Err(VlabError::InvalidSetup {
+                name: "spec",
+                message: "need at least one size and one device per size".into(),
+            });
+        }
+        let mut duts = Vec::with_capacity(spec.sizes.len() * spec.devices_per_size);
+        let mut id = 0u32;
+        for &size in &spec.sizes {
+            let resized = nominal.with_ecd(size)?;
+            for _ in 0..spec.devices_per_size {
+                let device = spec.variation.sample(&resized, rng)?;
+                duts.push(DeviceUnderTest {
+                    device,
+                    nominal_ecd: size,
+                    id,
+                });
+                id += 1;
+            }
+        }
+        Ok(Self {
+            duts,
+            sizes: spec.sizes.clone(),
+            per_size: spec.devices_per_size,
+        })
+    }
+
+    /// All devices in fabrication order.
+    #[must_use]
+    pub fn devices(&self) -> &[DeviceUnderTest] {
+        &self.duts
+    }
+
+    /// Iterates over size groups in spec order.
+    pub fn size_groups(&self) -> impl Iterator<Item = SizeGroup<'_>> {
+        self.sizes.iter().enumerate().map(move |(i, &size)| {
+            let start = i * self.per_size;
+            SizeGroup {
+                nominal_ecd: size,
+                devices: &self.duts[start..start + self.per_size],
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn wafer(per_size: usize, seed: u64) -> Wafer {
+        let nominal = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let spec = WaferSpec::paper_sizes(per_size);
+        Wafer::fabricate(&nominal, &spec, &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn wafer_has_all_size_groups() {
+        let w = wafer(4, 1);
+        let groups: Vec<_> = w.size_groups().collect();
+        assert_eq!(groups.len(), 6);
+        for g in &groups {
+            assert_eq!(g.devices.len(), 4);
+            for dut in g.devices {
+                assert_eq!(dut.nominal_ecd().value(), g.nominal_ecd.value());
+                // Varied eCD stays near nominal.
+                let rel = (dut.device().ecd().value() - g.nominal_ecd.value()).abs()
+                    / g.nominal_ecd.value();
+                assert!(rel < 0.12, "eCD variation too large: {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let w = wafer(7, 2);
+        let mut ids: Vec<u32> = w.devices().iter().map(DeviceUnderTest::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 42);
+    }
+
+    #[test]
+    fn fabrication_is_seed_reproducible() {
+        let a = wafer(3, 9);
+        let b = wafer(3, 9);
+        for (x, y) in a.devices().iter().zip(b.devices()) {
+            assert_eq!(x.device().ecd().value(), y.device().ecd().value());
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        let nominal = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let spec = WaferSpec {
+            sizes: vec![],
+            devices_per_size: 3,
+            variation: ProcessVariation::default(),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Wafer::fabricate(&nominal, &spec, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Array design exploration: the paper's conclusion as a tool.
+//!
+//! For each device size, find the densest pitch that keeps the coupling
+//! factor at or below 2 %, then report density, worst-case write time,
+//! and worst-case retention.
+//!
+//! Run with: `cargo run --release --example array_designer`
+
+use mramsim::prelude::*;
+use mramsim::units::Volt;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::new(
+        "max-density design points (psi <= 2 %)",
+        &[
+            "ecd_nm",
+            "pitch_nm",
+            "pitch/ecd",
+            "bits_per_um2",
+            "worst_tw_ns@0.9V",
+            "worst_delta@85C",
+            "retention_years@85C",
+        ],
+    );
+
+    for ecd in [20.0, 35.0, 55.0, 90.0] {
+        let report = explore(&DesignQuery {
+            ecd: Nanometer::new(ecd),
+            psi_target: 0.02,
+            write_voltage: Volt::new(0.9),
+            temperature_c: 85.0,
+            retention_target_years: 10.0,
+        })?;
+        table.push_row(&[
+            format!("{ecd:.0}"),
+            format!("{:.1}", report.recommended_pitch.value()),
+            format!("{:.2}", report.recommended_pitch.value() / ecd),
+            format!("{:.0}", report.density_bits_per_um2),
+            report
+                .worst_case_tw_ns
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            format!("{:.1}", report.worst_case_delta),
+            format!("{:.2e}", report.worst_case_retention_years),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    // The psi-vs-pitch picture behind the rule (paper Fig. 4b).
+    let fig = experiments::fig4b::run(&experiments::fig4b::Params::default())?;
+    println!("{}", fig.threshold_table().to_markdown());
+    println!("{}", fig.chart());
+
+    Ok(())
+}

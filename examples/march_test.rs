@@ -1,0 +1,93 @@
+//! Coupling-aware memory testing: run MATS+ and March C− against array
+//! design points of increasing aggressiveness.
+//!
+//! The paper warns that inter-cell coupling "may lead to write errors";
+//! this example shows where those errors appear in the design space and
+//! that a classic March C− catches them.
+//!
+//! Run with: `cargo run --release --example march_test`
+
+use mramsim::faults::march::MarchTest;
+use mramsim::prelude::*;
+use mramsim::units::{Nanosecond, Second};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = presets::imec_like(Nanometer::new(35.0))?;
+
+    let mut table = Table::new(
+        "march test outcomes across design corners",
+        &[
+            "pitch",
+            "vp_v",
+            "pulse_ns",
+            "required_ns(worst NP)",
+            "MATS+",
+            "March C-",
+        ],
+    );
+
+    // From conservative to aggressive: (pitch factor, voltage, pulse).
+    let corners = [
+        (3.0, 1.0, 20.0),
+        (2.0, 1.0, 20.0),
+        (1.5, 1.0, 20.0),
+        (1.5, 0.8, 20.0),
+        (1.5, 0.78, 17.0),
+        (1.5, 0.74, 16.0),
+    ];
+
+    for (factor, voltage, pulse) in corners {
+        let pitch = Nanometer::new(factor * 35.0);
+        let report = classify_write_faults(
+            &device,
+            pitch,
+            Volt::new(voltage),
+            Nanosecond::new(pulse),
+            Kelvin::new(300.0),
+        )?;
+
+        let outcome = |test: MarchTest| -> Result<String, Box<dyn std::error::Error>> {
+            let mut sim = ArraySimulator::new(
+                device.clone(),
+                pitch,
+                8,
+                8,
+                WriteConditions {
+                    voltage: Volt::new(voltage),
+                    pulse: Nanosecond::new(pulse),
+                    temperature: Kelvin::new(300.0),
+                },
+            )?;
+            let result = test.run(&mut sim)?;
+            Ok(if result.passed() {
+                "pass".into()
+            } else {
+                format!("{} fails", result.failures.len())
+            })
+        };
+
+        table.push_row(&[
+            format!("{factor:.1}x"),
+            format!("{voltage:.2}"),
+            format!("{pulse:.0}"),
+            report
+                .required_pulse_ns
+                .map_or_else(|| "subcritical".into(), |v| format!("{v:.1}")),
+            outcome(MarchTest::mats_plus())?,
+            outcome(MarchTest::march_c_minus())?,
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    // Retention-fault view: worst-case bit over a year at 85 degC.
+    let coupling = CouplingAnalyzer::new(device.clone(), Nanometer::new(52.5))?;
+    let worst = coupling.total_hz(NeighborhoodPattern::ALL_P);
+    let delta = device.delta(MtjState::Parallel, worst, Celsius::new(85.0).to_kelvin())?;
+    println!(
+        "worst-case bit at 1.5x pitch, 85 degC: delta = {delta:.1}, \
+         P(retention fault in 1 year) = {:.2e}",
+        mramsim::mtj::retention_fault_probability(delta, Second::from_years(1.0))
+    );
+
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Regenerates every figure of the paper in one run and prints the
+//! tables and charts — the complete reproduction artifact.
+//!
+//! Run with: `cargo run --release --example paper_report`
+
+use mramsim::core::experiments::{
+    fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# mramsim paper report — DATE 2020 reproduction\n");
+
+    let f2a = fig2a::run(&fig2a::Params::default())?;
+    println!("{}", f2a.to_table().to_markdown());
+    println!("{}", f2a.chart());
+
+    let f2b = fig2b::run(&fig2b::Params::default())?;
+    println!("{}", f2b.to_table().to_markdown());
+    println!("{}", f2b.chart());
+
+    let f3c = fig3c::run(&fig3c::Params::default())?;
+    println!("{}", f3c.to_table().to_markdown());
+
+    let f3d = fig3d::run(&fig3d::Params::default())?;
+    println!("{}", f3d.to_table().to_markdown());
+    println!("{}", f3d.chart());
+
+    let f4a = fig4a::run(&fig4a::Params::default())?;
+    println!("{}", f4a.to_table().to_markdown());
+    println!(
+        "breakdown: baseline {:.1}, direct step {:.1}, diagonal step {:.1}\n",
+        f4a.breakdown.fixed_total, f4a.breakdown.direct_step, f4a.breakdown.diagonal_step
+    );
+
+    let f4b = fig4b::run(&fig4b::Params::default())?;
+    println!("{}", f4b.threshold_table().to_markdown());
+    println!("{}", f4b.chart());
+
+    let f4c = fig4c::run(&fig4c::Params::default())?;
+    println!("{}", f4c.to_table().to_markdown());
+    println!(
+        "intrinsic Ic = {:.2} uA; intra-only: AP->P {:.2} uA, P->AP {:.2} uA\n",
+        f4c.intrinsic_ua, f4c.ap_to_p_intra_ua, f4c.p_to_ap_intra_ua
+    );
+
+    let f5 = fig5::run(&fig5::Params::default())?;
+    for panel in &f5.panels {
+        println!("{}", panel.to_table().to_markdown());
+        if let Some(spread) = panel.np_spread_at(0.72) {
+            println!(
+                "NP spread at 0.72 V, pitch {}xeCD: {spread:.2} ns\n",
+                panel.pitch_factor
+            );
+        }
+    }
+
+    let f6a = fig6a::run(&fig6a::Params::default())?;
+    println!("{}", f6a.to_table().to_markdown());
+
+    let f6b = fig6b::run(&fig6b::Params::default())?;
+    println!("{}", f6b.to_table().to_markdown());
+    println!("{}", f6b.chart());
+
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: reproduce the paper's headline numbers in a few calls.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mramsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("mramsim quickstart — DATE 2020 magnetic-coupling reproduction\n");
+
+    // 1. The paper's evaluation device: eCD = 35 nm, extracted
+    //    Hk = 4646.8 Oe and Δ0 = 45.5.
+    let device = presets::imec_like(Nanometer::new(35.0))?;
+    let intra = device.intra_hz_at_fl_center()?;
+    println!("intra-cell stray field at the FL centre: {intra:.1}");
+
+    // 2. Eq. 2: the intrinsic critical current and its stray-field
+    //    bifurcation (paper: 57.2 / 61.7 / 52.8 uA).
+    let t = Kelvin::new(300.0);
+    let sw = device.switching();
+    println!(
+        "Ic intrinsic     : {}",
+        sw.critical_current(SwitchDirection::ApToP, Oersted::ZERO, t)
+    );
+    println!(
+        "Ic(AP->P), intra : {}",
+        sw.critical_current(SwitchDirection::ApToP, intra, t)
+    );
+    println!(
+        "Ic(P->AP), intra : {}",
+        sw.critical_current(SwitchDirection::PToAp, intra, t)
+    );
+
+    // 3. Inter-cell coupling at the SK hynix design point
+    //    (eCD = 55 nm, pitch = 90 nm): the Fig. 4a numbers.
+    let dense = presets::imec_like(Nanometer::new(55.0))?;
+    let coupling = CouplingAnalyzer::new(dense, Nanometer::new(90.0))?;
+    let b = coupling.breakdown();
+    let (lo, hi) = coupling.inter_hz_extremes();
+    println!("\n3x3 array, eCD = 55 nm, pitch = 90 nm:");
+    println!("  Hz_s_inter range over 256 patterns: {lo:.1} … {hi:.1}");
+    println!("  step per direct-neighbour flip   : {:.1}", b.direct_step);
+    println!("  step per diagonal-neighbour flip : {:.1}", b.diagonal_step);
+    println!(
+        "  coupling factor psi              : {:.2} %",
+        100.0 * coupling.psi(presets::MEASURED_HC)
+    );
+
+    // 4. The design rule: densest pitch with psi <= 2 %.
+    let device35 = presets::imec_like(Nanometer::new(35.0))?;
+    let pitch = max_density_pitch(
+        &device35,
+        presets::MEASURED_HC,
+        0.02,
+        (Nanometer::new(52.5), Nanometer::new(200.0)),
+    )?;
+    println!(
+        "\npaper design rule for eCD = 35 nm: pitch >= {:.1} nm ({:.2} x eCD), {:.0} bits/um^2",
+        pitch.value(),
+        pitch.value() / 35.0,
+        array_density_bits_per_um2(pitch)
+    );
+
+    Ok(())
+}

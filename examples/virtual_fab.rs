@@ -1,0 +1,69 @@
+//! The full §III→§IV silicon flow on the virtual wafer: fabricate,
+//! measure R-H loops, extract parameters, calibrate the coupling model,
+//! and validate the calibration against ground truth.
+//!
+//! Run with: `cargo run --release --example virtual_fab`
+
+use mramsim::prelude::*;
+use mramsim::vlab::ProcessVariation;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2020);
+
+    // 1. "Fabricate" a wafer of devices between 20 and 175 nm with
+    //    realistic process variation.
+    let truth = presets::imec_like(Nanometer::new(55.0))?;
+    let spec = WaferSpec {
+        devices_per_size: 8,
+        variation: ProcessVariation::default(),
+        ..WaferSpec::paper_sizes(8)
+    };
+    let wafer = Wafer::fabricate(&truth, &spec, &mut rng)?;
+    println!("fabricated {} devices in {} size groups\n", wafer.devices().len(), 6);
+
+    // 2. One representative R-H loop (the paper's Fig. 2a).
+    let dut = &wafer.devices()[2 * 8]; // a 55 nm-group device
+    let tester = RhLoopTester::paper_setup();
+    let rh = tester.run(dut.device(), &mut rng)?;
+    let x = analyze_loop(&rh, dut.device().electrical().ra())?;
+    println!("representative device (nominal 55 nm):");
+    println!("  Hsw_p = {:.0}, Hsw_n = {:.0}", x.hsw_p, x.hsw_n);
+    println!("  Hc = {:.0}, Hoffset = {:.0}", x.hc, x.h_offset);
+    println!("  extracted eCD = {:.1}\n", x.ecd);
+
+    // 3. The Fig. 2b study: per-size medians with error bars.
+    let study = intra_field_study(&wafer, &tester, &mut rng)?;
+    let mut table = Table::new(
+        "Hz_s_intra vs eCD (virtual silicon)",
+        &["nominal_nm", "ecd_median_nm", "hz_mean_oe", "hz_std_oe"],
+    );
+    for p in &study {
+        table.push_row(&[
+            format!("{:.0}", p.nominal_ecd.value()),
+            format!("{:.1}", p.ecd.median),
+            format!("{:.1}", p.hz_s_intra.mean),
+            format!("{:.1}", p.hz_s_intra.std_dev),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    // 4. Calibrate a deliberately wrong model (HL 30 % weak) against the
+    //    measurements and check it recovers the truth.
+    let distorted = truth.stack().with_scaled_hl(0.7)?;
+    let result = calibrate_stack(&distorted, &study)?;
+    println!(
+        "calibration: HL scale = {:.3} (net {:.3} of truth), rmse = {:.1} Oe",
+        result.hl_scale,
+        0.7 * result.hl_scale,
+        result.rmse_oe
+    );
+
+    // 5. Validate: predicted intra field at 35 nm from the calibrated
+    //    stack vs the ground-truth device.
+    let predicted = result.stack.intra_hz_at_fl_center(Nanometer::new(35.0))?;
+    let actual = presets::imec_like(Nanometer::new(35.0))?.intra_hz_at_fl_center()?;
+    println!("validation at eCD = 35 nm: predicted {predicted:.1}, truth {actual:.1}");
+
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! # mramsim
+//!
+//! A stray-field magnetic-coupling simulator for STT-MRAM arrays —
+//! a full reproduction of *"Impact of Magnetic Coupling and Density on
+//! STT-MRAM Performance"* (Wu et al., DATE 2020, arXiv:2011.11349).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`units`] — unit newtypes (Oe, nm, µA, K, ns, …) and constants,
+//! * [`numerics`] — self-contained numerics (Vec3, elliptic integrals,
+//!   optimisers, statistics, sampling),
+//! * [`magnetics`] — the bound-current Biot–Savart field engine,
+//! * [`mtj`] — the MTJ device model (stack, electrical, switching,
+//!   thermal stability, retention),
+//! * [`array`] — neighbourhood patterns, inter-cell coupling, and the
+//!   coupling factor Ψ,
+//! * [`vlab`] — the virtual measurement lab (wafers, R-H loops,
+//!   parameter extraction),
+//! * [`faults`] — coupling-aware fault models and March memory tests,
+//! * [`core`] — calibration, per-figure experiment drivers, design
+//!   exploration, and reporting.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mramsim::prelude::*;
+//!
+//! // The SK hynix high-density design point from the paper.
+//! let device = presets::imec_like(Nanometer::new(55.0))?;
+//! let coupling = CouplingAnalyzer::new(device, Nanometer::new(90.0))?;
+//!
+//! // The inter-cell field spans about −16 … +64 Oe over the 256
+//! // neighbourhood data patterns (paper Fig. 4a) ...
+//! let (lo, hi) = coupling.inter_hz_extremes();
+//! assert!(lo.value() < -10.0 && hi.value() > 55.0);
+//!
+//! // ... and the coupling factor Ψ summarises the strength.
+//! let psi = coupling.psi(presets::MEASURED_HC);
+//! assert!(psi > 0.03 && psi < 0.05);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use mramsim_array as array;
+pub use mramsim_core as core;
+pub use mramsim_faults as faults;
+pub use mramsim_magnetics as magnetics;
+pub use mramsim_mtj as mtj;
+pub use mramsim_numerics as numerics;
+pub use mramsim_units as units;
+pub use mramsim_vlab as vlab;
+
+/// The most common imports in one place.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim::prelude::*;
+/// let ecd = Nanometer::new(35.0);
+/// let device = presets::imec_like(ecd)?;
+/// assert_eq!(device.ecd().value(), 35.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub mod prelude {
+    pub use mramsim_array::{
+        array_density_bits_per_um2, max_density_pitch, psi_vs_pitch, CouplingAnalyzer,
+        ExtendedCoupling, NeighborhoodPattern, PatternClass,
+    };
+    pub use mramsim_core::calibrate::calibrate_stack;
+    pub use mramsim_core::experiments;
+    pub use mramsim_core::explorer::{explore, DesignQuery};
+    pub use mramsim_core::report::{ascii_chart, Series, Table};
+    pub use mramsim_faults::{
+        classify_write_faults, march::MarchTest, ArraySimulator, CellArray, WriteConditions,
+    };
+    pub use mramsim_mtj::{
+        presets, retention_time, MtjDevice, MtjState, SwitchDirection,
+    };
+    pub use mramsim_units::{
+        Celsius, Kelvin, MicroAmpere, Nanometer, Nanosecond, Oersted, Volt,
+    };
+    pub use mramsim_vlab::{
+        analyze_loop, fit_sharrock, intra_field_study, RhLoopTester, SwitchingProbe, Wafer,
+        WaferSpec,
+    };
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of cross-crate physical invariants.
+
+use mramsim::prelude::*;
+use proptest::prelude::*;
+
+fn device(ecd: f64) -> MtjDevice {
+    presets::imec_like(Nanometer::new(ecd)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. 2: Ic(AP→P) decreases and Ic(P→AP) increases monotonically
+    /// in the stray field, and they cross exactly at Hz = 0.
+    #[test]
+    fn ic_is_monotone_in_stray_field(h1 in -800.0f64..800.0, h2 in -800.0f64..800.0) {
+        let dev = device(35.0);
+        let t = Kelvin::new(300.0);
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        let sw = dev.switching();
+        let up_lo = sw.critical_current(SwitchDirection::ApToP, Oersted::new(lo), t);
+        let up_hi = sw.critical_current(SwitchDirection::ApToP, Oersted::new(hi), t);
+        prop_assert!(up_lo.value() >= up_hi.value());
+        let dn_lo = sw.critical_current(SwitchDirection::PToAp, Oersted::new(lo), t);
+        let dn_hi = sw.critical_current(SwitchDirection::PToAp, Oersted::new(hi), t);
+        prop_assert!(dn_lo.value() <= dn_hi.value());
+    }
+
+    /// Eq. 5: ΔP·ΔAP is invariant in sign-symmetric fields and both
+    /// stay non-negative everywhere.
+    #[test]
+    fn delta_symmetry_between_states(h in -6000.0f64..6000.0) {
+        let dev = device(35.0);
+        let t = Kelvin::new(300.0);
+        let dp_pos = dev.delta(MtjState::Parallel, Oersted::new(h), t).unwrap();
+        let dap_neg = dev.delta(MtjState::AntiParallel, Oersted::new(-h), t).unwrap();
+        // Flipping both the field and the state is a symmetry of Eq. 5.
+        prop_assert!((dp_pos - dap_neg).abs() < 1e-9 * dp_pos.max(1.0));
+        prop_assert!(dp_pos >= 0.0);
+    }
+
+    /// The inter-cell field of any pattern lies inside the all-P/all-AP
+    /// envelope, and complementary patterns are reflections around the
+    /// fixed-layer baseline.
+    #[test]
+    fn pattern_envelope_and_complement(bits in 0u8..=255) {
+        let dev = device(55.0);
+        let c = CouplingAnalyzer::new(dev, Nanometer::new(90.0)).unwrap();
+        let np = NeighborhoodPattern::new(bits);
+        let complement = NeighborhoodPattern::new(!bits);
+        let h = c.inter_hz(np).unwrap().value();
+        let hc = c.inter_hz(complement).unwrap().value();
+        let lo = c.inter_hz(NeighborhoodPattern::ALL_P).unwrap().value();
+        let hi = c.inter_hz(NeighborhoodPattern::ALL_AP).unwrap().value();
+        prop_assert!(h >= lo - 1e-9 && h <= hi + 1e-9);
+        // Complement symmetry: h + hc = lo + hi (FL terms flip around
+        // the fixed baseline).
+        prop_assert!((h + hc - (lo + hi)).abs() < 1e-9);
+    }
+
+    /// Ψ decreases monotonically with pitch for any device size.
+    #[test]
+    fn psi_monotone_in_pitch(ecd in 20.0f64..90.0, p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let dev = device(ecd);
+        let lo_pitch = 1.5 * ecd;
+        let to_pitch = |frac: f64| lo_pitch + (200.0 - lo_pitch) * frac;
+        let (a, b) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let psi_a = CouplingAnalyzer::new(dev.clone(), Nanometer::new(to_pitch(a)))
+            .unwrap()
+            .psi(presets::MEASURED_HC);
+        let psi_b = CouplingAnalyzer::new(dev, Nanometer::new(to_pitch(b)))
+            .unwrap()
+            .psi(presets::MEASURED_HC);
+        prop_assert!(psi_a >= psi_b - 1e-12);
+    }
+
+    /// Sun's model: a larger stray-field-induced Ic means a longer tw at
+    /// any super-threshold voltage (write-time/critical-current
+    /// consistency across the two models).
+    #[test]
+    fn tw_orders_like_ic(v in 0.75f64..1.2, h in -500.0f64..200.0) {
+        let dev = device(35.0);
+        let t = Kelvin::new(300.0);
+        let vp = Volt::new(v);
+        let base = dev.switching_time(SwitchDirection::ApToP, vp, Oersted::ZERO, t);
+        let with = dev.switching_time(SwitchDirection::ApToP, vp, Oersted::new(h), t);
+        if let (Ok(b), Ok(w)) = (base, with) {
+            if h < 0.0 {
+                prop_assert!(w.value() >= b.value());
+            } else {
+                prop_assert!(w.value() <= b.value());
+            }
+        }
+    }
+
+    /// Retention time is strictly monotone in Δ.
+    #[test]
+    fn retention_monotone(d1 in 10.0f64..70.0, d2 in 10.0f64..70.0) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(retention_time(lo).value() <= retention_time(hi).value());
+    }
+}
+
+/// The 3×3 analyzer and the ring-based extended analyzer agree exactly
+/// on ring 1 for the uniform patterns (deterministic, so outside
+/// proptest).
+#[test]
+fn ring1_cross_check() {
+    let dev = device(55.0);
+    let c = CouplingAnalyzer::new(dev.clone(), Nanometer::new(90.0)).unwrap();
+    let e = ExtendedCoupling::new(dev, Nanometer::new(90.0)).unwrap();
+    for (np, state) in [
+        (NeighborhoodPattern::ALL_P, MtjState::Parallel),
+        (NeighborhoodPattern::ALL_AP, MtjState::AntiParallel),
+    ] {
+        let a = c.inter_hz(np).unwrap().value();
+        let b = e.ring_hz(1, state).unwrap().value();
+        assert!((a - b).abs() < 0.05, "{state}: {a} vs {b}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Runs every figure driver end-to-end and asserts the qualitative
+//! claims the paper makes about each figure.
+
+use mramsim::core::experiments::{fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b};
+
+#[test]
+fn fig2a_loop_is_offset_and_square() {
+    let fig = fig2a::run(&fig2a::Params::default()).unwrap();
+    assert!(fig.extraction.h_offset.value() > 0.0);
+    assert!(fig.extraction.hsw_p.value() > 0.0);
+    assert!(fig.extraction.hsw_n.value() < 0.0);
+    assert!(fig.extraction.rap.value() > 2.0 * fig.extraction.rp.value());
+}
+
+#[test]
+fn fig2b_measured_and_simulated_agree_in_shape() {
+    let fig = fig2b::run(&fig2b::Params {
+        devices_per_size: 5,
+        seed: 99,
+        sim_grid: vec![20.0, 35.0, 55.0, 90.0, 130.0, 175.0],
+    })
+    .unwrap();
+    // Both the model and the measurement medians are monotone in size.
+    for w in fig.simulated.windows(2) {
+        assert!(w[0].1 < w[1].1, "model must grow with eCD");
+    }
+    // Measured medians carry ~90 Oe of single-loop thermal noise, so
+    // adjacent small sizes may swap; assert the robust claims: every
+    // median lies near the model curve, and the overall trend holds.
+    let medians: Vec<f64> = fig.measured.iter().map(|p| p.hz_s_intra.median).collect();
+    for (p, median) in fig.measured.iter().zip(&medians) {
+        let model = fig
+            .simulated
+            .iter()
+            .find(|&&(e, _)| (e - p.nominal_ecd.value()).abs() < 1.0)
+            .map(|&(_, v)| v)
+            .unwrap();
+        let se = p.hz_s_intra.std_dev.max(40.0) / (p.ecd.count as f64).sqrt();
+        assert!(
+            (median - model).abs() < 4.0 * se + 30.0,
+            "eCD {}: median {median} vs model {model}",
+            p.nominal_ecd.value()
+        );
+    }
+    assert!(
+        medians[0] < *medians.last().unwrap() - 100.0,
+        "smallest device must couple far harder than the largest: {medians:?}"
+    );
+}
+
+#[test]
+fn fig3c_map_is_consistent_with_fig3d_profile() {
+    let map = fig3c::run(&fig3c::Params::default()).unwrap();
+    let profiles = fig3d::run(&fig3d::Params {
+        ecds: vec![55.0],
+        samples: 21,
+    })
+    .unwrap();
+    // The Fig. 3d centre value equals the Fig. 3c map centre.
+    let n = map.fl_plane.nx();
+    let map_center = map.fl_plane.at(n / 2, n / 2).z
+        * mramsim::units::constants::OERSTED_PER_AMPERE_PER_METER;
+    let profile_center = profiles.profiles[0].points[10].1;
+    assert!((map_center - profile_center).abs() < 1.0);
+}
+
+#[test]
+fn fig4a_fig4b_fig4c_share_one_coupling_model() {
+    // The Fig. 4a extremes, the Fig. 4b psi, and the Fig. 4c Ic spread
+    // must be three views of the same numbers.
+    let a = fig4a::run(&fig4a::Params::default()).unwrap();
+    let variation = a.extremes.1.value() - a.extremes.0.value();
+    let psi_from_a = variation / 2200.0;
+
+    let b = fig4b::run(&fig4b::Params {
+        ecds: vec![55.0],
+        max_pitch: 200.0,
+        points: 10,
+        psi_threshold: 0.02,
+    })
+    .unwrap();
+    // Find the 90 nm point by interpolation between sweep samples.
+    let curve = &b.curves[0].points;
+    let near = curve
+        .iter()
+        .min_by(|x, y| {
+            (x.pitch.value() - 90.0)
+                .abs()
+                .partial_cmp(&(y.pitch.value() - 90.0).abs())
+                .unwrap()
+        })
+        .unwrap();
+    // Within the sweep's sampling distance the two agree.
+    assert!(
+        (near.psi - psi_from_a).abs() < 0.02,
+        "fig4b psi {} vs fig4a-derived {}",
+        near.psi,
+        psi_from_a
+    );
+
+    let c = fig4c::run(&fig4c::Params::default()).unwrap();
+    assert!((c.intrinsic_ua - 57.2).abs() < 0.2);
+}
+
+#[test]
+fn fig5_and_fig4c_are_consistent_at_threshold() {
+    // Where Fig. 4c says Ic(AP→P, NP0) is highest, Fig. 5 must show the
+    // NP0 curve as the slowest.
+    let f = fig5::run(&fig5::Params::default()).unwrap();
+    for panel in &f.panels {
+        for i in 0..panel.voltages.len() {
+            if let (Some(np0), Some(intra), Some(none)) =
+                (panel.tw_np0[i], panel.tw_intra[i], panel.tw_no_stray[i])
+            {
+                assert!(np0 >= intra * 0.999);
+                assert!(intra > none);
+            }
+        }
+    }
+}
+
+#[test]
+fn fig6a_and_fig6b_worst_cases_match() {
+    let a = fig6a::run(&fig6a::Params::default()).unwrap();
+    let b = fig6b::run(&fig6b::Params::default()).unwrap();
+    // Fig. 6b's 2×eCD curve is exactly Fig. 6a's ΔP(NP8=0) curve.
+    let b2x = b
+        .curves
+        .iter()
+        .find(|c| (c.pitch_factor - 2.0).abs() < 1e-9)
+        .unwrap();
+    for (row, point) in a.rows.iter().zip(&b2x.points) {
+        assert!((row.temp_c - point.0).abs() < 1e-9);
+        assert!(
+            (row.delta_p_np0 - point.1).abs() < 1e-9,
+            "at {} C: {} vs {}",
+            row.temp_c,
+            row.delta_p_np0,
+            point.1
+        );
+    }
+}
+
+#[test]
+fn all_figures_render_tables_and_charts() {
+    // Smoke-test every renderer (the benches print these).
+    let p2a = fig2a::run(&fig2a::Params::default()).unwrap();
+    assert!(!p2a.to_table().to_csv().is_empty());
+    assert!(!p2a.chart().is_empty());
+
+    let p3d = fig3d::run(&fig3d::Params::default()).unwrap();
+    assert!(!p3d.to_table().to_markdown().is_empty());
+
+    let p4a = fig4a::run(&fig4a::Params::default()).unwrap();
+    assert!(!p4a.to_table().to_csv().is_empty());
+
+    let p4c = fig4c::run(&fig4c::Params::default()).unwrap();
+    assert!(!p4c.chart().is_empty());
+
+    let p6a = fig6a::run(&fig6a::Params::default()).unwrap();
+    assert!(!p6a.chart().is_empty());
+}

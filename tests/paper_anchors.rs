@@ -1,0 +1,148 @@
+//! Every scalar the paper quotes in its text, asserted end-to-end
+//! through the public API (the "tabA" index of DESIGN.md).
+
+use mramsim::prelude::*;
+
+const T300: Kelvin = Kelvin::new(300.0);
+
+/// §V-A: "Ic = 57.2 µA" for the isolated, stray-free device.
+#[test]
+fn anchor_intrinsic_critical_current() {
+    let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+    let ic = device
+        .switching()
+        .critical_current(SwitchDirection::ApToP, Oersted::ZERO, T300);
+    assert!((ic.value() - 57.2).abs() < 0.2, "Ic0 = {ic}");
+}
+
+/// §V-A: intra-cell field makes "Ic(AP→P) = 61.7 µA (7 % above) and
+/// Ic(P→AP) = 52.8 µA (7 % below)".
+#[test]
+fn anchor_intra_cell_ic_bifurcation() {
+    let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+    let hz = device.intra_hz_at_fl_center().unwrap();
+    let up = device
+        .switching()
+        .critical_current(SwitchDirection::ApToP, hz, T300);
+    let down = device
+        .switching()
+        .critical_current(SwitchDirection::PToAp, hz, T300);
+    assert!((up.value() - 61.7).abs() < 1.0, "Ic(AP->P) = {up}");
+    assert!((down.value() - 52.8).abs() < 1.0, "Ic(P->AP) = {down}");
+}
+
+/// §V-A: "Δ0 = 45.5 and Hk = 4646.8 Oe (both in median) for devices
+/// with eCD = 35 nm" — our preset carries exactly these.
+#[test]
+fn anchor_extracted_medians() {
+    let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+    assert_eq!(device.switching().delta0(), 45.5);
+    assert_eq!(device.switching().hk().value(), 4646.8);
+}
+
+/// §IV-B: at eCD = 55 nm, pitch = 90 nm, `Hz_s_inter` spans
+/// −16 … +64 Oe with 15 Oe (direct) and 5 Oe (diagonal) steps, total
+/// variation 80 Oe.
+#[test]
+fn anchor_fig4a_inter_cell_numbers() {
+    let device = presets::imec_like(Nanometer::new(55.0)).unwrap();
+    let c = CouplingAnalyzer::new(device, Nanometer::new(90.0)).unwrap();
+    let (lo, hi) = c.inter_hz_extremes();
+    let b = c.breakdown();
+    assert!((lo.value() + 16.0).abs() < 4.0, "min = {lo}");
+    assert!((hi.value() - 64.0).abs() < 6.0, "max = {hi}");
+    assert!((b.direct_step.value() - 15.0).abs() < 1.0);
+    assert!((b.diagonal_step.value() - 5.0).abs() < 0.8);
+    assert!((c.max_variation().value() - 80.0).abs() < 4.0);
+}
+
+/// §IV-B: "Hc = 2.2 kOe for the measured devices" — and it emerges from
+/// the Sharrock physics with the extracted Hk and Δ0 (not as an
+/// independent constant).
+#[test]
+fn anchor_coercivity_consistency() {
+    let sharrock = presets::imec_like_sharrock().unwrap();
+    let hc = sharrock
+        .median_switching_field(mramsim::units::Second::new(1e-4))
+        .unwrap();
+    assert!((hc.value() - presets::MEASURED_HC.value()).abs() < 150.0, "Hc = {hc}");
+}
+
+/// §IV-B / Fig. 5 annotations: Ψ ≈ 1 % at 3×eCD and ≈ 7 % at 1.5×eCD
+/// for the 35 nm device (the 2×eCD point lands at ≈ 3 % with exact loop
+/// integration; see EXPERIMENTS.md deviation note).
+#[test]
+fn anchor_psi_values() {
+    let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+    let psi = |pitch: f64| {
+        CouplingAnalyzer::new(device.clone(), Nanometer::new(pitch))
+            .unwrap()
+            .psi(presets::MEASURED_HC)
+    };
+    assert!((psi(105.0) - 0.01).abs() < 0.005, "psi(3x) = {}", psi(105.0));
+    assert!((psi(52.5) - 0.07).abs() < 0.02, "psi(1.5x) = {}", psi(52.5));
+    assert!(psi(70.0) > 0.015 && psi(70.0) < 0.04, "psi(2x) = {}", psi(70.0));
+}
+
+/// §IV-B: "Ψ ≈ 0 % at pitch = 200 nm for all three device sizes".
+#[test]
+fn anchor_psi_vanishes_at_200nm() {
+    for ecd in [20.0, 35.0, 55.0] {
+        let device = presets::imec_like(Nanometer::new(ecd)).unwrap();
+        let psi = CouplingAnalyzer::new(device, Nanometer::new(200.0))
+            .unwrap()
+            .psi(presets::MEASURED_HC);
+        assert!(psi < 0.006, "eCD {ecd}: psi(200) = {psi}");
+    }
+}
+
+/// Conclusion: "pitch reaches ~2 times the device diameter
+/// (corresponding to Ψ = 2 %), the array density is maximized with
+/// negligible impact".
+#[test]
+fn anchor_design_rule_two_x_ecd() {
+    let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+    let pitch = max_density_pitch(
+        &device,
+        presets::MEASURED_HC,
+        0.02,
+        (Nanometer::new(52.5), Nanometer::new(200.0)),
+    )
+    .unwrap();
+    let ratio = pitch.value() / 35.0;
+    assert!(ratio > 1.7 && ratio < 2.7, "pitch/eCD = {ratio}");
+}
+
+/// §V-B: at 0.72 V and pitch = 1.5×eCD, tw(AP→P) under NP8 = 0 is
+/// several ns slower than under NP8 = 255 (paper reads ~4 ns off its
+/// Fig. 5c; we assert the order of magnitude and the direction).
+#[test]
+fn anchor_write_time_pattern_spread() {
+    use mramsim::core::experiments::fig5;
+    let fig = fig5::run(&fig5::Params::default()).unwrap();
+    let dense = &fig.panels[2];
+    let spread = dense.np_spread_at(0.72).unwrap();
+    assert!(spread > 1.0 && spread < 10.0, "spread = {spread} ns");
+}
+
+/// §V-C: the ~30 % split between ΔP and ΔAP under the intra-cell field.
+#[test]
+fn anchor_delta_split() {
+    let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+    let hz = device.intra_hz_at_fl_center().unwrap();
+    let dp = device.delta(MtjState::Parallel, hz, T300).unwrap();
+    let dap = device.delta(MtjState::AntiParallel, hz, T300).unwrap();
+    let split = dp / dap;
+    assert!(split > 0.65 && split < 0.80, "ΔP/ΔAP = {split}");
+}
+
+/// Conclusion: "a marginal degradation of retention due to the
+/// increased inter-cell magnetic coupling" — quantified.
+#[test]
+fn anchor_marginal_retention_degradation() {
+    use mramsim::core::experiments::fig6b;
+    let fig = fig6b::run(&fig6b::Params::default()).unwrap();
+    let room = |i: usize| fig.curves[i].points[2].1; // 20 °C
+    let rel = (room(1) - room(2)) / room(1); // 2x vs 1.5x
+    assert!(rel > 0.0 && rel < 0.06, "relative degradation = {rel}");
+}
