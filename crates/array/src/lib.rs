@@ -47,4 +47,4 @@ pub use error::ArrayError;
 pub use geometry::{diagonal_neighbor_offsets, direct_neighbor_offsets, ring_offsets};
 pub use pattern::{NeighborhoodPattern, PatternClass};
 pub use rings::ExtendedCoupling;
-pub use sweep::{max_density_pitch, psi_vs_pitch, PsiPoint};
+pub use sweep::{max_density_pitch, psi_vs_pitch, psi_vs_pitch_on, PsiPoint};

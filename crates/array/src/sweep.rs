@@ -3,6 +3,7 @@
 
 use crate::{ArrayError, CouplingAnalyzer};
 use mramsim_mtj::MtjDevice;
+use mramsim_numerics::pool::WorkerPool;
 use mramsim_units::{Nanometer, Oersted};
 
 /// One point of a Ψ-vs-pitch sweep.
@@ -14,8 +15,13 @@ pub struct PsiPoint {
     pub psi: f64,
 }
 
-/// Sweeps Ψ over the given pitches (Fig. 4b), evaluating pitches in
-/// parallel with scoped threads.
+/// Sweeps Ψ over the given pitches (Fig. 4b) in parallel on a
+/// [`WorkerPool`] sized to the machine — the same pool type the
+/// execution engine schedules on. To share a caller-owned pool (and
+/// avoid oversubscription inside an outer sweep), use
+/// [`psi_vs_pitch_on`].
+///
+/// An empty `pitches` slice yields an empty sweep.
 ///
 /// # Errors
 ///
@@ -41,37 +47,32 @@ pub fn psi_vs_pitch(
     pitches: &[Nanometer],
     hc: Oersted,
 ) -> Result<Vec<PsiPoint>, ArrayError> {
-    let mut results: Vec<Option<Result<PsiPoint, ArrayError>>> = vec![None; pitches.len()];
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(pitches.len().max(1));
+    psi_vs_pitch_on(&WorkerPool::with_default_parallelism(), device, pitches, hc)
+}
 
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, (chunk, out)) in pitches
-            .chunks(pitches.len().div_ceil(workers))
-            .zip(results.chunks_mut(pitches.len().div_ceil(workers)))
-            .enumerate()
-        {
-            let _ = chunk_idx;
-            scope.spawn(move |_| {
-                for (pitch, slot) in chunk.iter().zip(out.iter_mut()) {
-                    let point = CouplingAnalyzer::new(device.clone(), *pitch)
-                        .map(|c| PsiPoint {
-                            pitch: *pitch,
-                            psi: c.psi(hc),
-                        });
-                    *slot = Some(point);
-                }
-            });
-        }
+/// [`psi_vs_pitch`] on a caller-provided [`WorkerPool`].
+///
+/// # Errors
+///
+/// Propagates analyzer construction failures (e.g. a pitch smaller than
+/// the device).
+pub fn psi_vs_pitch_on(
+    pool: &WorkerPool,
+    device: &MtjDevice,
+    pitches: &[Nanometer],
+    hc: Oersted,
+) -> Result<Vec<PsiPoint>, ArrayError> {
+    if pitches.is_empty() {
+        return Ok(Vec::new());
+    }
+    pool.scoped_map(pitches, |_, pitch| {
+        CouplingAnalyzer::new(device.clone(), *pitch).map(|c| PsiPoint {
+            pitch: *pitch,
+            psi: c.psi(hc),
+        })
     })
-    .expect("sweep worker panicked");
-
-    results
-        .into_iter()
-        .map(|slot| slot.expect("every pitch must be evaluated"))
-        .collect()
+    .into_iter()
+    .collect()
 }
 
 /// Finds the smallest pitch (= highest density) whose coupling factor
@@ -158,8 +159,10 @@ mod tests {
     #[test]
     fn sweep_preserves_input_order_and_length() {
         let dev = device(55.0);
-        let pitches: Vec<Nanometer> =
-            [200.0, 90.0, 150.0].into_iter().map(Nanometer::new).collect();
+        let pitches: Vec<Nanometer> = [200.0, 90.0, 150.0]
+            .into_iter()
+            .map(Nanometer::new)
+            .collect();
         let sweep = psi_vs_pitch(&dev, &pitches, presets::MEASURED_HC).unwrap();
         assert_eq!(sweep.len(), 3);
         for (point, pitch) in sweep.iter().zip(&pitches) {
@@ -167,6 +170,15 @@ mod tests {
         }
         // 90 nm couples hardest.
         assert!(sweep[1].psi > sweep[0].psi && sweep[1].psi > sweep[2].psi);
+    }
+
+    #[test]
+    fn empty_pitch_list_yields_empty_sweep() {
+        // Regression: the old chunked implementation panicked on
+        // `chunks(0)` for an empty input.
+        let dev = device(35.0);
+        let sweep = psi_vs_pitch(&dev, &[], presets::MEASURED_HC).unwrap();
+        assert!(sweep.is_empty());
     }
 
     #[test]

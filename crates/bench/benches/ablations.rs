@@ -95,8 +95,15 @@ fn ablation_sliced_hl(c: &mut Criterion) {
     }
     print_artifact("ablation: thin vs sliced hard layer", &artifact);
 
-    let sliced =
-        SlicedLoop::new(Vec3::new(0.0, 0.0, -7.85e-9), 17.5e-9, -1.43e-3, 6e-9, 8, 256).unwrap();
+    let sliced = SlicedLoop::new(
+        Vec3::new(0.0, 0.0, -7.85e-9),
+        17.5e-9,
+        -1.43e-3,
+        6e-9,
+        8,
+        256,
+    )
+    .unwrap();
     c.bench_function("ablation_thin_hl", |b| {
         b.iter(|| black_box(thin.h_field(black_box(probe))))
     });

@@ -1,0 +1,81 @@
+//! Engine throughput benches: jobs/sec for a 100-point Ψ-vs-pitch
+//! grid, cold cache vs warm cache, plus the single-run cache hit path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mramsim_bench::print_artifact;
+use mramsim_engine::{Engine, ParamSet, SweepPlan};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+/// The 100-point grid: 4 device sizes × 25 pitches through the Ψ
+/// point-mode scenario.
+fn grid() -> SweepPlan {
+    SweepPlan::new("fig4b")
+        .axis("ecd", vec![20.0, 30.0, 35.0, 55.0])
+        .axis(
+            "pitch",
+            (0..25).map(|i| 85.0 + 4.0 * f64::from(i)).collect(),
+        )
+}
+
+fn bench_sweep_cold_vs_warm(c: &mut Criterion) {
+    // Artifact: measured jobs/sec and the warm-cache speedup.
+    let time_once = |engine: &Engine| {
+        let t0 = std::time::Instant::now();
+        let outcome = engine.sweep(&grid()).expect("sweep");
+        (t0.elapsed(), outcome)
+    };
+    let cold_engine = Engine::standard();
+    let (cold, outcome) = time_once(&cold_engine);
+    let (warm, warm_outcome) = time_once(&cold_engine);
+    assert_eq!(outcome.jobs.len(), 100);
+    assert_eq!(warm_outcome.cache_hits, 100);
+    let jobs_per_sec = |d: Duration| 100.0 / d.as_secs_f64();
+    print_artifact(
+        "engine: 100-point psi-vs-pitch grid",
+        &format!(
+            "cold: {:>10.1?}  ({:>9.0} jobs/sec)\nwarm: {:>10.1?}  ({:>9.0} jobs/sec)\nwarm-cache speedup: {:.0}x\nworkers: {}",
+            cold,
+            jobs_per_sec(cold),
+            warm,
+            jobs_per_sec(warm),
+            cold.as_secs_f64() / warm.as_secs_f64().max(1e-12),
+            cold_engine.workers(),
+        ),
+    );
+
+    let mut group = c.benchmark_group("engine_sweep_100pt");
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let engine = Engine::standard();
+            engine.sweep(&grid()).expect("sweep")
+        })
+    });
+    let warm_engine = Engine::standard();
+    warm_engine.sweep(&grid()).expect("prefill");
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| warm_engine.sweep(&grid()).expect("sweep"))
+    });
+    group.finish();
+}
+
+fn bench_single_run_hit_path(c: &mut Criterion) {
+    let engine = Engine::standard();
+    engine.run("fig4a", &ParamSet::new()).expect("prefill");
+    c.bench_function("engine_run_fig4a_cache_hit", |b| {
+        b.iter(|| engine.run("fig4a", &ParamSet::new()).expect("run"))
+    });
+}
+
+criterion_group! {
+    name = engine;
+    config = config();
+    targets = bench_sweep_cold_vs_warm, bench_single_run_hit_path
+}
+criterion_main!(engine);

@@ -35,7 +35,7 @@ impl Default for Params {
             ecd: Nanometer::new(35.0),
             pitch_factor: 1.5,
             voltage: Volt::new(0.9),
-            pulses_ns: (4..=30).map(|i| f64::from(i)).collect(),
+            pulses_ns: (4..=30).map(f64::from).collect(),
             target_wer: 1e-9,
             temperature: Kelvin::new(300.0),
         }
@@ -128,7 +128,12 @@ impl ExtWer {
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
             "ext: write-error rate vs pulse width (AP->P)",
-            &["pulse_ns", "log10_wer_no_stray", "log10_wer_np0", "log10_wer_np255"],
+            &[
+                "pulse_ns",
+                "log10_wer_no_stray",
+                "log10_wer_np0",
+                "log10_wer_np255",
+            ],
         );
         let lg = |v: f64| {
             if v > 0.0 {

@@ -59,13 +59,18 @@ impl Fig2a {
     /// The extracted §III scalars as a table.
     #[must_use]
     pub fn to_table(&self) -> Table {
-        let mut t = Table::new(
-            "fig2a: R-H loop extraction",
-            &["quantity", "value", "unit"],
-        );
+        let mut t = Table::new("fig2a: R-H loop extraction", &["quantity", "value", "unit"]);
         let x = &self.extraction;
-        t.push_row(&["Hsw_p".into(), format!("{:.1}", x.hsw_p.value()), "Oe".into()]);
-        t.push_row(&["Hsw_n".into(), format!("{:.1}", x.hsw_n.value()), "Oe".into()]);
+        t.push_row(&[
+            "Hsw_p".into(),
+            format!("{:.1}", x.hsw_p.value()),
+            "Oe".into(),
+        ]);
+        t.push_row(&[
+            "Hsw_n".into(),
+            format!("{:.1}", x.hsw_n.value()),
+            "Oe".into(),
+        ]);
         t.push_row(&["Hc".into(), format!("{:.1}", x.hc.value()), "Oe".into()]);
         t.push_row(&[
             "Hoffset".into(),
@@ -86,11 +91,7 @@ impl Fig2a {
     /// The loop itself as an ASCII chart (resistance vs field).
     #[must_use]
     pub fn chart(&self) -> String {
-        ascii_chart(
-            &[Series::new("R(H)", self.loop_points.clone())],
-            64,
-            16,
-        )
+        ascii_chart(&[Series::new("R(H)", self.loop_points.clone())], 64, 16)
     }
 }
 
@@ -113,7 +114,16 @@ mod tests {
     fn table_lists_all_extracted_quantities() {
         let fig = run(&Params::default()).unwrap();
         let md = fig.to_table().to_markdown();
-        for q in ["Hsw_p", "Hsw_n", "Hc", "Hoffset", "Hz_s_intra", "RP", "RAP", "eCD"] {
+        for q in [
+            "Hsw_p",
+            "Hsw_n",
+            "Hc",
+            "Hoffset",
+            "Hz_s_intra",
+            "RP",
+            "RAP",
+            "eCD",
+        ] {
             assert!(md.contains(q), "missing {q}");
         }
     }

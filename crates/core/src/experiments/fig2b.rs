@@ -66,7 +66,10 @@ pub fn run(params: &Params) -> Result<Fig2b, CoreError> {
         let h = stack.intra_hz_at_fl_center(Nanometer::new(ecd))?;
         simulated.push((ecd, h.value()));
     }
-    Ok(Fig2b { measured, simulated })
+    Ok(Fig2b {
+        measured,
+        simulated,
+    })
 }
 
 impl Fig2b {
@@ -124,7 +127,10 @@ mod tests {
 
     fn small_params() -> Params {
         Params {
-            devices_per_size: 4,
+            // 8 devices per size keeps the mean within the error-bar
+            // tolerance for any well-behaved RNG stream (4 was tuned
+            // to one specific upstream seed).
+            devices_per_size: 8,
             seed: 7,
             sim_grid: vec![20.0, 35.0, 55.0, 90.0, 130.0, 175.0],
         }
@@ -159,9 +165,8 @@ mod tests {
                 .find(|&&(e, _)| (e - p.nominal_ecd.value()).abs() < 1.0)
                 .map(|&(_, v)| v)
                 .unwrap();
-            let tolerance = 3.0 * p.hz_s_intra.std_dev.max(30.0)
-                / (p.ecd.count as f64).sqrt()
-                + 15.0;
+            let tolerance =
+                3.0 * p.hz_s_intra.std_dev.max(30.0) / (p.ecd.count as f64).sqrt() + 15.0;
             assert!(
                 (p.hz_s_intra.mean - model).abs() < tolerance.max(60.0),
                 "eCD {}: measured {} vs model {model}",

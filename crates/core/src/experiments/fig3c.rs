@@ -74,10 +74,8 @@ pub fn run(params: &Params) -> Result<Fig3c, CoreError> {
     let mut axis_profile = Vec::new();
     for i in 0..params.grid {
         let z = -half + 2.0 * half * i as f64 / (params.grid - 1) as f64;
-        let h = mramsim_magnetics::FieldSource::hz(
-            &sources,
-            mramsim_numerics::Vec3::new(0.0, 0.0, z),
-        );
+        let h =
+            mramsim_magnetics::FieldSource::hz(&sources, mramsim_numerics::Vec3::new(0.0, 0.0, z));
         axis_profile.push((z * 1e9, h * OERSTED_PER_AMPERE_PER_METER));
     }
 
@@ -95,7 +93,10 @@ impl Fig3c {
         let nx = self.fl_plane.nx();
         let ny = self.fl_plane.ny();
         let center = self.fl_plane.at(nx / 2, ny / 2);
-        let mut t = Table::new("fig3c: intra-cell field map summary", &["quantity", "value"]);
+        let mut t = Table::new(
+            "fig3c: intra-cell field map summary",
+            &["quantity", "value"],
+        );
         t.push_row(&[
             "Hz at FL centre (Oe)".into(),
             format!("{:.1}", center.z * OERSTED_PER_AMPERE_PER_METER),

@@ -100,7 +100,10 @@ impl Fig4b {
     /// All sweep points as a long-format table.
     #[must_use]
     pub fn to_table(&self) -> Table {
-        let mut t = Table::new("fig4b: psi vs pitch", &["ecd_nm", "pitch_nm", "psi_percent"]);
+        let mut t = Table::new(
+            "fig4b: psi vs pitch",
+            &["ecd_nm", "pitch_nm", "psi_percent"],
+        );
         for curve in &self.curves {
             for p in &curve.points {
                 t.push_row(&[

@@ -81,8 +81,9 @@ pub fn run(params: &Params) -> Result<Fig4c, CoreError> {
     let mut rows = Vec::with_capacity(params.points);
     for i in 0..params.points {
         let frac = i as f64 / (params.points - 1) as f64;
-        let pitch =
-            Nanometer::new(params.pitch_range.0 + (params.pitch_range.1 - params.pitch_range.0) * frac);
+        let pitch = Nanometer::new(
+            params.pitch_range.0 + (params.pitch_range.1 - params.pitch_range.0) * frac,
+        );
         let coupling = CouplingAnalyzer::new(device.clone(), pitch)?;
         let h0 = coupling.total_hz(NeighborhoodPattern::ALL_P);
         let h255 = coupling.total_hz(NeighborhoodPattern::ALL_AP);
@@ -139,10 +140,7 @@ impl Fig4c {
             )
         };
         let flat = |y: f64, label: &str| {
-            Series::new(
-                label,
-                self.rows.iter().map(|r| (r.pitch_nm, y)).collect(),
-            )
+            Series::new(label, self.rows.iter().map(|r| (r.pitch_nm, y)).collect())
         };
         ascii_chart(
             &[
@@ -173,8 +171,16 @@ mod tests {
         // Ic0 = 57.2 µA; intra-only: 61.7 / 52.8 µA (±7 %).
         let f = fig();
         assert!((f.intrinsic_ua - 57.2).abs() < 0.2, "{}", f.intrinsic_ua);
-        assert!((f.ap_to_p_intra_ua - 61.7).abs() < 0.6, "{}", f.ap_to_p_intra_ua);
-        assert!((f.p_to_ap_intra_ua - 52.8).abs() < 0.6, "{}", f.p_to_ap_intra_ua);
+        assert!(
+            (f.ap_to_p_intra_ua - 61.7).abs() < 0.6,
+            "{}",
+            f.ap_to_p_intra_ua
+        );
+        assert!(
+            (f.p_to_ap_intra_ua - 52.8).abs() < 0.6,
+            "{}",
+            f.p_to_ap_intra_ua
+        );
     }
 
     #[test]
@@ -192,9 +198,8 @@ mod tests {
         // patterns increases as the pitch goes down".
         let f = fig();
         let spread_first = (f.rows[0].ap_to_p_np0 - f.rows[0].ap_to_p_np255).abs();
-        let spread_last = (f.rows.last().unwrap().ap_to_p_np0
-            - f.rows.last().unwrap().ap_to_p_np255)
-            .abs();
+        let spread_last =
+            (f.rows.last().unwrap().ap_to_p_np0 - f.rows.last().unwrap().ap_to_p_np255).abs();
         assert!(spread_first > 4.0 * spread_last);
     }
 

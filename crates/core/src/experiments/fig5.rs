@@ -209,8 +209,16 @@ mod tests {
         // Fig. 5a-c are annotated Ψ = 1 %, 2 %, 7 %; exact loop
         // integration lands at ≈1 %, ≈3 %, ≈7 % (EXPERIMENTS.md).
         let f = fig();
-        assert!((f.panels[0].psi - 0.01).abs() < 0.005, "{}", f.panels[0].psi);
-        assert!((f.panels[1].psi - 0.025).abs() < 0.012, "{}", f.panels[1].psi);
+        assert!(
+            (f.panels[0].psi - 0.01).abs() < 0.005,
+            "{}",
+            f.panels[0].psi
+        );
+        assert!(
+            (f.panels[1].psi - 0.025).abs() < 0.012,
+            "{}",
+            f.panels[1].psi
+        );
         assert!((f.panels[2].psi - 0.07).abs() < 0.02, "{}", f.panels[2].psi);
     }
 

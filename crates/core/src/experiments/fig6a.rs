@@ -135,10 +135,7 @@ impl Fig6a {
     #[must_use]
     pub fn chart(&self) -> String {
         let series = |f: fn(&Fig6aRow) -> f64, label: &str| {
-            Series::new(
-                label,
-                self.rows.iter().map(|r| (r.temp_c, f(r))).collect(),
-            )
+            Series::new(label, self.rows.iter().map(|r| (r.temp_c, f(r))).collect())
         };
         ascii_chart(
             &[

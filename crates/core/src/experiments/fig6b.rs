@@ -103,12 +103,7 @@ impl Fig6b {
         let series: Vec<Series> = self
             .curves
             .iter()
-            .map(|c| {
-                Series::new(
-                    &format!("pitch={}xeCD", c.pitch_factor),
-                    c.points.clone(),
-                )
-            })
+            .map(|c| Series::new(&format!("pitch={}xeCD", c.pitch_factor), c.points.clone()))
             .collect();
         ascii_chart(&series, 64, 18)
     }

@@ -100,8 +100,7 @@ pub fn explore(query: &DesignQuery) -> Result<DesignReport, CoreError> {
     let h_np0 = coupling.total_hz(NeighborhoodPattern::ALL_P);
     let h_np255 = coupling.total_hz(NeighborhoodPattern::ALL_AP);
 
-    let tw = |hz| match device.switching_time(SwitchDirection::ApToP, query.write_voltage, hz, t)
-    {
+    let tw = |hz| match device.switching_time(SwitchDirection::ApToP, query.write_voltage, hz, t) {
         Ok(v) => Ok(Some(v.value())),
         Err(MtjError::SubCriticalDrive { .. }) => Ok(None),
         Err(e) => Err(CoreError::from(e)),
@@ -138,7 +137,8 @@ impl DesignReport {
             "density (bits/um^2)".into(),
             format!("{:.1}", self.density_bits_per_um2),
         ]);
-        let fmt = |v: Option<f64>| v.map_or_else(|| "below threshold".into(), |x| format!("{x:.2}"));
+        let fmt =
+            |v: Option<f64>| v.map_or_else(|| "below threshold".into(), |x| format!("{x:.2}"));
         t.push_row(&["worst-case tw (ns)".into(), fmt(self.worst_case_tw_ns)]);
         t.push_row(&["best-case tw (ns)".into(), fmt(self.best_case_tw_ns)]);
         t.push_row(&[

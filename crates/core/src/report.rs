@@ -216,11 +216,7 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
         width = width - 8
     ));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!(
-            "   {} {}\n",
-            SYMBOLS[si % SYMBOLS.len()],
-            s.label
-        ));
+        out.push_str(&format!("   {} {}\n", SYMBOLS[si % SYMBOLS.len()], s.label));
     }
     out
 }

@@ -1,0 +1,244 @@
+//! The `mramsim` CLI: list, run, sweep, and report over every
+//! registered scenario.
+//!
+//! ```text
+//! mramsim list
+//! mramsim run fig4a --pitch 120 --format csv
+//! mramsim sweep fig4b --pitch 60..240:20 --ecd 20,35,55 --workers 8
+//! mramsim report fig4a explore
+//! ```
+//!
+//! Any `--name value` pair maps onto a declared scenario parameter;
+//! values may be numbers (`90`), lists (`20,35,55`), or stepped ranges
+//! (`60..240:20`). In `sweep`, multi-valued parameters become grid
+//! axes and scalars become fixed overrides.
+
+#![deny(unsafe_code)]
+
+use mramsim_engine::{parse_value, Engine, EngineError, ParamSet, ParamValue, Registry, SweepPlan};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mramsim — unified scenario-execution engine for the STT-MRAM
+magnetic-coupling reproduction (Wu et al., DATE 2020)
+
+USAGE:
+    mramsim list                         show scenarios and parameters
+    mramsim run <scenario> [OPTIONS]     run one scenario
+    mramsim sweep <scenario> [OPTIONS]   run a parameter grid in parallel
+    mramsim report [scenario...]         Markdown report (default: all)
+    mramsim help                         this text
+
+OPTIONS:
+    --<param> <value>    set a scenario parameter; value forms:
+                             90           number
+                             20,35,55     list
+                             60..240:20   inclusive range with step
+                         in `sweep`, lists/ranges become grid axes
+    --format <md|csv|chart>   output format (default md)
+    --workers <n>             sweep worker threads (default: all cores)
+
+EXAMPLES:
+    mramsim run explore --ecd 35 --temperature_c 85
+    mramsim sweep fig4b --pitch 60..240:20 --ecd 20,35,55
+    mramsim sweep faults --pitch 55..90:5 --format csv
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `mramsim help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Writes to stdout, exiting quietly when the reader has gone away
+/// (e.g. `mramsim list | head`) — `println!` would panic on the
+/// broken pipe instead.
+fn emit(text: &str) {
+    use std::io::Write;
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => {
+            emit(USAGE);
+            Ok(())
+        }
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parsed `--name value` options, with `format` and `workers` split
+/// off from scenario parameters.
+struct Options {
+    scenario: String,
+    params: Vec<(String, ParamValue)>,
+    format: String,
+    workers: Option<usize>,
+}
+
+fn parse_options(args: &[String], command: &str) -> Result<Options, String> {
+    let scenario = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("`{command}` needs a scenario id"))?
+        .clone();
+    let mut params = Vec::new();
+    let mut format = "md".to_owned();
+    let mut workers = None;
+    let mut rest = &args[1..];
+    while let Some(flag) = rest.first() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected `--option`, got `{flag}`"))?;
+        let value = rest
+            .get(1)
+            .ok_or_else(|| format!("`--{name}` needs a value"))?;
+        match name {
+            "format" => {
+                if !matches!(value.as_str(), "md" | "csv" | "chart") {
+                    return Err(format!(
+                        "`--format` must be md, csv, or chart, got `{value}`"
+                    ));
+                }
+                value.clone_into(&mut format);
+            }
+            "workers" => {
+                workers = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("`--workers` needs an integer, got `{value}`"))?,
+                );
+            }
+            _ => {
+                let parsed = parse_value(name, value).map_err(|e| e.to_string())?;
+                params.push((name.to_owned(), parsed));
+            }
+        }
+        rest = &rest[2..];
+    }
+    Ok(Options {
+        scenario,
+        params,
+        format,
+        workers,
+    })
+}
+
+fn build_engine(workers: Option<usize>) -> Engine {
+    match workers {
+        Some(n) => Engine::standard().with_workers(n),
+        None => Engine::standard(),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let registry = Registry::standard();
+    let mut out = format!("{} registered scenario(s):\n\n", registry.len());
+    for scenario in registry.iter() {
+        out.push_str(&format!("  {:<8} {}\n", scenario.id(), scenario.summary()));
+        for spec in scenario.params() {
+            out.push_str(&format!(
+                "           --{} <{}>  {}\n",
+                spec.name,
+                spec.default.display(),
+                spec.doc
+            ));
+        }
+        out.push('\n');
+    }
+    emit(&out);
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args, "run")?;
+    let engine = build_engine(options.workers);
+    let mut overrides = ParamSet::new();
+    for (name, value) in options.params {
+        overrides.insert(&name, value);
+    }
+    let outcome = engine
+        .run(&options.scenario, &overrides)
+        .map_err(|e: EngineError| e.to_string())?;
+    match options.format.as_str() {
+        "csv" => emit(&outcome.output.to_csv()),
+        "chart" => match &outcome.output.chart {
+            Some(chart) => emit(chart),
+            None => emit(&outcome.output.to_markdown()),
+        },
+        _ => emit(&outcome.output.to_markdown()),
+    }
+    eprintln!(
+        "ran `{}` in {:.1?}{}",
+        options.scenario,
+        outcome.duration,
+        if outcome.cache_hit {
+            " (cache hit)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args, "sweep")?;
+    let engine = build_engine(options.workers);
+    let mut plan = SweepPlan::new(&options.scenario);
+    for (name, value) in options.params {
+        plan = match value {
+            ParamValue::List(values) if values.len() > 1 => plan.axis(&name, values),
+            // A degenerate one-point range/list fixes a scalar; list
+            // parameters coerce a Number back via `ParamSet::list`.
+            ParamValue::List(values) if values.len() == 1 => plan.fix(&name, values[0]),
+            other => plan.fix(&name, other),
+        };
+    }
+    if plan.axes().is_empty() {
+        return Err("`sweep` needs at least one multi-valued axis \
+                    (e.g. `--pitch 60..240:20`)"
+            .into());
+    }
+    let outcome = engine.sweep(&plan).map_err(|e| e.to_string())?;
+    let summary = outcome.summary_table();
+    match options.format.as_str() {
+        "csv" => emit(&summary.to_csv()),
+        _ => emit(&summary.to_markdown()),
+    }
+    eprintln!(
+        "swept `{}`: {} point(s) on {} worker(s) in {:.1?} — {} cache hit(s), {} error(s)",
+        outcome.scenario,
+        outcome.jobs.len(),
+        engine.workers(),
+        outcome.duration,
+        outcome.cache_hits,
+        outcome.errors,
+    );
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("`report` takes scenario ids only, got `{flag}`"));
+    }
+    let engine = Engine::standard();
+    let ids: Vec<&str> = args.iter().map(String::as_str).collect();
+    for id in &ids {
+        engine.registry().get(id).map_err(|e| e.to_string())?;
+    }
+    emit(&engine.report(&ids));
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! The content-addressed result cache.
+//!
+//! Keys are a 64-bit FNV-1a hash of `scenario id + parameter
+//! fingerprint` (see [`crate::ParamSet::fingerprint`]); values are
+//! shared [`ScenarioOutput`]s. Repeated grid points — common when
+//! sweeps overlap or a report re-runs a scenario — are served without
+//! recomputation.
+
+use crate::ScenarioOutput;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hit/miss counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// A thread-safe in-memory result cache.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_engine::cache::ResultCache;
+/// use mramsim_engine::ScenarioOutput;
+/// use std::sync::Arc;
+///
+/// let cache = ResultCache::new();
+/// let key = ResultCache::key("fig4b", "ecd=n…;pitch=n…;");
+/// assert!(cache.get(key).is_none());
+/// cache.insert(key, Arc::new(ScenarioOutput::default()));
+/// assert!(cache.get(key).is_some());
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: RwLock<HashMap<u64, Arc<ScenarioOutput>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The content address of one `(scenario, fingerprint)` point.
+    #[must_use]
+    pub fn key(scenario_id: &str, fingerprint: &str) -> u64 {
+        let mut bytes = Vec::with_capacity(scenario_id.len() + 1 + fingerprint.len());
+        bytes.extend_from_slice(scenario_id.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(fingerprint.as_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Looks up a result, counting the hit or miss.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<ScenarioOutput>> {
+        let found = self.map.read().expect("cache poisoned").get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a result. Concurrent duplicate computes are benign: the
+    /// last insert wins and both callers hold equivalent outputs.
+    pub fn insert(&self, key: u64, output: Arc<ScenarioOutput>) {
+        self.map
+            .write()
+            .expect("cache poisoned")
+            .insert(key, output);
+    }
+
+    /// Drops every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        self.map.write().expect("cache poisoned").clear();
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().expect("cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_points_get_distinct_keys() {
+        let a = ResultCache::key("fig4b", "ecd=1;");
+        let b = ResultCache::key("fig4b", "ecd=2;");
+        let c = ResultCache::key("fig4a", "ecd=1;");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // The separator prevents ("ab", "c") colliding with ("a", "bc").
+        assert_ne!(ResultCache::key("ab", "c"), ResultCache::key("a", "bc"));
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = ResultCache::new();
+        let key = ResultCache::key("s", "p");
+        assert!(cache.get(key).is_none());
+        cache.insert(key, Arc::new(ScenarioOutput::default()));
+        assert!(cache.get(key).is_some());
+        assert!(cache.get(key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = ResultCache::new();
+        let key = ResultCache::key("s", "p");
+        cache.insert(key, Arc::new(ScenarioOutput::default()));
+        let _ = cache.get(key);
+        cache.clear();
+        assert!(cache.get(key).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+    }
+}

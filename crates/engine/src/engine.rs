@@ -1,0 +1,474 @@
+//! The [`Engine`]: cache-aware scenario execution and parallel sweeps.
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::{EngineError, ParamSet, Registry, ScenarioOutput, SweepPlan};
+use mramsim_core::report::Table;
+use mramsim_numerics::pool::WorkerPool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The outcome of one cache-aware [`Engine::run`].
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The scenario output (shared with the cache).
+    pub output: Arc<ScenarioOutput>,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock time of this call (≈0 for hits).
+    pub duration: Duration,
+}
+
+/// One job of a sweep: the grid point and its result.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The axis values of this grid point, in axis order.
+    pub point: Vec<(String, f64)>,
+    /// The fully resolved parameters the job ran with.
+    pub params: ParamSet,
+    /// The result, or the rendered error.
+    pub result: Result<Arc<ScenarioOutput>, String>,
+    /// Whether this job was served from the cache.
+    pub cache_hit: bool,
+}
+
+/// The outcome of one [`Engine::sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The swept scenario id.
+    pub scenario: String,
+    /// One entry per grid point, in deterministic expansion order.
+    pub jobs: Vec<SweepJob>,
+    /// Jobs served from the cache.
+    pub cache_hits: usize,
+    /// Jobs that failed.
+    pub errors: usize,
+    /// Wall-clock time of the whole sweep.
+    pub duration: Duration,
+}
+
+impl SweepOutcome {
+    /// Summarises the grid as one table: axis columns plus every
+    /// headline scalar of the scenario, one row per job. When any job
+    /// failed, a trailing `status` column carries the error so an
+    /// all-failed sweep can never masquerade as a successful one.
+    #[must_use]
+    pub fn summary_table(&self) -> Table {
+        let axis_names: Vec<&str> = self
+            .jobs
+            .first()
+            .map(|j| j.point.iter().map(|(n, _)| n.as_str()).collect())
+            .unwrap_or_default();
+        let scalar_names: Vec<&str> = self
+            .jobs
+            .iter()
+            .find_map(|j| j.result.as_ref().ok())
+            .map(|out| out.scalars.iter().map(|(n, _)| n.as_str()).collect())
+            .unwrap_or_default();
+        let with_status = self.errors > 0 || (axis_names.is_empty() && scalar_names.is_empty());
+        let mut columns: Vec<&str> = axis_names.clone();
+        columns.extend(&scalar_names);
+        if with_status {
+            columns.push("status");
+        }
+        let mut table = Table::new(
+            &format!("sweep: {} ({} points)", self.scenario, self.jobs.len()),
+            &columns,
+        );
+        for job in &self.jobs {
+            let mut row: Vec<String> = job.point.iter().map(|(_, v)| format!("{v}")).collect();
+            for name in &scalar_names {
+                row.push(match &job.result {
+                    Ok(out) => out
+                        .scalar(name)
+                        .map_or_else(|| "-".to_owned(), |v| format!("{v:.6}")),
+                    Err(_) => "-".to_owned(),
+                });
+            }
+            if with_status {
+                row.push(match &job.result {
+                    Ok(_) => "ok".to_owned(),
+                    Err(e) => format!("error: {e}"),
+                });
+            }
+            table.push_row(&row);
+        }
+        table
+    }
+}
+
+/// The unified scenario-execution engine.
+///
+/// Owns a [`Registry`], a content-addressed [`ResultCache`], and a
+/// [`WorkerPool`]; every run — single or swept — flows through the
+/// same resolve → cache-lookup → execute → insert path.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_engine::{Engine, ParamSet};
+///
+/// let engine = Engine::standard();
+/// let first = engine.run("fig4a", &ParamSet::new())?;
+/// let again = engine.run("fig4a", &ParamSet::new())?;
+/// assert!(!first.cache_hit && again.cache_hit);
+/// # Ok::<(), mramsim_engine::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    registry: Registry,
+    cache: ResultCache,
+    pool: WorkerPool,
+    base_seed: u64,
+}
+
+impl Engine {
+    /// An engine over the standard registry and default parallelism.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(Registry::standard())
+    }
+
+    /// An engine over a custom registry.
+    #[must_use]
+    pub fn new(registry: Registry) -> Self {
+        Self {
+            registry,
+            cache: ResultCache::new(),
+            pool: WorkerPool::with_default_parallelism(),
+            base_seed: 2020,
+        }
+    }
+
+    /// Overrides the sweep worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.pool = WorkerPool::new(workers);
+        self
+    }
+
+    /// Overrides the base seed folded into derived per-job seeds.
+    #[must_use]
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached result.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The sweep worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Resolves `overrides` against the scenario's declared defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownScenario`] / [`EngineError::UnknownParameter`].
+    pub fn resolve(&self, id: &str, overrides: &ParamSet) -> Result<ParamSet, EngineError> {
+        let scenario = self.registry.get(id)?;
+        let specs = scenario.params();
+        let mut resolved = ParamSet::defaults(&specs);
+        for (name, value) in overrides.iter() {
+            if !specs.iter().any(|s| s.name == name) {
+                return Err(EngineError::UnknownParameter {
+                    scenario: id.to_owned(),
+                    name: name.to_owned(),
+                });
+            }
+            resolved.insert(name, value.clone());
+        }
+        Ok(resolved)
+    }
+
+    /// Runs one scenario, serving repeats from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors plus whatever the scenario itself returns.
+    pub fn run(&self, id: &str, overrides: &ParamSet) -> Result<RunOutcome, EngineError> {
+        let params = self.resolve(id, overrides)?;
+        self.run_resolved(id, &params)
+    }
+
+    fn run_resolved(&self, id: &str, params: &ParamSet) -> Result<RunOutcome, EngineError> {
+        let scenario = self.registry.get(id)?;
+        let key = ResultCache::key(id, &params.fingerprint());
+        let start = Instant::now();
+        if let Some(output) = self.cache.get(key) {
+            return Ok(RunOutcome {
+                output,
+                cache_hit: true,
+                duration: start.elapsed(),
+            });
+        }
+        let output = Arc::new(scenario.run(params)?);
+        self.cache.insert(key, Arc::clone(&output));
+        Ok(RunOutcome {
+            output,
+            cache_hit: false,
+            duration: start.elapsed(),
+        })
+    }
+
+    /// Expands a [`SweepPlan`] and executes every grid point on the
+    /// worker pool, cache-aware and with deterministic per-job seeds.
+    ///
+    /// Individual job failures do not abort the sweep; they surface in
+    /// [`SweepJob::result`] and [`SweepOutcome::errors`].
+    ///
+    /// # Errors
+    ///
+    /// Plan-level problems only: unknown scenario, unknown or
+    /// duplicated parameters, an empty axis.
+    pub fn sweep(&self, plan: &SweepPlan) -> Result<SweepOutcome, EngineError> {
+        let id = plan.scenario().to_owned();
+        let scenario = self.registry.get(&id)?;
+        let specs = scenario.params();
+        let has_seed = specs.iter().any(|s| s.name == "seed");
+        for (name, _) in plan.axes() {
+            if !specs.iter().any(|s| s.name == name.as_str()) {
+                return Err(EngineError::UnknownParameter {
+                    scenario: id.clone(),
+                    name: name.clone(),
+                });
+            }
+        }
+
+        let points: Vec<ParamSet> = plan.expand()?;
+        let jobs: Vec<(Vec<(String, f64)>, ParamSet)> = points
+            .into_iter()
+            .map(|overrides| {
+                let point: Vec<(String, f64)> = plan
+                    .axes()
+                    .iter()
+                    .map(|(name, _)| (name.clone(), overrides.number(name).expect("axis value")))
+                    .collect();
+                let mut resolved = self.resolve(&id, &overrides)?;
+                // Deterministic per-job seeding: independent of worker
+                // scheduling, stable across runs, unique per grid point
+                // — unless the caller pinned the seed explicitly.
+                if has_seed && !overrides.contains("seed") {
+                    let derived =
+                        self.base_seed ^ crate::cache::fnv1a(resolved.fingerprint().as_bytes());
+                    // 32 bits: exactly representable in the f64 that
+                    // `ParamValue::Number` stores and well inside the
+                    // integer cap `ParamSet::count` enforces.
+                    resolved.insert("seed", f64::from(derived as u32));
+                }
+                Ok((point, resolved))
+            })
+            .collect::<Result<_, EngineError>>()?;
+
+        let start = Instant::now();
+        let results: Vec<(bool, Result<Arc<ScenarioOutput>, String>)> =
+            self.pool.scoped_map(&jobs, |_, (_, params)| {
+                match self.run_resolved(&id, params) {
+                    Ok(outcome) => (outcome.cache_hit, Ok(outcome.output)),
+                    Err(e) => (false, Err(e.to_string())),
+                }
+            });
+
+        let jobs: Vec<SweepJob> = jobs
+            .into_iter()
+            .zip(results)
+            .map(|((point, params), (cache_hit, result))| SweepJob {
+                point,
+                params,
+                result,
+                cache_hit,
+            })
+            .collect();
+        let cache_hits = jobs.iter().filter(|j| j.cache_hit).count();
+        let errors = jobs.iter().filter(|j| j.result.is_err()).count();
+        Ok(SweepOutcome {
+            scenario: id,
+            jobs,
+            cache_hits,
+            errors,
+            duration: start.elapsed(),
+        })
+    }
+
+    /// Runs every registered scenario with default parameters and
+    /// renders one combined Markdown report.
+    ///
+    /// Failures are embedded in the report rather than aborting it.
+    #[must_use]
+    pub fn report(&self, ids: &[&str]) -> String {
+        let mut out = String::from("# mramsim report\n\n");
+        let ids: Vec<&str> = if ids.is_empty() {
+            self.registry.ids().collect()
+        } else {
+            ids.to_vec()
+        };
+        for id in ids {
+            out.push_str(&format!("## {id}\n\n"));
+            match self.run(id, &ParamSet::new()) {
+                Ok(outcome) => out.push_str(&outcome.output.to_markdown()),
+                Err(e) => out.push_str(&format!("**failed:** {e}\n")),
+            }
+            out.push('\n');
+        }
+        let stats = self.cache_stats();
+        out.push_str(&format!(
+            "---\n{} scenario(s), cache: {} hit(s) / {} miss(es), {} entries\n",
+            self.registry.len(),
+            stats.hits,
+            stats.misses,
+            stats.entries
+        ));
+        out
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_scenario_and_parameter_are_rejected() {
+        let engine = Engine::standard();
+        assert!(matches!(
+            engine.run("nope", &ParamSet::new()),
+            Err(EngineError::UnknownScenario { .. })
+        ));
+        assert!(matches!(
+            engine.run("fig4a", &ParamSet::new().with("bogus", 1.0)),
+            Err(EngineError::UnknownParameter { .. })
+        ));
+        assert!(matches!(
+            engine.sweep(&SweepPlan::new("fig4a").axis("bogus", vec![1.0])),
+            Err(EngineError::UnknownParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_runs_hit_the_cache() {
+        let engine = Engine::standard();
+        let first = engine.run("fig4a", &ParamSet::new()).unwrap();
+        let second = engine.run("fig4a", &ParamSet::new()).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert!(Arc::ptr_eq(&first.output, &second.output));
+        // A different parameter point is a different cache entry.
+        let third = engine
+            .run("fig4a", &ParamSet::new().with("pitch", 120.0))
+            .unwrap();
+        assert!(!third.cache_hit);
+    }
+
+    #[test]
+    fn sweep_executes_the_whole_grid_in_order() {
+        let engine = Engine::standard().with_workers(4);
+        let plan = SweepPlan::new("fig4b")
+            .axis("ecd", vec![20.0, 35.0, 55.0])
+            .axis("pitch", vec![90.0, 120.0, 150.0, 200.0]);
+        let outcome = engine.sweep(&plan).unwrap();
+        assert_eq!(outcome.jobs.len(), 12);
+        assert_eq!(outcome.errors, 0);
+        assert_eq!(outcome.cache_hits, 0);
+        // Deterministic expansion order: first axis slowest.
+        assert_eq!(
+            outcome.jobs[0].point,
+            vec![("ecd".into(), 20.0), ("pitch".into(), 90.0)]
+        );
+        assert_eq!(
+            outcome.jobs[5].point,
+            vec![("ecd".into(), 35.0), ("pitch".into(), 120.0)]
+        );
+        // Ψ decreases along every pitch row.
+        for row in outcome.jobs.chunks(4) {
+            let psis: Vec<f64> = row
+                .iter()
+                .map(|j| j.result.as_ref().unwrap().scalar("psi").unwrap())
+                .collect();
+            assert!(psis.windows(2).all(|w| w[0] > w[1]), "psis = {psis:?}");
+        }
+        let summary = outcome.summary_table();
+        assert_eq!(summary.row_count(), 12);
+
+        // Re-sweeping the same grid is served entirely from the cache.
+        let warm = engine.sweep(&plan).unwrap();
+        assert_eq!(warm.cache_hits, 12);
+    }
+
+    #[test]
+    fn sweep_jobs_get_distinct_deterministic_seeds() {
+        let engine = Engine::standard();
+        let plan = SweepPlan::new("fig2a").axis("ecd", vec![35.0, 55.0]);
+        let outcome = engine.sweep(&plan).unwrap();
+        // The derived seeds must actually be accepted by the scenario
+        // (regression: 48-bit seeds tripped `ParamSet::count`'s cap).
+        assert_eq!(outcome.errors, 0, "derived seeds were rejected");
+        let seeds: Vec<f64> = outcome
+            .jobs
+            .iter()
+            .map(|j| j.params.number("seed").unwrap())
+            .collect();
+        assert_ne!(seeds[0], seeds[1], "grid points must not share a seed");
+        let again = engine.sweep(&plan).unwrap();
+        let seeds_again: Vec<f64> = again
+            .jobs
+            .iter()
+            .map(|j| j.params.number("seed").unwrap())
+            .collect();
+        assert_eq!(seeds, seeds_again, "seeds must be stable across runs");
+        // Pinning the seed disables derivation.
+        let pinned = engine
+            .sweep(
+                &SweepPlan::new("fig2a")
+                    .fix("seed", 7.0)
+                    .axis("ecd", vec![35.0, 55.0]),
+            )
+            .unwrap();
+        for job in &pinned.jobs {
+            assert_eq!(job.params.number("seed").unwrap(), 7.0);
+        }
+    }
+
+    #[test]
+    fn job_failures_are_contained() {
+        let engine = Engine::standard();
+        // 10 nm pitch is smaller than the 35 nm device: that job fails,
+        // the rest of the grid still completes.
+        let plan = SweepPlan::new("fig4b").axis("pitch", vec![10.0, 90.0]);
+        let outcome = engine.sweep(&plan).unwrap();
+        assert_eq!(outcome.errors, 1);
+        assert!(outcome.jobs[0].result.is_err());
+        assert!(outcome.jobs[1].result.is_ok());
+        let summary = outcome.summary_table();
+        assert!(summary.to_markdown().contains("error:"));
+    }
+
+    #[test]
+    fn report_covers_selected_scenarios() {
+        let engine = Engine::standard();
+        let report = engine.report(&["fig4a", "explore"]);
+        assert!(report.contains("## fig4a"));
+        assert!(report.contains("## explore"));
+        assert!(report.contains("cache:"));
+    }
+}

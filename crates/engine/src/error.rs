@@ -1,0 +1,76 @@
+//! Unified error type for the execution engine.
+
+use core::fmt;
+
+/// Errors produced by the scenario-execution engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// No scenario with this id is registered.
+    UnknownScenario {
+        /// The requested id.
+        id: String,
+    },
+    /// A parameter name is not declared by the scenario.
+    UnknownParameter {
+        /// The scenario id.
+        scenario: String,
+        /// The unrecognised parameter name.
+        name: String,
+    },
+    /// A parameter value violated a constraint.
+    InvalidParameter {
+        /// Parameter name.
+        name: String,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The underlying model failed while running a scenario.
+    Scenario {
+        /// The scenario id.
+        scenario: String,
+        /// The rendered model error.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownScenario { id } => write!(f, "unknown scenario `{id}`"),
+            Self::UnknownParameter { scenario, name } => {
+                write!(f, "scenario `{scenario}` has no parameter `{name}`")
+            }
+            Self::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            Self::Scenario { scenario, message } => {
+                write!(f, "scenario `{scenario}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<EngineError>();
+    }
+
+    #[test]
+    fn messages_name_the_scenario() {
+        let e = EngineError::UnknownScenario { id: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+        let e = EngineError::UnknownParameter {
+            scenario: "fig4b".into(),
+            name: "pitchx".into(),
+        };
+        assert!(e.to_string().contains("fig4b") && e.to_string().contains("pitchx"));
+    }
+}

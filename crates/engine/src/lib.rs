@@ -1,0 +1,62 @@
+//! # mramsim-engine
+//!
+//! The unified scenario-execution layer of the `mramsim` workspace:
+//! one production entry point over the ten figure drivers, the WER
+//! extension, the design-space explorer, and the fault simulator.
+//!
+//! * [`Scenario`] — the uniform `run(params) -> ScenarioOutput`
+//!   interface, with a [`Registry`] of the thirteen standard
+//!   scenarios,
+//! * [`SweepPlan`] — cartesian parameter grids (pitch × eCD ×
+//!   temperature × voltage × …) with deterministic expansion order
+//!   and per-job seeding,
+//! * [`Engine`] — cache-aware execution on a shared work-stealing
+//!   worker pool ([`pool`], re-exported from `mramsim-numerics`),
+//! * a content-addressed in-memory result [`cache`] so repeated grid
+//!   points are served without recomputation,
+//! * the `mramsim` CLI binary (`list`, `run`, `sweep`, `report`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mramsim_engine::{Engine, ParamSet, SweepPlan};
+//!
+//! let engine = Engine::standard().with_workers(4);
+//!
+//! // One scenario, one parameter point.
+//! let run = engine.run("explore", &ParamSet::new().with("ecd", 35.0))?;
+//! assert!(run.output.scalar("recommended_pitch_nm").unwrap() > 52.5);
+//!
+//! // A 2×3 grid, executed in parallel; repeats come from the cache.
+//! let plan = SweepPlan::new("fig4b")
+//!     .axis("ecd", vec![20.0, 55.0])
+//!     .axis("pitch", vec![90.0, 120.0, 200.0]);
+//! let sweep = engine.sweep(&plan)?;
+//! assert_eq!(sweep.jobs.len(), 6);
+//! assert_eq!(engine.sweep(&plan)?.cache_hits, 6);
+//! # Ok::<(), mramsim_engine::EngineError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+mod engine;
+mod error;
+mod params;
+mod registry;
+mod scenario;
+mod sweep;
+
+pub use engine::{Engine, RunOutcome, SweepJob, SweepOutcome};
+pub use error::EngineError;
+pub use params::{parse_value, ParamSet, ParamSpec, ParamValue};
+pub use registry::Registry;
+pub use scenario::{Scenario, ScenarioOutput};
+pub use sweep::SweepPlan;
+
+/// The engine's worker pool, shared with `mramsim-array`'s sweeps.
+///
+/// The implementation lives in `mramsim_numerics::pool` (the lowest
+/// crate both can depend on); this re-export is the canonical path.
+pub use mramsim_numerics::pool;

@@ -1,0 +1,407 @@
+//! Scenario parameters: typed values, named sets, and declared specs.
+//!
+//! Every scenario consumes a flat, string-keyed [`ParamSet`]. That
+//! uniformity is what lets one sweep planner, one cache, and one CLI
+//! drive thirteen very different drivers: a parameter point is just a
+//! map, and its canonical [`ParamSet::fingerprint`] is the content
+//! address the result cache keys on.
+
+use crate::EngineError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A scalar number (also used for integer-valued parameters).
+    Number(f64),
+    /// A list of numbers (grids, pitch factors, pulse widths, …).
+    List(Vec<f64>),
+    /// Free text (pattern names, modes).
+    Text(String),
+}
+
+impl ParamValue {
+    fn write_fingerprint(&self, out: &mut String) {
+        match self {
+            // Bit-exact so 0.1+0.2 and 0.3 are different cache keys.
+            Self::Number(n) => write!(out, "n{:016x}", n.to_bits()).expect("string write"),
+            Self::List(xs) => {
+                out.push('[');
+                for x in xs {
+                    write!(out, "{:016x},", x.to_bits()).expect("string write");
+                }
+                out.push(']');
+            }
+            Self::Text(t) => write!(out, "t{t}").expect("string write"),
+        }
+    }
+
+    /// Renders the value the way the CLI accepts it back.
+    #[must_use]
+    pub fn display(&self) -> String {
+        match self {
+            Self::Number(n) => format!("{n}"),
+            Self::List(xs) => xs
+                .iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            Self::Text(t) => t.clone(),
+        }
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(n: f64) -> Self {
+        Self::Number(n)
+    }
+}
+
+impl From<Vec<f64>> for ParamValue {
+    fn from(xs: Vec<f64>) -> Self {
+        Self::List(xs)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(t: &str) -> Self {
+        Self::Text(t.to_owned())
+    }
+}
+
+/// A declared scenario parameter: name, documentation, and default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name as used by the CLI and [`ParamSet`].
+    pub name: &'static str,
+    /// One-line description shown by `mramsim list`.
+    pub doc: &'static str,
+    /// The default value.
+    pub default: ParamValue,
+}
+
+impl ParamSpec {
+    /// A new spec.
+    #[must_use]
+    pub fn new(name: &'static str, doc: &'static str, default: impl Into<ParamValue>) -> Self {
+        Self {
+            name,
+            doc,
+            default: default.into(),
+        }
+    }
+}
+
+/// A named set of parameter values.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_engine::ParamSet;
+///
+/// let p = ParamSet::new().with("ecd", 35.0).with("pitch", 70.0);
+/// assert_eq!(p.number("ecd").unwrap(), 35.0);
+/// assert_ne!(
+///     p.fingerprint(),
+///     ParamSet::new().with("ecd", 55.0).with("pitch", 70.0).fingerprint(),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamSet {
+    values: BTreeMap<String, ParamValue>,
+}
+
+impl ParamSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A set holding every spec's default.
+    #[must_use]
+    pub fn defaults(specs: &[ParamSpec]) -> Self {
+        let mut set = Self::new();
+        for spec in specs {
+            set.insert(spec.name, spec.default.clone());
+        }
+        set
+    }
+
+    /// Inserts (or replaces) a value.
+    pub fn insert(&mut self, name: &str, value: impl Into<ParamValue>) {
+        self.values.insert(name.to_owned(), value.into());
+    }
+
+    /// Builder-style [`ParamSet::insert`].
+    #[must_use]
+    pub fn with(mut self, name: &str, value: impl Into<ParamValue>) -> Self {
+        self.insert(name, value);
+        self
+    }
+
+    /// Whether `name` is present.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// The raw value, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.values.get(name)
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The scalar value of `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidParameter`] when missing or not a number.
+    pub fn number(&self, name: &str) -> Result<f64, EngineError> {
+        match self.values.get(name) {
+            Some(ParamValue::Number(n)) => Ok(*n),
+            Some(other) => Err(EngineError::InvalidParameter {
+                name: name.to_owned(),
+                message: format!("expected a number, got `{}`", other.display()),
+            }),
+            None => Err(EngineError::InvalidParameter {
+                name: name.to_owned(),
+                message: "missing".into(),
+            }),
+        }
+    }
+
+    /// The value of `name` as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidParameter`] when missing, fractional, or
+    /// negative.
+    pub fn count(&self, name: &str) -> Result<usize, EngineError> {
+        let n = self.number(name)?;
+        if n < 0.0 || n.fract() != 0.0 || n > 1e12 {
+            return Err(EngineError::InvalidParameter {
+                name: name.to_owned(),
+                message: format!("expected a non-negative integer, got {n}"),
+            });
+        }
+        Ok(n as usize)
+    }
+
+    /// The value of `name` as a list (a scalar becomes a 1-list).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidParameter`] when missing or text.
+    pub fn list(&self, name: &str) -> Result<Vec<f64>, EngineError> {
+        match self.values.get(name) {
+            Some(ParamValue::List(xs)) => Ok(xs.clone()),
+            Some(ParamValue::Number(n)) => Ok(vec![*n]),
+            Some(ParamValue::Text(t)) => Err(EngineError::InvalidParameter {
+                name: name.to_owned(),
+                message: format!("expected numbers, got `{t}`"),
+            }),
+            None => Err(EngineError::InvalidParameter {
+                name: name.to_owned(),
+                message: "missing".into(),
+            }),
+        }
+    }
+
+    /// The text value of `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidParameter`] when missing or not text.
+    pub fn text(&self, name: &str) -> Result<&str, EngineError> {
+        match self.values.get(name) {
+            Some(ParamValue::Text(t)) => Ok(t),
+            Some(other) => Err(EngineError::InvalidParameter {
+                name: name.to_owned(),
+                message: format!("expected text, got `{}`", other.display()),
+            }),
+            None => Err(EngineError::InvalidParameter {
+                name: name.to_owned(),
+                message: "missing".into(),
+            }),
+        }
+    }
+
+    /// The canonical content fingerprint: name-sorted, bit-exact.
+    /// Equal sets produce equal fingerprints and vice versa.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.values {
+            out.push_str(name);
+            out.push('=');
+            value.write_fingerprint(&mut out);
+            out.push(';');
+        }
+        out
+    }
+}
+
+/// Parses a CLI value specification into a [`ParamValue`].
+///
+/// Accepted forms:
+///
+/// * `42` / `-1.5e-9` — a number,
+/// * `20,35,55` — a list,
+/// * `60..240:20` — an inclusive range with a step,
+/// * anything else — text.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidParameter`] for a malformed or non-positive
+/// range step.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_engine::{parse_value, ParamValue};
+///
+/// assert_eq!(parse_value("p", "70").unwrap(), ParamValue::Number(70.0));
+/// assert_eq!(
+///     parse_value("p", "60..120:30").unwrap(),
+///     ParamValue::List(vec![60.0, 90.0, 120.0]),
+/// );
+/// ```
+pub fn parse_value(name: &str, spec: &str) -> Result<ParamValue, EngineError> {
+    if let Ok(n) = spec.parse::<f64>() {
+        return Ok(ParamValue::Number(n));
+    }
+    if let Some((range, step)) = spec.split_once(':') {
+        if let Some((lo, hi)) = range.split_once("..") {
+            let parse = |s: &str, what: &str| {
+                s.parse::<f64>().map_err(|_| EngineError::InvalidParameter {
+                    name: name.to_owned(),
+                    message: format!("bad {what} `{s}` in range `{spec}`"),
+                })
+            };
+            let lo = parse(lo, "start")?;
+            let hi = parse(hi, "end")?;
+            let step = parse(step, "step")?;
+            if !(step > 0.0) || hi < lo {
+                return Err(EngineError::InvalidParameter {
+                    name: name.to_owned(),
+                    message: format!("range `{spec}` needs end >= start and step > 0"),
+                });
+            }
+            let n = ((hi - lo) / step).round() as usize;
+            let mut xs: Vec<f64> = (0..=n).map(|i| lo + step * i as f64).collect();
+            xs.retain(|x| *x <= hi + 1e-9 * step);
+            return Ok(ParamValue::List(xs));
+        }
+    }
+    if spec.contains(',') {
+        let xs: Result<Vec<f64>, _> = spec.split(',').map(str::trim).map(str::parse).collect();
+        if let Ok(xs) = xs {
+            return Ok(ParamValue::List(xs));
+        }
+    }
+    Ok(ParamValue::Text(spec.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_independent_and_bit_exact() {
+        let a = ParamSet::new().with("x", 1.0).with("y", 2.0);
+        let b = ParamSet::new().with("y", 2.0).with("x", 1.0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = ParamSet::new().with("x", 1.0 + 1e-16).with("y", 2.0);
+        // 1.0 + 1e-16 rounds to 1.0 exactly; a genuinely different bit
+        // pattern must change the fingerprint.
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        let d = ParamSet::new().with("x", 1.0000000001).with("y", 2.0);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn typed_accessors_enforce_kinds() {
+        let p = ParamSet::new()
+            .with("n", 3.0)
+            .with("xs", vec![1.0, 2.0])
+            .with("mode", "checkerboard");
+        assert_eq!(p.number("n").unwrap(), 3.0);
+        assert_eq!(p.count("n").unwrap(), 3);
+        assert_eq!(p.list("xs").unwrap(), vec![1.0, 2.0]);
+        assert_eq!(p.list("n").unwrap(), vec![3.0]);
+        assert_eq!(p.text("mode").unwrap(), "checkerboard");
+        assert!(p.number("xs").is_err());
+        assert!(p.text("n").is_err());
+        assert!(p.number("missing").is_err());
+        assert!(p.count("mode").is_err());
+    }
+
+    #[test]
+    fn count_rejects_fractions_and_negatives() {
+        let p = ParamSet::new().with("a", 2.5).with("b", -1.0);
+        assert!(p.count("a").is_err());
+        assert!(p.count("b").is_err());
+    }
+
+    #[test]
+    fn parse_value_forms() {
+        assert_eq!(
+            parse_value("p", "-3e2").unwrap(),
+            ParamValue::Number(-300.0)
+        );
+        assert_eq!(
+            parse_value("p", "20, 35,55").unwrap(),
+            ParamValue::List(vec![20.0, 35.0, 55.0])
+        );
+        assert_eq!(
+            parse_value("p", "60..240:60").unwrap(),
+            ParamValue::List(vec![60.0, 120.0, 180.0, 240.0])
+        );
+        assert_eq!(
+            parse_value("p", "checkerboard").unwrap(),
+            ParamValue::Text("checkerboard".into())
+        );
+        assert!(parse_value("p", "10..0:5").is_err());
+        assert!(parse_value("p", "0..10:0").is_err());
+    }
+
+    #[test]
+    fn range_endpoint_is_inclusive_without_overshoot() {
+        let ParamValue::List(xs) = parse_value("p", "60..240:20").unwrap() else {
+            panic!("expected a list");
+        };
+        assert_eq!(xs.len(), 10);
+        assert_eq!(xs[0], 60.0);
+        assert_eq!(*xs.last().unwrap(), 240.0);
+    }
+
+    #[test]
+    fn defaults_come_from_specs() {
+        let specs = [
+            ParamSpec::new("ecd", "size", 35.0),
+            ParamSpec::new("grid", "points", vec![1.0, 2.0]),
+        ];
+        let p = ParamSet::defaults(&specs);
+        assert_eq!(p.number("ecd").unwrap(), 35.0);
+        assert_eq!(p.list("grid").unwrap(), vec![1.0, 2.0]);
+    }
+}

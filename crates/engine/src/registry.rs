@@ -1,0 +1,776 @@
+//! The scenario registry: every driver in the workspace adapted to the
+//! uniform [`Scenario`] interface.
+//!
+//! Ten paper figures, the extension WER study, the design-space
+//! explorer, and the coupling-aware fault simulator are registered
+//! under stable ids. [`Registry::standard`] builds the full set.
+
+use crate::{EngineError, ParamSet, ParamSpec, Scenario, ScenarioOutput};
+use mramsim_array::CouplingAnalyzer;
+use mramsim_core::experiments::{
+    ext_wer, fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b,
+};
+use mramsim_core::explorer::{explore, DesignQuery};
+use mramsim_core::report::Table;
+use mramsim_faults::march::MarchTest;
+use mramsim_faults::{classify_write_faults, ArraySimulator, CellArray, WriteConditions};
+use mramsim_mtj::{presets, MtjState};
+use mramsim_units::constants::OERSTED_PER_AMPERE_PER_METER;
+use mramsim_units::{Kelvin, Nanometer, Nanosecond, Volt};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Wraps a model error into [`EngineError::Scenario`].
+fn model_err(scenario: &'static str, e: impl std::fmt::Display) -> EngineError {
+    EngineError::Scenario {
+        scenario: scenario.to_owned(),
+        message: e.to_string(),
+    }
+}
+
+/// Reads a parameter as an RNG seed (non-negative integer).
+fn seed_of(params: &ParamSet, name: &str) -> Result<u64, EngineError> {
+    Ok(params.count(name)? as u64)
+}
+
+/// An ordered, immutable set of registered scenarios.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_engine::Registry;
+///
+/// let registry = Registry::standard();
+/// assert!(registry.ids().any(|id| id == "fig4b"));
+/// assert!(registry.get("fig4b").is_ok());
+/// assert!(registry.get("nope").is_err());
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    scenarios: BTreeMap<&'static str, Arc<dyn Scenario>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("ids", &self.scenarios.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a scenario (replacing any previous one with that id).
+    pub fn register(&mut self, scenario: Arc<dyn Scenario>) {
+        self.scenarios.insert(scenario.id(), scenario);
+    }
+
+    /// The full standard set: all ten figures, the WER extension, the
+    /// explorer, and the fault simulator.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut registry = Self::new();
+        registry.register(Arc::new(Fig2aScenario));
+        registry.register(Arc::new(Fig2bScenario));
+        registry.register(Arc::new(Fig3cScenario));
+        registry.register(Arc::new(Fig3dScenario));
+        registry.register(Arc::new(Fig4aScenario));
+        registry.register(Arc::new(Fig4bScenario));
+        registry.register(Arc::new(Fig4cScenario));
+        registry.register(Arc::new(Fig5Scenario));
+        registry.register(Arc::new(Fig6aScenario));
+        registry.register(Arc::new(Fig6bScenario));
+        registry.register(Arc::new(ExtWerScenario));
+        registry.register(Arc::new(ExploreScenario));
+        registry.register(Arc::new(FaultsScenario));
+        registry
+    }
+
+    /// Looks up a scenario by id.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownScenario`] when absent.
+    pub fn get(&self, id: &str) -> Result<&Arc<dyn Scenario>, EngineError> {
+        self.scenarios
+            .get(id)
+            .ok_or_else(|| EngineError::UnknownScenario { id: id.to_owned() })
+    }
+
+    /// All ids in sorted order.
+    pub fn ids(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.scenarios.keys().copied()
+    }
+
+    /// All scenarios in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Scenario>> {
+        self.scenarios.values()
+    }
+
+    /// Number of registered scenarios.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// Fig. 2a — measured R-H hysteresis loop and its §III extraction.
+struct Fig2aScenario;
+
+impl Scenario for Fig2aScenario {
+    fn id(&self) -> &'static str {
+        "fig2a"
+    }
+
+    fn summary(&self) -> &'static str {
+        "R-H hysteresis loop of one device with the full §III extraction"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 55.0),
+            ParamSpec::new("seed", "RNG seed for switching noise", 2020.0),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig2a::run(&fig2a::Params {
+            ecd: Nanometer::new(params.number("ecd")?),
+            seed: seed_of(params, "seed")?,
+        })
+        .map_err(|e| model_err("fig2a", e))?;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_chart(fig.chart())
+            .with_scalar("hc_oe", fig.extraction.hc.value())
+            .with_scalar("h_offset_oe", fig.extraction.h_offset.value())
+            .with_scalar("ecd_extracted_nm", fig.extraction.ecd.value()))
+    }
+}
+
+/// Fig. 2b — `Hz_s_intra` vs device size, measured vs model.
+struct Fig2bScenario;
+
+impl Scenario for Fig2bScenario {
+    fn id(&self) -> &'static str {
+        "fig2b"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Hz_s_intra vs eCD: virtual-wafer measurement against the model curve"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("devices_per_size", "devices measured per size group", 4.0),
+            ParamSpec::new("seed", "RNG seed for fabrication and measurement", 2020.0),
+            ParamSpec::new(
+                "sim_grid",
+                "eCD grid (nm) for the model curve",
+                vec![20.0, 35.0, 55.0, 90.0, 130.0, 175.0],
+            ),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig2b::run(&fig2b::Params {
+            devices_per_size: params.count("devices_per_size")?,
+            seed: seed_of(params, "seed")?,
+            sim_grid: params.list("sim_grid")?,
+        })
+        .map_err(|e| model_err("fig2b", e))?;
+        let sizes = fig.measured.len() as f64;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_chart(fig.chart())
+            .with_scalar("sizes_measured", sizes))
+    }
+}
+
+/// Fig. 3c — the intra-cell stray-field map over the free-layer plane.
+struct Fig3cScenario;
+
+impl Scenario for Fig3cScenario {
+    fn id(&self) -> &'static str {
+        "fig3c"
+    }
+
+    fn summary(&self) -> &'static str {
+        "intra-cell stray-field map over the free-layer plane"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 55.0),
+            ParamSpec::new("window_factor", "half-window in units of eCD", 1.6),
+            ParamSpec::new("grid", "samples per axis", 33.0),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig3c::run(&fig3c::Params {
+            ecd: Nanometer::new(params.number("ecd")?),
+            window_factor: params.number("window_factor")?,
+            grid: params.count("grid")?,
+        })
+        .map_err(|e| model_err("fig3c", e))?;
+        let nx = fig.fl_plane.nx();
+        let ny = fig.fl_plane.ny();
+        let center_oe = fig.fl_plane.at(nx / 2, ny / 2).z * OERSTED_PER_AMPERE_PER_METER;
+        Ok(ScenarioOutput::from_table(fig.to_table()).with_scalar("center_hz_oe", center_oe))
+    }
+}
+
+/// Fig. 3d — the radial intra-field profile per device size.
+struct Fig3dScenario;
+
+impl Scenario for Fig3dScenario {
+    fn id(&self) -> &'static str {
+        "fig3d"
+    }
+
+    fn summary(&self) -> &'static str {
+        "radial profile of Hz_s_intra across the free layer, per device size"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecds", "device sizes (nm)", vec![20.0, 35.0, 55.0, 90.0]),
+            ParamSpec::new("samples", "radial sample count", 41.0),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig3d::run(&fig3d::Params {
+            ecds: params.list("ecds")?,
+            samples: params.count("samples")?,
+        })
+        .map_err(|e| model_err("fig3d", e))?;
+        let profiles = fig.profiles.len() as f64;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_chart(fig.chart())
+            .with_scalar("profiles", profiles))
+    }
+}
+
+/// Fig. 4a — `Hz_s_inter` by neighbourhood pattern class.
+struct Fig4aScenario;
+
+impl Scenario for Fig4aScenario {
+    fn id(&self) -> &'static str {
+        "fig4a"
+    }
+
+    fn summary(&self) -> &'static str {
+        "inter-cell stray field for all 25 neighbourhood pattern classes"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 55.0),
+            ParamSpec::new("pitch", "array pitch (nm)", 90.0),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig4a::run(&fig4a::Params {
+            ecd: Nanometer::new(params.number("ecd")?),
+            pitch: Nanometer::new(params.number("pitch")?),
+        })
+        .map_err(|e| model_err("fig4a", e))?;
+        let (lo, hi) = fig.extremes;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_scalar("inter_hz_min_oe", lo.value())
+            .with_scalar("inter_hz_max_oe", hi.value()))
+    }
+}
+
+/// Fig. 4b — the coupling factor Ψ vs pitch.
+struct Fig4bScenario;
+
+impl Scenario for Fig4bScenario {
+    fn id(&self) -> &'static str {
+        "fig4b"
+    }
+
+    fn summary(&self) -> &'static str {
+        "coupling factor Ψ vs pitch (pitch=0: full figure; pitch>0: one grid point)"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new(
+                "pitch",
+                "one pitch (nm) for point mode, 0 for the figure",
+                0.0,
+            ),
+            ParamSpec::new("ecd", "device size (nm) in point mode", 35.0),
+            ParamSpec::new(
+                "ecds",
+                "device sizes (nm) in figure mode",
+                vec![20.0, 35.0, 55.0],
+            ),
+            ParamSpec::new("max_pitch", "figure-mode upper pitch bound (nm)", 200.0),
+            ParamSpec::new("points", "figure-mode samples per curve", 24.0),
+            ParamSpec::new("psi_threshold", "design-rule Ψ threshold", 0.02),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let pitch = params.number("pitch")?;
+        if pitch > 0.0 {
+            // Point mode: Ψ at exactly (ecd, pitch) — the sweep and
+            // cache workhorse.
+            let ecd = params.number("ecd")?;
+            let device =
+                presets::imec_like(Nanometer::new(ecd)).map_err(|e| model_err("fig4b", e))?;
+            let coupling = CouplingAnalyzer::new(device, Nanometer::new(pitch))
+                .map_err(|e| model_err("fig4b", e))?;
+            let psi = coupling.psi(presets::MEASURED_HC);
+            let mut table = Table::new(
+                "fig4b: psi at one grid point",
+                &["ecd_nm", "pitch_nm", "psi_percent"],
+            );
+            table.push_row(&[
+                format!("{ecd:.0}"),
+                format!("{pitch:.1}"),
+                format!("{:.3}", 100.0 * psi),
+            ]);
+            return Ok(ScenarioOutput::from_table(table)
+                .with_scalar("psi", psi)
+                .with_scalar("psi_percent", 100.0 * psi));
+        }
+        let fig = fig4b::run(&fig4b::Params {
+            ecds: params.list("ecds")?,
+            max_pitch: params.number("max_pitch")?,
+            points: params.count("points")?,
+            psi_threshold: params.number("psi_threshold")?,
+        })
+        .map_err(|e| model_err("fig4b", e))?;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_table(fig.threshold_table())
+            .with_chart(fig.chart())
+            .with_scalar("psi_threshold", fig.psi_threshold))
+    }
+}
+
+/// Fig. 4c — critical current vs pitch under worst/best-case patterns.
+struct Fig4cScenario;
+
+impl Scenario for Fig4cScenario {
+    fn id(&self) -> &'static str {
+        "fig4c"
+    }
+
+    fn summary(&self) -> &'static str {
+        "critical switching current vs pitch for NP8=0 and NP8=255"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new("min_pitch", "lower pitch bound (nm)", 52.5),
+            ParamSpec::new("max_pitch", "upper pitch bound (nm)", 200.0),
+            ParamSpec::new("points", "pitch samples", 25.0),
+            ParamSpec::new("temperature_k", "temperature (K)", 300.0),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig4c::run(&fig4c::Params {
+            ecd: Nanometer::new(params.number("ecd")?),
+            pitch_range: (params.number("min_pitch")?, params.number("max_pitch")?),
+            points: params.count("points")?,
+            temperature: Kelvin::new(params.number("temperature_k")?),
+        })
+        .map_err(|e| model_err("fig4c", e))?;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_chart(fig.chart())
+            .with_scalar("intrinsic_ua", fig.intrinsic_ua))
+    }
+}
+
+/// Fig. 5 — write time vs pulse voltage per pitch factor.
+struct Fig5Scenario;
+
+impl Scenario for Fig5Scenario {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn summary(&self) -> &'static str {
+        "write time vs pulse amplitude across coupling corners, per pitch"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new(
+                "pitch_factors",
+                "pitches in units of eCD",
+                vec![3.0, 2.0, 1.5],
+            ),
+            ParamSpec::new("v_min", "lowest pulse voltage (V)", 0.7),
+            ParamSpec::new("v_max", "highest pulse voltage (V)", 1.2),
+            ParamSpec::new("points", "voltage samples", 26.0),
+            ParamSpec::new("temperature_k", "temperature (K)", 300.0),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig5::run(&fig5::Params {
+            ecd: Nanometer::new(params.number("ecd")?),
+            pitch_factors: params.list("pitch_factors")?,
+            voltage_range: (params.number("v_min")?, params.number("v_max")?),
+            points: params.count("points")?,
+            temperature: Kelvin::new(params.number("temperature_k")?),
+        })
+        .map_err(|e| model_err("fig5", e))?;
+        // Fig. 5 is rendered per panel (one panel per pitch factor).
+        let mut out = ScenarioOutput::default();
+        let mut charts = String::new();
+        for panel in &fig.panels {
+            out = out.with_table(panel.to_table());
+            charts.push_str(&panel.chart());
+            charts.push('\n');
+        }
+        Ok(out
+            .with_chart(charts)
+            .with_scalar("panels", fig.panels.len() as f64))
+    }
+}
+
+/// Fig. 6a — thermal stability Δ vs temperature across corners.
+struct Fig6aScenario;
+
+impl Scenario for Fig6aScenario {
+    fn id(&self) -> &'static str {
+        "fig6a"
+    }
+
+    fn summary(&self) -> &'static str {
+        "thermal stability vs temperature across coupling corners"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new("pitch_factor", "pitch in units of eCD", 2.0),
+            ParamSpec::new(
+                "temps_c",
+                "temperatures (°C)",
+                (0..=15).map(|i| 10.0 * f64::from(i)).collect::<Vec<f64>>(),
+            ),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig6a::run(&fig6a::Params {
+            ecd: Nanometer::new(params.number("ecd")?),
+            pitch_factor: params.number("pitch_factor")?,
+            temps_c: params.list("temps_c")?,
+        })
+        .map_err(|e| model_err("fig6a", e))?;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_chart(fig.chart())
+            .with_scalar("psi", fig.psi))
+    }
+}
+
+/// Fig. 6b — worst-case Δ vs temperature per pitch factor.
+struct Fig6bScenario;
+
+impl Scenario for Fig6bScenario {
+    fn id(&self) -> &'static str {
+        "fig6b"
+    }
+
+    fn summary(&self) -> &'static str {
+        "worst-case thermal stability vs temperature, per pitch"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new(
+                "pitch_factors",
+                "pitches in units of eCD",
+                vec![3.0, 2.0, 1.5],
+            ),
+            ParamSpec::new(
+                "temps_c",
+                "temperatures (°C)",
+                (0..=15).map(|i| 10.0 * f64::from(i)).collect::<Vec<f64>>(),
+            ),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = fig6b::run(&fig6b::Params {
+            ecd: Nanometer::new(params.number("ecd")?),
+            pitch_factors: params.list("pitch_factors")?,
+            temps_c: params.list("temps_c")?,
+        })
+        .map_err(|e| model_err("fig6b", e))?;
+        let curves = fig.curves.len() as f64;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_chart(fig.chart())
+            .with_scalar("curves", curves))
+    }
+}
+
+/// Extension — write error rate vs pulse width.
+struct ExtWerScenario;
+
+impl Scenario for ExtWerScenario {
+    fn id(&self) -> &'static str {
+        "ext_wer"
+    }
+
+    fn summary(&self) -> &'static str {
+        "write error rate vs pulse width under coupling corners (extension)"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new("pitch_factor", "pitch in units of eCD", 1.5),
+            ParamSpec::new("voltage_v", "write pulse amplitude (V)", 0.9),
+            ParamSpec::new(
+                "pulses_ns",
+                "pulse widths (ns)",
+                (4..=30).map(f64::from).collect::<Vec<f64>>(),
+            ),
+            ParamSpec::new("target_wer", "target write error rate", 1e-9),
+            ParamSpec::new("temperature_k", "temperature (K)", 300.0),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let fig = ext_wer::run(&ext_wer::Params {
+            ecd: Nanometer::new(params.number("ecd")?),
+            pitch_factor: params.number("pitch_factor")?,
+            voltage: Volt::new(params.number("voltage_v")?),
+            pulses_ns: params.list("pulses_ns")?,
+            target_wer: params.number("target_wer")?,
+            temperature: Kelvin::new(params.number("temperature_k")?),
+        })
+        .map_err(|e| model_err("ext_wer", e))?;
+        Ok(ScenarioOutput::from_table(fig.to_table())
+            .with_chart(fig.chart())
+            .with_scalar("margin_ns", fig.margin_ns)
+            .with_scalar("pulse_at_target_np0_ns", fig.pulse_at_target.1))
+    }
+}
+
+/// Design-space exploration: how dense can the array be?
+struct ExploreScenario;
+
+impl Scenario for ExploreScenario {
+    fn id(&self) -> &'static str {
+        "explore"
+    }
+
+    fn summary(&self) -> &'static str {
+        "densest admissible pitch for a coupling budget, with tw/Δ/retention"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new("psi_target", "coupling budget Ψ", 0.02),
+            ParamSpec::new("write_voltage_v", "write pulse amplitude (V)", 0.9),
+            ParamSpec::new("temperature_c", "operating temperature (°C)", 85.0),
+            ParamSpec::new("retention_years", "retention requirement (years)", 10.0),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let report = explore(&DesignQuery {
+            ecd: Nanometer::new(params.number("ecd")?),
+            psi_target: params.number("psi_target")?,
+            write_voltage: Volt::new(params.number("write_voltage_v")?),
+            temperature_c: params.number("temperature_c")?,
+            retention_target_years: params.number("retention_years")?,
+        })
+        .map_err(|e| model_err("explore", e))?;
+        Ok(ScenarioOutput::from_table(report.to_table())
+            .with_scalar("recommended_pitch_nm", report.recommended_pitch.value())
+            .with_scalar("psi_percent", 100.0 * report.psi)
+            .with_scalar("density_bits_per_um2", report.density_bits_per_um2)
+            .with_scalar("worst_case_delta", report.worst_case_delta))
+    }
+}
+
+/// Array-level fault simulation: March tests + write-fault classes.
+struct FaultsScenario;
+
+impl Scenario for FaultsScenario {
+    fn id(&self) -> &'static str {
+        "faults"
+    }
+
+    fn summary(&self) -> &'static str {
+        "March tests and pattern-sensitive write-fault classification"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new("pitch", "array pitch (nm)", 70.0),
+            ParamSpec::new("rows", "array rows", 8.0),
+            ParamSpec::new("cols", "array columns", 8.0),
+            ParamSpec::new("voltage_v", "write pulse amplitude (V)", 1.0),
+            ParamSpec::new("pulse_ns", "write pulse width (ns)", 25.0),
+            ParamSpec::new("temperature_k", "temperature (K)", 300.0),
+            ParamSpec::new(
+                "pattern",
+                "initial data: zeros | checkerboard",
+                "checkerboard",
+            ),
+        ]
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let device = presets::imec_like(Nanometer::new(params.number("ecd")?))
+            .map_err(|e| model_err("faults", e))?;
+        let pitch = Nanometer::new(params.number("pitch")?);
+        let rows = params.count("rows")?;
+        let cols = params.count("cols")?;
+        let conditions = WriteConditions {
+            voltage: Volt::new(params.number("voltage_v")?),
+            pulse: Nanosecond::new(params.number("pulse_ns")?),
+            temperature: Kelvin::new(params.number("temperature_k")?),
+        };
+        let initial = match params.text("pattern")? {
+            "zeros" => CellArray::filled(rows, cols, MtjState::Parallel),
+            "checkerboard" => CellArray::checkerboard(rows, cols),
+            other => {
+                return Err(EngineError::InvalidParameter {
+                    name: "pattern".into(),
+                    message: format!("expected `zeros` or `checkerboard`, got `{other}`"),
+                })
+            }
+        }
+        .map_err(|e| model_err("faults", e))?;
+
+        let mut march_table = Table::new(
+            "faults: March test outcomes",
+            &["test", "operations", "failures", "passed"],
+        );
+        let mut total_failures = 0usize;
+        for test in [MarchTest::mats_plus(), MarchTest::march_c_minus()] {
+            let mut sim = ArraySimulator::new(device.clone(), pitch, rows, cols, conditions)
+                .map_err(|e| model_err("faults", e))?;
+            sim.load(initial.clone())
+                .map_err(|e| model_err("faults", e))?;
+            let outcome = test.run(&mut sim).map_err(|e| model_err("faults", e))?;
+            total_failures += outcome.failures.len();
+            march_table.push_row(&[
+                outcome.test_name.to_owned(),
+                outcome.operations.to_string(),
+                outcome.failures.len().to_string(),
+                outcome.passed().to_string(),
+            ]);
+        }
+
+        let report = classify_write_faults(
+            &device,
+            pitch,
+            conditions.voltage,
+            conditions.pulse,
+            conditions.temperature,
+        )
+        .map_err(|e| model_err("faults", e))?;
+        let mut class_table = Table::new(
+            "faults: pattern-sensitive write-fault classification",
+            &["quantity", "value"],
+        );
+        class_table.push_row(&[
+            "failing (direction, class) pairs",
+            &report.faults.len().to_string(),
+        ]);
+        class_table.push_row(&[
+            "failing patterns (weighted)",
+            &report.failing_pattern_count.to_string(),
+        ]);
+        class_table.push_row(&[
+            "required pulse (ns)",
+            &report.required_pulse_ns.map_or_else(
+                || "above threshold everywhere".to_owned(),
+                |p| format!("{p:.2}"),
+            ),
+        ]);
+
+        Ok(ScenarioOutput::from_table(march_table)
+            .with_table(class_table)
+            .with_scalar("march_failures", total_failures as f64)
+            .with_scalar("failing_patterns", f64::from(report.failing_pattern_count))
+            .with_scalar("clean", f64::from(u8::from(report.is_clean()))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_lists_thirteen_scenarios() {
+        let registry = Registry::standard();
+        assert_eq!(registry.len(), 13);
+        let ids: Vec<&str> = registry.ids().collect();
+        for id in [
+            "ext_wer", "explore", "faults", "fig2a", "fig2b", "fig3c", "fig3d", "fig4a", "fig4b",
+            "fig4c", "fig5", "fig6a", "fig6b",
+        ] {
+            assert!(ids.contains(&id), "missing {id}");
+        }
+        // BTreeMap keeps the listing sorted for the CLI.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn fig4b_point_mode_matches_a_direct_analyzer_call() {
+        let scenario = Fig4bScenario;
+        let params = ParamSet::defaults(&scenario.params())
+            .with("pitch", 90.0)
+            .with("ecd", 55.0);
+        let out = scenario.run(&params).unwrap();
+        let device = presets::imec_like(Nanometer::new(55.0)).unwrap();
+        let expected = CouplingAnalyzer::new(device, Nanometer::new(90.0))
+            .unwrap()
+            .psi(presets::MEASURED_HC);
+        assert!((out.scalar("psi").unwrap() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn faults_scenario_rejects_unknown_patterns() {
+        let scenario = FaultsScenario;
+        let params = ParamSet::defaults(&scenario.params()).with("pattern", "stripes");
+        assert!(matches!(
+            scenario.run(&params),
+            Err(EngineError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn explore_scenario_reports_the_design_rule() {
+        let scenario = ExploreScenario;
+        let out = scenario
+            .run(&ParamSet::defaults(&scenario.params()))
+            .unwrap();
+        let ratio = out.scalar("recommended_pitch_nm").unwrap() / 35.0;
+        assert!(ratio > 1.7 && ratio < 2.7, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end coverage of the execution engine: every registered
+//! scenario runs with its default parameters, produces non-empty
+//! output, and is served from the cache on the second run.
+
+use mramsim_engine::{Engine, ParamSet, SweepPlan};
+
+#[test]
+fn every_registered_scenario_runs_end_to_end_and_caches() {
+    let engine = Engine::standard();
+    let ids: Vec<&str> = engine.registry().ids().collect();
+    assert_eq!(ids.len(), 13, "the standard registry shrank: {ids:?}");
+
+    for id in &ids {
+        let cold = engine
+            .run(id, &ParamSet::new())
+            .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        assert!(!cold.cache_hit, "{id}: first run must be a miss");
+        assert!(
+            !cold.output.tables.is_empty(),
+            "{id}: no tables in the output"
+        );
+        for table in &cold.output.tables {
+            assert!(table.row_count() > 0, "{id}: empty table in the output");
+        }
+        let markdown = cold.output.to_markdown();
+        assert!(markdown.contains("###"), "{id}: markdown lost the tables");
+        let csv = cold.output.to_csv();
+        assert!(csv.contains(','), "{id}: csv came out empty");
+
+        let warm = engine
+            .run(id, &ParamSet::new())
+            .unwrap_or_else(|e| panic!("{id} warm run failed: {e}"));
+        assert!(warm.cache_hit, "{id}: second run must be a cache hit");
+    }
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, ids.len());
+    assert_eq!(stats.hits, ids.len() as u64);
+}
+
+#[test]
+fn default_parameters_round_trip_through_the_resolver() {
+    let engine = Engine::standard();
+    for scenario in engine.registry().iter() {
+        let resolved = engine.resolve(scenario.id(), &ParamSet::new()).unwrap();
+        for spec in scenario.params() {
+            assert_eq!(
+                resolved.get(spec.name),
+                Some(&spec.default),
+                "{}: default for `{}` lost in resolution",
+                scenario.id(),
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fifty_point_grid_sweeps_in_parallel_with_a_warm_cache_rerun() {
+    let engine = Engine::standard().with_workers(4);
+    // A 5 eCD × 10 pitch grid = 50 points, the acceptance-criteria
+    // scale, swept through the Ψ point-mode scenario.
+    let plan = SweepPlan::new("fig4b")
+        .axis("ecd", vec![20.0, 30.0, 35.0, 45.0, 55.0])
+        .axis(
+            "pitch",
+            (0..10).map(|i| 85.0 + 10.0 * f64::from(i)).collect(),
+        );
+    let cold = engine.sweep(&plan).unwrap();
+    assert_eq!(cold.jobs.len(), 50);
+    assert_eq!(cold.errors, 0);
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.summary_table().row_count(), 50);
+
+    let warm = engine.sweep(&plan).unwrap();
+    assert_eq!(warm.cache_hits, 50, "warm sweep must be all cache hits");
+    assert!(
+        warm.duration <= cold.duration,
+        "warm sweep should not be slower: {:?} vs {:?}",
+        warm.duration,
+        cold.duration
+    );
+
+    // The cached grid agrees point-for-point with the cold run.
+    for (a, b) in cold.jobs.iter().zip(&warm.jobs) {
+        let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        assert_eq!(a.scalar("psi"), b.scalar("psi"));
+    }
+}
+
+#[test]
+fn sweep_results_match_isolated_runs() {
+    // The same parameter point must produce identical output whether
+    // it ran alone or inside a parallel sweep (deterministic seeding).
+    let sweeping = Engine::standard().with_workers(4);
+    let solo = Engine::standard();
+    let plan = SweepPlan::new("fig4a").axis("pitch", vec![90.0, 120.0, 180.0]);
+    let swept = sweeping.sweep(&plan).unwrap();
+    for job in &swept.jobs {
+        let alone = solo.run("fig4a", &job.params).unwrap();
+        assert_eq!(
+            job.result.as_ref().unwrap().as_ref(),
+            alone.output.as_ref(),
+            "pitch {:?} diverged between sweep and solo run",
+            job.point
+        );
+    }
+}

@@ -97,10 +97,7 @@ impl CellArray {
     fn check(&self, row: usize, col: usize) -> Result<usize, FaultsError> {
         if row >= self.rows || col >= self.cols {
             return Err(FaultsError::InvalidAddress {
-                message: format!(
-                    "({row}, {col}) outside a {}x{} array",
-                    self.rows, self.cols
-                ),
+                message: format!("({row}, {col}) outside a {}x{} array", self.rows, self.cols),
             });
         }
         Ok(row * self.cols + col)

@@ -260,7 +260,12 @@ mod tests {
         for test in [MarchTest::mats_plus(), MarchTest::march_c_minus()] {
             let mut sim = simulator(70.0, 1.0, 25.0);
             let outcome = test.run(&mut sim).unwrap();
-            assert!(outcome.passed(), "{} failed: {:?}", test.name(), outcome.failures);
+            assert!(
+                outcome.passed(),
+                "{} failed: {:?}",
+                test.name(),
+                outcome.failures
+            );
             assert_eq!(outcome.operations, test.ops_per_cell() * 36);
         }
     }

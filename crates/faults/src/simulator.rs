@@ -300,8 +300,7 @@ mod tests {
             let mut hostile = CellArray::filled(5, 5, MtjState::Parallel).unwrap();
             hostile.set(2, 2, MtjState::AntiParallel).unwrap();
             s.load(hostile).unwrap();
-            let fails_hostile =
-                s.write(2, 2, MtjState::Parallel).unwrap() == OpResult::WriteFailed;
+            let fails_hostile = s.write(2, 2, MtjState::Parallel).unwrap() == OpResult::WriteFailed;
 
             let mut helpful = CellArray::filled(5, 5, MtjState::AntiParallel).unwrap();
             helpful.set(2, 2, MtjState::AntiParallel).unwrap();
@@ -313,7 +312,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "a pulse width must exist where only the pattern decides");
+        assert!(
+            found,
+            "a pulse width must exist where only the pattern decides"
+        );
     }
 
     #[test]

@@ -125,8 +125,8 @@ mod tests {
         for &(x, y, z) in &[
             (1e-8, 0.0, 5e-9),
             (0.0, 4e-8, -3e-9),
-            (9e-8, 9e-8, 2e-9),   // diagonal-neighbour territory
-            (5.5e-8, 0.0, 0.0),   // loop plane, outside the wire
+            (9e-8, 9e-8, 2e-9), // diagonal-neighbour territory
+            (5.5e-8, 0.0, 0.0), // loop plane, outside the wire
             (1.3e-8, -2e-8, 8e-9),
         ] {
             let p = Vec3::new(x, y, z);

@@ -157,18 +157,18 @@ impl PlaneMap {
 
     /// Iterator over `(position, field)` pairs in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (Vec3, Vec3)> + '_ {
-        (0..self.ny).flat_map(move |j| {
-            (0..self.nx).map(move |i| (self.position(i, j), self.at(i, j)))
-        })
+        (0..self.ny)
+            .flat_map(move |j| (0..self.nx).map(move |i| (self.position(i, j), self.at(i, j))))
     }
 
     /// Extreme values of `Hz` over the map, `(min, max)` in A/m.
     #[must_use]
     pub fn hz_range(&self) -> (f64, f64) {
-        self.samples.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), h| (lo.min(h.z), hi.max(h.z)),
-        )
+        self.samples
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), h| {
+                (lo.min(h.z), hi.max(h.z))
+            })
     }
 }
 

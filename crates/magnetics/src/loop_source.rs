@@ -314,8 +314,7 @@ mod tests {
     #[test]
     fn sliced_loop_differs_from_thin_loop_nearby() {
         let thin = LoopSource::with_default_segments(Vec3::ZERO, 1.75e-8, 2e-3).unwrap();
-        let sliced =
-            SlicedLoop::new(Vec3::ZERO, 1.75e-8, 2e-3, 6e-9, 8, DEFAULT_SEGMENTS).unwrap();
+        let sliced = SlicedLoop::new(Vec3::ZERO, 1.75e-8, 2e-3, 6e-9, 8, DEFAULT_SEGMENTS).unwrap();
         let p = Vec3::new(0.0, 0.0, 5e-9);
         let a = thin.h_field(p).z;
         let b = sliced.h_field(p).z;

@@ -120,9 +120,7 @@ mod tests {
     #[test]
     fn from_iterator_collects_sources() {
         let set: SourceSet = (0..8)
-            .map(|i| {
-                Dipole::new(Vec3::new(f64::from(i) * 9e-8, 0.0, 0.0), 1e-18).unwrap()
-            })
+            .map(|i| Dipole::new(Vec3::new(f64::from(i) * 9e-8, 0.0, 0.0), 1e-18).unwrap())
             .collect();
         assert_eq!(set.len(), 8);
     }

@@ -10,9 +10,8 @@ const I: f64 = 2.06e-3;
 
 /// Probe points at least one radius away from the wire.
 fn far_probe() -> impl Strategy<Value = Vec3> {
-    (2.0f64..8.0, 0.0f64..core::f64::consts::TAU, -3.0f64..3.0).prop_map(|(rho, phi, zf)| {
-        Vec3::new(rho * R * phi.cos(), rho * R * phi.sin(), zf * R)
-    })
+    (2.0f64..8.0, 0.0f64..core::f64::consts::TAU, -3.0f64..3.0)
+        .prop_map(|(rho, phi, zf)| Vec3::new(rho * R * phi.cos(), rho * R * phi.sin(), zf * R))
 }
 
 proptest! {

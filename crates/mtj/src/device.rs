@@ -1,7 +1,7 @@
 //! The complete MTJ device: stack + electrical + switching models.
 
 use crate::{
-    retention_fault_probability, retention_time, ElectricalParams, MtjError, MtjState, MtjStack,
+    retention_fault_probability, retention_time, ElectricalParams, MtjError, MtjStack, MtjState,
     SwitchDirection, SwitchingParams,
 };
 use mramsim_units::constants::{EULER_GAMMA, E_CHARGE, MU_B};
@@ -198,9 +198,7 @@ impl MtjDevice {
             });
         }
 
-        let delta = self
-            .delta(direction.initial_state(), hz_stray, t)?
-            .max(1.0); // guard the log for nearly destroyed states
+        let delta = self.delta(direction.initial_state(), hz_stray, t)?.max(1.0); // guard the log for nearly destroyed states
         let ln_term = (core::f64::consts::PI.powi(2) * delta / 4.0).ln();
         let angle_factor = 2.0 / (EULER_GAMMA + ln_term);
 
@@ -304,7 +302,12 @@ mod tests {
                 .unwrap();
             b.value() - a.value()
         };
-        assert!(gap(0.75) > gap(1.2), "low-V gap {} vs high-V gap {}", gap(0.75), gap(1.2));
+        assert!(
+            gap(0.75) > gap(1.2),
+            "low-V gap {} vs high-V gap {}",
+            gap(0.75),
+            gap(1.2)
+        );
     }
 
     #[test]
@@ -343,7 +346,10 @@ mod tests {
         let tap = dev
             .retention_time(MtjState::AntiParallel, hz, T300)
             .unwrap();
-        assert!(tp.value() < tap.value(), "P state retains worse under negative stray");
+        assert!(
+            tp.value() < tap.value(),
+            "P state retains worse under negative stray"
+        );
     }
 
     #[test]

@@ -83,9 +83,11 @@ mod tests {
     #[test]
     fn preset_reproduces_the_ic_anchor() {
         let dev = imec_like(Nanometer::new(35.0)).unwrap();
-        let ic = dev
-            .switching()
-            .critical_current(SwitchDirection::ApToP, Oersted::ZERO, Kelvin::new(300.0));
+        let ic = dev.switching().critical_current(
+            SwitchDirection::ApToP,
+            Oersted::ZERO,
+            Kelvin::new(300.0),
+        );
         assert!((ic.value() - 57.2).abs() < 0.15, "Ic0 = {ic}");
     }
 
@@ -102,7 +104,10 @@ mod tests {
         let hc = m
             .median_switching_field(mramsim_units::Second::new(1e-4))
             .unwrap();
-        assert!((hc.value() - MEASURED_HC.value()).abs() < 150.0, "Hc = {hc}");
+        assert!(
+            (hc.value() - MEASURED_HC.value()).abs() < 150.0,
+            "Hc = {hc}"
+        );
     }
 
     #[test]

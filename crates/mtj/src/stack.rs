@@ -137,11 +137,7 @@ impl MtjStack {
     /// # Errors
     ///
     /// Propagates [`MtjError::Magnetics`] for degenerate geometry.
-    pub fn intra_hz_at(
-        &self,
-        ecd: Nanometer,
-        point: Vec3,
-    ) -> Result<AmperePerMeter, MtjError> {
+    pub fn intra_hz_at(&self, ecd: Nanometer, point: Vec3) -> Result<AmperePerMeter, MtjError> {
         let sources = self.fixed_sources_at(ecd, 0.0, 0.0)?;
         Ok(AmperePerMeter::new(
             sources.iter().map(|s| s.hz(point)).sum(),
@@ -211,11 +207,7 @@ impl Default for MtjStackBuilder {
 
 impl MtjStackBuilder {
     /// Sets the free-layer `Ms·t` magnitude and thickness.
-    pub fn free_layer(
-        &mut self,
-        ms_t: MagnetizationThickness,
-        thickness: Nanometer,
-    ) -> &mut Self {
+    pub fn free_layer(&mut self, ms_t: MagnetizationThickness, thickness: Nanometer) -> &mut Self {
         self.fl_ms_t = ms_t;
         self.fl_thickness = thickness;
         self
@@ -327,9 +319,7 @@ mod tests {
     #[test]
     fn calibrated_anchor_at_35nm() {
         // DESIGN.md anchor: Hz_s_intra(35 nm) ≈ −366 Oe ⇒ ±7.9 % Ic shift.
-        let hz = stack()
-            .intra_hz_at_fl_center(Nanometer::new(35.0))
-            .unwrap();
+        let hz = stack().intra_hz_at_fl_center(Nanometer::new(35.0)).unwrap();
         assert!(
             (hz.value() + 366.0).abs() < 12.0,
             "Hz_s_intra(35) = {hz} (expected about -366 Oe)"

@@ -190,8 +190,7 @@ impl SwitchingParams {
         let delta0_t = self
             .delta0_at(t)
             .expect("temperature outside thermal-model domain");
-        let amps =
-            4.0 * self.alpha * E_CHARGE * delta0_t * K_B * t.value() / (H_BAR * self.eta);
+        let amps = 4.0 * self.alpha * E_CHARGE * delta0_t * K_B * t.value() / (H_BAR * self.eta);
         MicroAmpere::new(amps * 1e6)
     }
 
@@ -211,7 +210,9 @@ impl SwitchingParams {
         hz_stray: Oersted,
         t: Kelvin,
     ) -> MicroAmpere {
-        let hk_t = self.hk_at(t).expect("temperature outside thermal-model domain");
+        let hk_t = self
+            .hk_at(t)
+            .expect("temperature outside thermal-model domain");
         let h = hz_stray / hk_t;
         self.intrinsic_critical_current(t) * (1.0 + direction.eq2_sign() * h)
     }
@@ -336,14 +337,8 @@ mod tests {
     fn invalid_parameters_rejected() {
         let tm = ThermalModel::default();
         assert!(SwitchingParams::new(Oersted::ZERO, 45.5, 0.01, 0.2, 0.35, tm).is_err());
-        assert!(
-            SwitchingParams::new(Oersted::new(4646.8), -1.0, 0.01, 0.2, 0.35, tm).is_err()
-        );
-        assert!(
-            SwitchingParams::new(Oersted::new(4646.8), 45.5, 0.0, 0.2, 0.35, tm).is_err()
-        );
-        assert!(
-            SwitchingParams::new(Oersted::new(4646.8), 45.5, 0.01, 0.2, 1.2, tm).is_err()
-        );
+        assert!(SwitchingParams::new(Oersted::new(4646.8), -1.0, 0.01, 0.2, 0.35, tm).is_err());
+        assert!(SwitchingParams::new(Oersted::new(4646.8), 45.5, 0.0, 0.2, 0.35, tm).is_err());
+        assert!(SwitchingParams::new(Oersted::new(4646.8), 45.5, 0.01, 0.2, 1.2, tm).is_err());
     }
 }

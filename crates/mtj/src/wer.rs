@@ -198,12 +198,7 @@ mod tests {
         let dev = device();
         for (v, h) in [(0.85, 0.0), (1.0, -366.0), (1.1, 100.0)] {
             let tw = dev
-                .switching_time(
-                    SwitchDirection::ApToP,
-                    Volt::new(v),
-                    Oersted::new(h),
-                    T300,
-                )
+                .switching_time(SwitchDirection::ApToP, Volt::new(v), Oersted::new(h), T300)
                 .unwrap();
             let wer = write_error_rate(
                 &dev,

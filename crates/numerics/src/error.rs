@@ -35,7 +35,10 @@ impl fmt::Display for NumericsError {
             Self::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             Self::InvalidDomain { routine, message } => {
                 write!(f, "invalid input for {routine}: {message}")
             }

@@ -131,13 +131,7 @@ mod tests {
     fn sharply_peaked_integrand_converges() {
         // Narrow Gaussian: ∫ exp(−(x/σ)²/2) = σ√(2π) for wide bounds.
         let sigma = 1e-3;
-        let v = adaptive_simpson(
-            |x| (-(x / sigma).powi(2) / 2.0).exp(),
-            -1.0,
-            1.0,
-            1e-12,
-        )
-        .unwrap();
+        let v = adaptive_simpson(|x| (-(x / sigma).powi(2) / 2.0).exp(), -1.0, 1.0, 1e-12).unwrap();
         let expect = sigma * (2.0 * std::f64::consts::PI).sqrt();
         assert!((v - expect).abs() / expect < 1e-8);
     }

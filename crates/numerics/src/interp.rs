@@ -81,10 +81,13 @@ impl Linear {
     /// range of the samples or the data is not monotone.
     pub fn invert(&self, y: f64) -> Result<f64> {
         let increasing = self.ys.last() >= self.ys.first();
-        let monotone = self
-            .ys
-            .windows(2)
-            .all(|w| if increasing { w[1] >= w[0] } else { w[1] <= w[0] });
+        let monotone = self.ys.windows(2).all(|w| {
+            if increasing {
+                w[1] >= w[0]
+            } else {
+                w[1] <= w[0]
+            }
+        });
         if !monotone {
             return Err(NumericsError::InvalidDomain {
                 routine: "Linear::invert",

@@ -17,7 +17,9 @@
 //! * [`stats`] — descriptive statistics for device populations,
 //! * [`dist`] — Normal / LogNormal sampling built on `rand` (process
 //!   variation, thermal switching stochasticity),
-//! * [`histogram`] — switching-field histograms.
+//! * [`histogram`] — switching-field histograms,
+//! * [`pool`] — the work-stealing worker pool shared by the array
+//!   sweeps and the `mramsim-engine` execution layer.
 //!
 //! # Examples
 //!
@@ -36,13 +38,14 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-mod error;
 pub mod dist;
+mod error;
 pub mod histogram;
 pub mod integrate;
 pub mod interp;
 pub mod linalg;
 pub mod optimize;
+pub mod pool;
 pub mod roots;
 pub mod special;
 pub mod stats;

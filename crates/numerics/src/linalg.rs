@@ -169,7 +169,10 @@ impl Matrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         if self.rows != self.cols {
             return Err(NumericsError::BadShape {
-                message: format!("solve requires a square matrix, got {}x{}", self.rows, self.cols),
+                message: format!(
+                    "solve requires a square matrix, got {}x{}",
+                    self.rows, self.cols
+                ),
             });
         }
         if b.len() != self.rows {
@@ -265,12 +268,8 @@ mod tests {
 
     #[test]
     fn solve_3x3_against_hand_solution() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         let expect = [2.0, 3.0, -1.0];
         for (xi, ei) in x.iter().zip(expect) {
@@ -281,7 +280,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_reported() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), NumericsError::SingularMatrix);
+        assert_eq!(
+            a.solve(&[1.0, 2.0]).unwrap_err(),
+            NumericsError::SingularMatrix
+        );
     }
 
     #[test]

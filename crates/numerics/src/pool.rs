@@ -1,0 +1,210 @@
+//! A work-stealing worker pool for embarrassingly parallel sweeps.
+//!
+//! This is the execution substrate of `mramsim-engine` (which re-exports
+//! it as its worker pool); it lives here so lower crates like
+//! `mramsim-array` can share the same scheduler without a dependency
+//! cycle. The design is deliberately simple: jobs are item indices,
+//! pre-dealt round-robin into one deque per worker; a worker drains its
+//! own deque from the front and, when empty, steals from the back of the
+//! busiest other deque. Results are keyed by item index, so the output
+//! order is deterministic no matter who computed what.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramsim_numerics::pool::WorkerPool;
+//!
+//! let pool = WorkerPool::new(4);
+//! let squares = pool.scoped_map(&[1.0f64, 2.0, 3.0], |_idx, x| x * x);
+//! assert_eq!(squares, vec![1.0, 4.0, 9.0]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-width scoped worker pool.
+///
+/// Threads are spawned per [`WorkerPool::scoped_map`] call with
+/// [`std::thread::scope`], so borrowed inputs need no `'static` bound
+/// and no threads linger between calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads (clamped to at least one).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    #[must_use]
+    pub fn with_default_parallelism() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        )
+    }
+
+    /// The number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item in parallel and returns the results in
+    /// input order. `f` receives the item index alongside the item.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` after the scope joins.
+    pub fn scoped_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(items.len());
+
+        // Deal item indices round-robin so contiguous expensive regions
+        // spread across workers even before any stealing happens.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    (w..items.len())
+                        .step_by(workers)
+                        .collect::<VecDeque<usize>>(),
+                )
+            })
+            .collect();
+
+        let mut computed: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            // Own work first, front-to-back …
+                            let own = queues[w].lock().expect("queue poisoned").pop_front();
+                            if let Some(idx) = own {
+                                out.push((idx, f(idx, &items[idx])));
+                                continue;
+                            }
+                            // … then steal from the back of the fullest
+                            // other queue.
+                            let victim = (0..queues.len())
+                                .filter(|&v| v != w)
+                                .max_by_key(|&v| queues[v].lock().expect("queue poisoned").len());
+                            let stolen = victim
+                                .and_then(|v| queues[v].lock().expect("queue poisoned").pop_back());
+                            match stolen {
+                                Some(idx) => out.push((idx, f(idx, &items[idx]))),
+                                None => break,
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+
+        computed.sort_unstable_by_key(|(idx, _)| *idx);
+        debug_assert_eq!(computed.len(), items.len());
+        computed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::with_default_parallelism()
+    }
+}
+
+/// One-shot convenience: [`WorkerPool::scoped_map`] on a default pool.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    WorkerPool::with_default_parallelism().scoped_map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_and_length() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = WorkerPool::new(8).scoped_map(&items, |_, &x| 2 * x);
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out = WorkerPool::new(4).scoped_map(&[] as &[u8], |_, &b| b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_matches_sequential() {
+        let items = [3.0f64, 1.0, 4.0, 1.0, 5.0];
+        let seq: Vec<f64> = items.iter().map(|x| x.sqrt()).collect();
+        let par = WorkerPool::new(1).scoped_map(&items, |_, x| x.sqrt());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = WorkerPool::new(64).scoped_map(&[1, 2, 3], |i, &x| i + x);
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = WorkerPool::new(5).scoped_map(&items, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn skewed_workloads_complete() {
+        // The first indices are far more expensive; stealing keeps the
+        // pool busy and the result order intact.
+        let items: Vec<u64> = (0..48).collect();
+        let out = WorkerPool::new(4).scoped_map(&items, |i, &x| {
+            let spins = if i < 4 { 200_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            let _ = acc;
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -1,7 +1,9 @@
 //! Property tests for the numerics substrate.
 
 use mramsim_numerics::optimize::{levenberg_marquardt, nelder_mead, LmOptions, NelderMeadOptions};
-use mramsim_numerics::{dist, histogram::Histogram, integrate, interp, roots, special, stats, Vec3};
+use mramsim_numerics::{
+    dist, histogram::Histogram, integrate, interp, roots, special, stats, Vec3,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,7 +74,7 @@ proptest! {
     /// extrapolation.
     #[test]
     fn interp_exact_on_affine(m in -10.0f64..10.0, q in -10.0f64..10.0, x in -20.0f64..20.0) {
-        let xs: Vec<f64> = (0..6).map(|i| f64::from(i)).collect();
+        let xs: Vec<f64> = (0..6).map(f64::from).collect();
         let ys: Vec<f64> = xs.iter().map(|&t| m * t + q).collect();
         let f = interp::Linear::new(xs, ys).unwrap();
         prop_assert!((f.eval(x) - (m * x + q)).abs() < 1e-9 * (m.abs() * 20.0 + q.abs()).max(1.0));

@@ -122,9 +122,8 @@ mod tests {
     fn sum_over_neighbour_contributions() {
         // Four direct neighbours at 15 Oe plus four diagonal at 5 Oe — the
         // paper's Fig. 4a step sizes.
-        let total: Oersted = std::iter::repeat(Oersted::new(15.0))
-            .take(4)
-            .chain(std::iter::repeat(Oersted::new(5.0)).take(4))
+        let total: Oersted = std::iter::repeat_n(Oersted::new(15.0), 4)
+            .chain(std::iter::repeat_n(Oersted::new(5.0), 4))
             .sum();
         assert_eq!(total.value(), 80.0);
     }

@@ -1,8 +1,8 @@
 //! Property tests for the unit system.
 
 use mramsim_units::{
-    circle_area, Ampere, Celsius, Joule, Kelvin, MagnetizationThickness, Meter, Nanometer,
-    Oersted, ResistanceArea, Second,
+    circle_area, Ampere, Celsius, Joule, Kelvin, MagnetizationThickness, Meter, Nanometer, Oersted,
+    ResistanceArea, Second,
 };
 use proptest::prelude::*;
 
@@ -81,7 +81,7 @@ proptest! {
     /// Unit arithmetic: summation equals multiplication for repeats.
     #[test]
     fn sum_is_scalar_multiple(v in -1e3f64..1e3, n in 1usize..20) {
-        let total: Ampere = std::iter::repeat(Ampere::new(v)).take(n).sum();
+        let total: Ampere = std::iter::repeat_n(Ampere::new(v), n).sum();
         prop_assert!((total.value() - v * n as f64).abs() < 1e-9 * v.abs().max(1.0) * n as f64);
     }
 

@@ -184,11 +184,7 @@ mod tests {
             (Oersted::new(4000.0), 40.0),
         )
         .unwrap();
-        assert!(
-            (fit.hk.value() - 4646.8).abs() < 250.0,
-            "Hk = {:?}",
-            fit.hk
-        );
+        assert!((fit.hk.value() - 4646.8).abs() < 250.0, "Hk = {:?}", fit.hk);
         assert!((fit.delta0 - 45.5).abs() < 3.0, "Δ0 = {}", fit.delta0);
     }
 
@@ -208,12 +204,7 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(33);
         let wafer = Wafer::fabricate(&nominal, &spec, &mut rng).unwrap();
-        let study = intra_field_study(
-            &wafer,
-            &RhLoopTester::paper_setup(),
-            &mut rng,
-        )
-        .unwrap();
+        let study = intra_field_study(&wafer, &RhLoopTester::paper_setup(), &mut rng).unwrap();
         assert_eq!(study.len(), 2);
         // Smaller device ⇒ stronger (more negative) intra field.
         assert!(study[0].hz_s_intra.mean < study[1].hz_s_intra.mean);

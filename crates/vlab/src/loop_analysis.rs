@@ -125,8 +125,14 @@ mod tests {
 
     #[test]
     fn extraction_recovers_the_paper_coercivity() {
-        let x = extract(55.0, 11);
-        assert!((x.hc.value() - 2200.0).abs() < 200.0, "Hc = {:?}", x.hc);
+        // A single loop carries ~90 Oe of switching-field noise, so one
+        // seed can land ~200 Oe off; averaging a few seeds pins the
+        // mean down regardless of the RNG stream.
+        let mean_hc = (11..15)
+            .map(|seed| extract(55.0, seed).hc.value())
+            .sum::<f64>()
+            / 4.0;
+        assert!((mean_hc - 2200.0).abs() < 200.0, "mean Hc = {mean_hc}");
     }
 
     #[test]

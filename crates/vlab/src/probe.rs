@@ -80,10 +80,7 @@ impl SwitchingProbe {
         fields: &[Oersted],
         rng: &mut R,
     ) -> Result<Vec<SwitchingProbePoint>, VlabError> {
-        let sharrock = SharrockModel::new(
-            device.switching().hk(),
-            device.switching().delta0(),
-        )?;
+        let sharrock = SharrockModel::new(device.switching().hk(), device.switching().delta0())?;
         let stray = device.intra_hz_at_fl_center()?;
         let mut out = Vec::with_capacity(fields.len());
         for &h in fields {
@@ -160,12 +157,7 @@ mod tests {
         let many = SwitchingProbe::new(Second::new(1e-4), 5000).unwrap();
         let spread = |probe: &SwitchingProbe, rng: &mut StdRng| -> f64 {
             let samples: Vec<f64> = (0..12)
-                .map(|_| {
-                    probe
-                        .measure_ap_to_p(&device, &fields, rng)
-                        .unwrap()[0]
-                        .probability
-                })
+                .map(|_| probe.measure_ap_to_p(&device, &fields, rng).unwrap()[0].probability)
                 .collect();
             mramsim_numerics::stats::std_dev(&samples).unwrap()
         };

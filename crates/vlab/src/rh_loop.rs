@@ -149,10 +149,7 @@ impl RhLoopTester {
         device: &MtjDevice,
         rng: &mut R,
     ) -> Result<RhLoop, VlabError> {
-        let sharrock = SharrockModel::new(
-            device.switching().hk(),
-            device.switching().delta0(),
-        )?;
+        let sharrock = SharrockModel::new(device.switching().hk(), device.switching().delta0())?;
         let stray = device.intra_hz_at_fl_center()?;
         let area = device.area();
         let el = device.electrical();
@@ -186,8 +183,7 @@ impl RhLoopTester {
                 state = state.flipped();
             }
             let r = el.resistance(state, self.read_voltage, area);
-            let noisy =
-                r.value() * (1.0 + self.read_noise_rel * (2.0 * rng.gen::<f64>() - 1.0));
+            let noisy = r.value() * (1.0 + self.read_noise_rel * (2.0 * rng.gen::<f64>() - 1.0));
             points.push(RhPoint {
                 h_applied: Oersted::new(h),
                 resistance: Ohm::new(noisy),
@@ -289,20 +285,22 @@ mod tests {
         }
         let spread = hsw.iter().copied().fold(f64::NEG_INFINITY, f64::max)
             - hsw.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(spread > 1.0, "thermal stochasticity must spread Hsw: {spread}");
-        assert!(spread < 500.0, "but not absurdly: {spread}");
+        assert!(
+            spread > 1.0,
+            "thermal stochasticity must spread Hsw: {spread}"
+        );
+        // The range of 20 draws of ~90 Oe switching noise concentrates
+        // near 340 Oe; 800 leaves ~7σ of headroom while still catching
+        // a grossly mis-scaled noise model.
+        assert!(spread < 800.0, "but not absurdly: {spread}");
     }
 
     #[test]
     fn invalid_setups_are_rejected() {
-        assert!(RhLoopTester::new(
-            Oersted::ZERO,
-            1000,
-            Volt::new(0.02),
-            Second::new(1e-4),
-            0.0
-        )
-        .is_err());
+        assert!(
+            RhLoopTester::new(Oersted::ZERO, 1000, Volt::new(0.02), Second::new(1e-4), 0.0)
+                .is_err()
+        );
         assert!(RhLoopTester::new(
             Oersted::new(3000.0),
             4,

@@ -151,12 +151,8 @@ mod tests {
     fn variation_is_reproducible_under_a_seed() {
         let nominal = presets::imec_like(Nanometer::new(35.0)).unwrap();
         let var = ProcessVariation::default();
-        let a = var
-            .sample(&nominal, &mut StdRng::seed_from_u64(9))
-            .unwrap();
-        let b = var
-            .sample(&nominal, &mut StdRng::seed_from_u64(9))
-            .unwrap();
+        let a = var.sample(&nominal, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = var.sample(&nominal, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a.ecd().value(), b.ecd().value());
         assert_eq!(a.switching().hk().value(), b.switching().hk().value());
     }

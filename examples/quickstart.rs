@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n3x3 array, eCD = 55 nm, pitch = 90 nm:");
     println!("  Hz_s_inter range over 256 patterns: {lo:.1} … {hi:.1}");
     println!("  step per direct-neighbour flip   : {:.1}", b.direct_step);
-    println!("  step per diagonal-neighbour flip : {:.1}", b.diagonal_step);
+    println!(
+        "  step per diagonal-neighbour flip : {:.1}",
+        b.diagonal_step
+    );
     println!(
         "  coupling factor psi              : {:.2} %",
         100.0 * coupling.psi(presets::MEASURED_HC)

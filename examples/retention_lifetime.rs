@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut row = vec![format!("{temp:.0}")];
         for curve in &b.curves {
             let delta = curve.points[i].1;
-            row.push(format!("{:.2e}", retention_fault_probability(delta, horizon)));
+            row.push(format!(
+                "{:.2e}",
+                retention_fault_probability(delta, horizon)
+            ));
         }
         table.push_row(&row);
     }

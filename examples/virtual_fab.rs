@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..WaferSpec::paper_sizes(8)
     };
     let wafer = Wafer::fabricate(&truth, &spec, &mut rng)?;
-    println!("fabricated {} devices in {} size groups\n", wafer.devices().len(), 6);
+    println!(
+        "fabricated {} devices in {} size groups\n",
+        wafer.devices().len(),
+        6
+    );
 
     // 2. One representative R-H loop (the paper's Fig. 2a).
     let dut = &wafer.devices()[2 * 8]; // a 55 nm-group device

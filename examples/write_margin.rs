@@ -30,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("1.5x panel");
     let mut table = Table::new(
         "write margin at pitch = 1.5 x eCD",
-        &["vp_v", "tw_worst_ns (NP8=0)", "tw_best_ns (NP8=255)", "margin_ns"],
+        &[
+            "vp_v",
+            "tw_worst_ns (NP8=0)",
+            "tw_best_ns (NP8=255)",
+            "margin_ns",
+        ],
     );
     for (i, &v) in dense.voltages.iter().enumerate() {
         if let (Some(worst), Some(best)) = (dense.tw_np0[i], dense.tw_np255[i]) {

@@ -18,7 +18,10 @@
 //!   parameter extraction),
 //! * [`faults`] — coupling-aware fault models and March memory tests,
 //! * [`core`] — calibration, per-figure experiment drivers, design
-//!   exploration, and reporting.
+//!   exploration, and reporting,
+//! * [`engine`] — the unified scenario-execution engine: a registry
+//!   over every driver, parallel cartesian sweeps on a work-stealing
+//!   pool, a content-addressed result cache, and the `mramsim` CLI.
 //!
 //! # Quickstart
 //!
@@ -39,12 +42,38 @@
 //! assert!(psi > 0.03 && psi < 0.05);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Running scenarios at scale
+//!
+//! Every workload is also available through the execution engine —
+//! one uniform, cached, sweepable interface (and the `mramsim` CLI:
+//! `mramsim sweep fig4b --pitch 60..240:20`):
+//!
+//! ```
+//! use mramsim::prelude::*;
+//!
+//! let engine = Engine::standard();
+//! let sweep = engine.sweep(
+//!     &SweepPlan::new("fig4b")
+//!         .axis("ecd", vec![35.0, 55.0])
+//!         .axis("pitch", vec![90.0, 140.0, 200.0]),
+//! )?;
+//! assert_eq!(sweep.jobs.len(), 6);
+//! // Repeated grid points are served from the result cache.
+//! assert_eq!(engine.sweep(
+//!     &SweepPlan::new("fig4b")
+//!         .axis("ecd", vec![35.0, 55.0])
+//!         .axis("pitch", vec![90.0, 140.0, 200.0]),
+//! )?.cache_hits, 6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub use mramsim_array as array;
 pub use mramsim_core as core;
+pub use mramsim_engine as engine;
 pub use mramsim_faults as faults;
 pub use mramsim_magnetics as magnetics;
 pub use mramsim_mtj as mtj;
@@ -72,15 +101,12 @@ pub mod prelude {
     pub use mramsim_core::experiments;
     pub use mramsim_core::explorer::{explore, DesignQuery};
     pub use mramsim_core::report::{ascii_chart, Series, Table};
+    pub use mramsim_engine::{Engine, ParamSet, Registry, Scenario, ScenarioOutput, SweepPlan};
     pub use mramsim_faults::{
         classify_write_faults, march::MarchTest, ArraySimulator, CellArray, WriteConditions,
     };
-    pub use mramsim_mtj::{
-        presets, retention_time, MtjDevice, MtjState, SwitchDirection,
-    };
-    pub use mramsim_units::{
-        Celsius, Kelvin, MicroAmpere, Nanometer, Nanosecond, Oersted, Volt,
-    };
+    pub use mramsim_mtj::{presets, retention_time, MtjDevice, MtjState, SwitchDirection};
+    pub use mramsim_units::{Celsius, Kelvin, MicroAmpere, Nanometer, Nanosecond, Oersted, Volt};
     pub use mramsim_vlab::{
         analyze_loop, fit_sharrock, intra_field_study, RhLoopTester, SwitchingProbe, Wafer,
         WaferSpec,

@@ -93,8 +93,16 @@ fn hk_delta0_extraction_recovers_device_parameters() {
         (Oersted::new(4000.0), 40.0),
     )
     .unwrap();
-    assert!((fit.hk.value() - 4646.8).abs() / 4646.8 < 0.06, "Hk = {:?}", fit.hk);
-    assert!((fit.delta0 - 45.5).abs() / 45.5 < 0.08, "Δ0 = {}", fit.delta0);
+    assert!(
+        (fit.hk.value() - 4646.8).abs() / 4646.8 < 0.06,
+        "Hk = {:?}",
+        fit.hk
+    );
+    assert!(
+        (fit.delta0 - 45.5).abs() / 45.5 < 0.08,
+        "Δ0 = {}",
+        fit.delta0
+    );
 }
 
 /// Fault injection: a device whose stray field exceeds the coercive

@@ -1,7 +1,9 @@
 //! Runs every figure driver end-to-end and asserts the qualitative
 //! claims the paper makes about each figure.
 
-use mramsim::core::experiments::{fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b};
+use mramsim::core::experiments::{
+    fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b,
+};
 
 #[test]
 fn fig2a_loop_is_offset_and_square() {
@@ -58,8 +60,8 @@ fn fig3c_map_is_consistent_with_fig3d_profile() {
     .unwrap();
     // The Fig. 3d centre value equals the Fig. 3c map centre.
     let n = map.fl_plane.nx();
-    let map_center = map.fl_plane.at(n / 2, n / 2).z
-        * mramsim::units::constants::OERSTED_PER_AMPERE_PER_METER;
+    let map_center =
+        map.fl_plane.at(n / 2, n / 2).z * mramsim::units::constants::OERSTED_PER_AMPERE_PER_METER;
     let profile_center = profiles.profiles[0].points[10].1;
     assert!((map_center - profile_center).abs() < 1.0);
 }

@@ -65,7 +65,10 @@ fn anchor_coercivity_consistency() {
     let hc = sharrock
         .median_switching_field(mramsim::units::Second::new(1e-4))
         .unwrap();
-    assert!((hc.value() - presets::MEASURED_HC.value()).abs() < 150.0, "Hc = {hc}");
+    assert!(
+        (hc.value() - presets::MEASURED_HC.value()).abs() < 150.0,
+        "Hc = {hc}"
+    );
 }
 
 /// §IV-B / Fig. 5 annotations: Ψ ≈ 1 % at 3×eCD and ≈ 7 % at 1.5×eCD
@@ -79,9 +82,17 @@ fn anchor_psi_values() {
             .unwrap()
             .psi(presets::MEASURED_HC)
     };
-    assert!((psi(105.0) - 0.01).abs() < 0.005, "psi(3x) = {}", psi(105.0));
+    assert!(
+        (psi(105.0) - 0.01).abs() < 0.005,
+        "psi(3x) = {}",
+        psi(105.0)
+    );
     assert!((psi(52.5) - 0.07).abs() < 0.02, "psi(1.5x) = {}", psi(52.5));
-    assert!(psi(70.0) > 0.015 && psi(70.0) < 0.04, "psi(2x) = {}", psi(70.0));
+    assert!(
+        psi(70.0) > 0.015 && psi(70.0) < 0.04,
+        "psi(2x) = {}",
+        psi(70.0)
+    );
 }
 
 /// §IV-B: "Ψ ≈ 0 % at pitch = 200 nm for all three device sizes".
