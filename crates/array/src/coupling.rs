@@ -1,12 +1,7 @@
 //! The inter-cell coupling analyzer: `Hz_s_inter` at the victim's FL.
 
-use crate::{
-    diagonal_neighbor_offsets, direct_neighbor_offsets, ArrayError, NeighborhoodPattern,
-    PatternClass,
-};
-use mramsim_magnetics::FieldSource;
-use mramsim_mtj::{MtjDevice, MtjState};
-use mramsim_numerics::Vec3;
+use crate::{ArrayError, NeighborhoodPattern, PatternClass, StrayFieldKernel};
+use mramsim_mtj::MtjDevice;
 use mramsim_units::constants::OERSTED_PER_AMPERE_PER_METER;
 use mramsim_units::{Nanometer, Oersted};
 
@@ -29,10 +24,13 @@ pub struct InterFieldBreakdown {
 /// array, for any neighbourhood pattern, using the exact bound-current
 /// loop model (no dipole approximation).
 ///
-/// Per-neighbour contributions are precomputed once per
-/// (device, pitch): by symmetry all four direct aggressors contribute
-/// identically, and likewise the four diagonal ones — this is what
-/// collapses 256 patterns into the paper's 25 classes.
+/// Per-neighbour contributions come from the shared [`StrayFieldKernel`]
+/// — precomputed once per (device, pitch) and memoised process-wide, so
+/// sweeps, fault simulators, and repeated analyzer builds at the same
+/// design point pay the Biot–Savart cost exactly once. By symmetry all
+/// four direct aggressors contribute identically, and likewise the four
+/// diagonal ones — this is what collapses 256 patterns into the paper's
+/// 25 classes.
 ///
 /// # Examples
 ///
@@ -72,52 +70,23 @@ impl CouplingAnalyzer {
     ///   overlap) or is non-finite.
     /// * [`ArrayError::Device`] if loop construction fails.
     pub fn new(device: MtjDevice, pitch: Nanometer) -> Result<Self, ArrayError> {
-        if !pitch.is_finite() || pitch.value() < device.ecd().value() {
-            return Err(ArrayError::InvalidParameter {
-                name: "pitch",
-                message: format!(
-                    "pitch {pitch:?} must be at least the device eCD {:?}",
-                    device.ecd()
-                ),
-            });
-        }
-        let victim = Vec3::ZERO;
-        let ecd = device.ecd();
-        let stack = device.stack();
-
         // One representative direct and one diagonal aggressor; the rest
-        // follow by symmetry (verified in tests).
-        let (dx, dy) = direct_neighbor_offsets(pitch)[0];
-        let (gx, gy) = diagonal_neighbor_offsets(pitch)[0];
-
-        let fixed_hz = |x: f64, y: f64| -> Result<f64, ArrayError> {
-            Ok(stack
-                .fixed_sources_at(ecd, x, y)?
-                .iter()
-                .map(|s| s.hz(victim))
-                .sum())
-        };
-        let fl_hz = |x: f64, y: f64, state: MtjState| -> Result<f64, ArrayError> {
-            Ok(stack.fl_source_at(ecd, x, y, state)?.hz(victim))
-        };
-
-        let intra = stack.intra_hz_at_fl_center(ecd)?;
-        let fixed_direct = fixed_hz(dx, dy)?;
-        let fixed_diagonal = fixed_hz(gx, gy)?;
-        let fl_p_direct = fl_hz(dx, dy, MtjState::Parallel)?;
-        let fl_ap_direct = fl_hz(dx, dy, MtjState::AntiParallel)?;
-        let fl_p_diagonal = fl_hz(gx, gy, MtjState::Parallel)?;
-        let fl_ap_diagonal = fl_hz(gx, gy, MtjState::AntiParallel)?;
+        // follow by symmetry (verified in tests). The kernel is memoised
+        // per (device, pitch) so repeated builds at a design point skip
+        // the Biot–Savart work entirely.
+        let kernel = StrayFieldKernel::shared(&device, pitch)?;
+        let direct = kernel.direct();
+        let diagonal = kernel.diagonal();
         Ok(Self {
             device,
             pitch,
-            fixed_direct,
-            fixed_diagonal,
-            fl_p_direct,
-            fl_ap_direct,
-            fl_p_diagonal,
-            fl_ap_diagonal,
-            intra,
+            fixed_direct: direct.fixed_hz,
+            fixed_diagonal: diagonal.fixed_hz,
+            fl_p_direct: direct.fl_p_hz,
+            fl_ap_direct: direct.fl_ap_hz,
+            fl_p_diagonal: diagonal.fl_p_hz,
+            fl_ap_diagonal: diagonal.fl_ap_hz,
+            intra: Oersted::new(kernel.intra_hz() * OERSTED_PER_AMPERE_PER_METER),
         })
     }
 
@@ -224,7 +193,10 @@ impl CouplingAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::direct_neighbor_offsets;
+    use mramsim_magnetics::FieldSource;
     use mramsim_mtj::presets;
+    use mramsim_numerics::Vec3;
 
     fn analyzer(ecd: f64, pitch: f64) -> CouplingAnalyzer {
         let device = presets::imec_like(Nanometer::new(ecd)).unwrap();

@@ -37,6 +37,7 @@ mod coupling;
 mod density;
 mod error;
 mod geometry;
+mod kernel;
 mod pattern;
 mod rings;
 mod sweep;
@@ -45,6 +46,9 @@ pub use coupling::{CouplingAnalyzer, InterFieldBreakdown};
 pub use density::{array_density_bits_per_um2, ArrayDensity};
 pub use error::ArrayError;
 pub use geometry::{diagonal_neighbor_offsets, direct_neighbor_offsets, ring_offsets};
+pub use kernel::{
+    clear_kernel_cache, kernel_cache_stats, KernelCacheStats, OffsetField, StrayFieldKernel,
+};
 pub use pattern::{NeighborhoodPattern, PatternClass};
 pub use rings::ExtendedCoupling;
 pub use sweep::{max_density_pitch, psi_vs_pitch, psi_vs_pitch_on, PsiPoint};

@@ -55,9 +55,11 @@ pub fn run(params: &Params) -> Result<Fig3c, CoreError> {
         });
     }
     let device = presets::imec_like(params.ecd)?;
+    // Monomorphic SourceKind loops: the plane map and axis profile run
+    // through the batched (and, for large grids, pooled) evaluation path.
     let sources: SourceSet = device
         .stack()
-        .fixed_sources_at(params.ecd, 0.0, 0.0)?
+        .fixed_kinds_at(params.ecd, 0.0, 0.0)?
         .into_iter()
         .collect();
 
@@ -69,15 +71,21 @@ pub fn run(params: &Params) -> Result<Fig3c, CoreError> {
         0.0,
         params.grid,
         params.grid,
-    );
+    )
+    .map_err(|e| CoreError::Device(e.into()))?;
 
-    let mut axis_profile = Vec::new();
-    for i in 0..params.grid {
-        let z = -half + 2.0 * half * i as f64 / (params.grid - 1) as f64;
-        let h =
-            mramsim_magnetics::FieldSource::hz(&sources, mramsim_numerics::Vec3::new(0.0, 0.0, z));
-        axis_profile.push((z * 1e9, h * OERSTED_PER_AMPERE_PER_METER));
-    }
+    let axis_positions: Vec<mramsim_numerics::Vec3> = (0..params.grid)
+        .map(|i| {
+            let z = -half + 2.0 * half * i as f64 / (params.grid - 1) as f64;
+            mramsim_numerics::Vec3::new(0.0, 0.0, z)
+        })
+        .collect();
+    let axis_fields = mramsim_magnetics::field_map::h_field_at_points(&sources, &axis_positions);
+    let axis_profile = axis_positions
+        .iter()
+        .zip(&axis_fields)
+        .map(|(p, h)| (p.z * 1e9, h.z * OERSTED_PER_AMPERE_PER_METER))
+        .collect();
 
     Ok(Fig3c {
         fl_plane,

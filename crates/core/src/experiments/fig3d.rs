@@ -59,13 +59,28 @@ pub fn run(params: &Params) -> Result<Fig3d, CoreError> {
     for &ecd_nm in &params.ecds {
         let ecd = Nanometer::new(ecd_nm);
         let rmax = 0.8 * ecd.to_meter().value() / 2.0;
-        let mut points = Vec::with_capacity(params.samples);
-        for i in 0..params.samples {
-            let t = i as f64 / (params.samples - 1) as f64;
-            let x = -rmax + 2.0 * rmax * t;
-            let h = stack.intra_hz_at(ecd, Vec3::new(x, 0.0, 0.0))?;
-            points.push((x * 1e9, h.to_oersted().value()));
-        }
+        // One SourceSet of monomorphic loop kinds per size, evaluated
+        // over the whole radial scan in a single batched pass instead of
+        // rebuilding the fixed loops at every sample point.
+        let sources: mramsim_magnetics::SourceSet =
+            stack.fixed_kinds_at(ecd, 0.0, 0.0)?.into_iter().collect();
+        let positions: Vec<Vec3> = (0..params.samples)
+            .map(|i| {
+                let t = i as f64 / (params.samples - 1) as f64;
+                Vec3::new(-rmax + 2.0 * rmax * t, 0.0, 0.0)
+            })
+            .collect();
+        let fields = mramsim_magnetics::field_map::h_field_at_points(&sources, &positions);
+        let points = positions
+            .iter()
+            .zip(&fields)
+            .map(|(p, h)| {
+                (
+                    p.x * 1e9,
+                    mramsim_units::AmperePerMeter::new(h.z).to_oersted().value(),
+                )
+            })
+            .collect();
         profiles.push(RadialProfile { ecd, points });
     }
     Ok(Fig3d { profiles })

@@ -14,6 +14,11 @@ pub struct Params {
     pub ecd: Nanometer,
     /// Array pitch (paper: 90 nm, the SK hynix design spec \[2\]).
     pub pitch: Nanometer,
+    /// Biot–Savart segments per loop (speed/accuracy ablation knob).
+    pub segments: usize,
+    /// Use the exact elliptic-integral loop backend instead of the
+    /// polygonal discretisation.
+    pub exact: bool,
 }
 
 impl Default for Params {
@@ -21,6 +26,8 @@ impl Default for Params {
         Self {
             ecd: Nanometer::new(55.0),
             pitch: Nanometer::new(90.0),
+            segments: mramsim_magnetics::DEFAULT_SEGMENTS,
+            exact: false,
         }
     }
 }
@@ -42,7 +49,7 @@ pub struct Fig4a {
 ///
 /// Propagates analyzer failures (e.g. an overlapping pitch).
 pub fn run(params: &Params) -> Result<Fig4a, CoreError> {
-    let device = presets::imec_like(params.ecd)?;
+    let device = presets::imec_like_with(params.ecd, params.segments, params.exact)?;
     let analyzer = CouplingAnalyzer::new(device, params.pitch)?;
     let classes: Vec<(PatternClass, Oersted)> = PatternClass::all()
         .map(|c| (c, analyzer.inter_hz_class(c)))
@@ -92,6 +99,26 @@ mod tests {
         assert!((hi.value() - 64.0).abs() < 6.0, "max = {hi}");
         assert!((fig.breakdown.direct_step.value() - 15.0).abs() < 1.0);
         assert!((fig.breakdown.diagonal_step.value() - 5.0).abs() < 0.8);
+    }
+
+    #[test]
+    fn exact_backend_and_coarse_polygon_agree_on_the_steps() {
+        // The accuracy ablation: the elliptic-integral backend and a
+        // deliberately coarse polygon both land on the paper's steps.
+        let exact = run(&Params {
+            exact: true,
+            ..Params::default()
+        })
+        .unwrap();
+        let coarse = run(&Params {
+            segments: 32,
+            ..Params::default()
+        })
+        .unwrap();
+        for fig in [&exact, &coarse] {
+            assert!((fig.breakdown.direct_step.value() - 15.0).abs() < 1.0);
+            assert!((fig.breakdown.diagonal_step.value() - 5.0).abs() < 0.8);
+        }
     }
 
     #[test]

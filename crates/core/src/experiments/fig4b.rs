@@ -17,6 +17,11 @@ pub struct Params {
     pub points: usize,
     /// The Ψ threshold to solve for (paper: 2 %).
     pub psi_threshold: f64,
+    /// Biot–Savart segments per loop (speed/accuracy ablation knob).
+    pub segments: usize,
+    /// Use the exact elliptic-integral loop backend instead of the
+    /// polygonal discretisation.
+    pub exact: bool,
 }
 
 impl Default for Params {
@@ -26,6 +31,8 @@ impl Default for Params {
             max_pitch: 200.0,
             points: 24,
             psi_threshold: 0.02,
+            segments: mramsim_magnetics::DEFAULT_SEGMENTS,
+            exact: false,
         }
     }
 }
@@ -67,7 +74,7 @@ pub fn run(params: &Params) -> Result<Fig4b, CoreError> {
     let mut curves = Vec::with_capacity(params.ecds.len());
     for &ecd_nm in &params.ecds {
         let ecd = Nanometer::new(ecd_nm);
-        let device = presets::imec_like(ecd)?;
+        let device = presets::imec_like_with(ecd, params.segments, params.exact)?;
         // Paper: minimum pitch 1.5×eCD [7], maximum 200 nm [4, 20].
         let lo = 1.5 * ecd_nm;
         let pitches: Vec<Nanometer> = (0..params.points)

@@ -42,6 +42,15 @@ EXAMPLES:
     mramsim run explore --ecd 35 --temperature_c 85
     mramsim sweep fig4b --pitch 60..240:20 --ecd 20,35,55
     mramsim sweep faults --pitch 55..90:5 --format csv
+
+ABLATIONS:
+    Scenarios that build a device (fig4a, fig4b point mode, faults)
+    accept the field-model knobs for accuracy/speed studies:
+    --segments <n>   Biot-Savart segments per loop (default 256)
+    --exact 1        exact elliptic-integral loops instead of polygons
+
+    mramsim run fig4a --segments 64
+    mramsim sweep fig4b --pitch 60..240:20 --segments 32,256 --exact 1
 ";
 
 fn main() -> ExitCode {

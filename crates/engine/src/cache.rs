@@ -4,23 +4,17 @@
 //! fingerprint` (see [`crate::ParamSet::fingerprint`]); values are
 //! shared [`ScenarioOutput`]s. Repeated grid points — common when
 //! sweeps overlap or a report re-runs a scenario — are served without
-//! recomputation.
+//! recomputation. The hash itself lives in
+//! [`mramsim_numerics::hash`], shared with the array crate's
+//! stray-field kernel cache.
 
 use crate::ScenarioOutput;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// 64-bit FNV-1a.
-#[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+pub use mramsim_numerics::hash::fnv1a;
+use mramsim_numerics::hash::Fnv1a;
 
 /// Hit/miss counters of a [`ResultCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,11 +60,13 @@ impl ResultCache {
     /// The content address of one `(scenario, fingerprint)` point.
     #[must_use]
     pub fn key(scenario_id: &str, fingerprint: &str) -> u64 {
-        let mut bytes = Vec::with_capacity(scenario_id.len() + 1 + fingerprint.len());
-        bytes.extend_from_slice(scenario_id.as_bytes());
-        bytes.push(0);
-        bytes.extend_from_slice(fingerprint.as_bytes());
-        fnv1a(&bytes)
+        // Streamed with a field separator so ("ab", "c") and ("a", "bc")
+        // cannot alias; digests are identical to hashing the
+        // `id + NUL + fingerprint` byte string in one shot.
+        let mut h = Fnv1a::new();
+        h.field(scenario_id.as_bytes());
+        h.update(fingerprint.as_bytes());
+        h.finish()
     }
 
     /// Looks up a result, counting the hit or miss.

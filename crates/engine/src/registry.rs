@@ -33,6 +33,28 @@ fn seed_of(params: &ParamSet, name: &str) -> Result<u64, EngineError> {
     Ok(params.count(name)? as u64)
 }
 
+/// The shared field-model ablation knobs (`--segments`, `--exact`)
+/// offered by every scenario that builds a device.
+fn field_model_specs() -> [ParamSpec; 2] {
+    [
+        ParamSpec::new(
+            "segments",
+            "Biot-Savart segments per loop (speed/accuracy knob)",
+            256.0,
+        ),
+        ParamSpec::new(
+            "exact",
+            "1: exact elliptic-integral loops instead of polygons",
+            0.0,
+        ),
+    ]
+}
+
+/// Reads the field-model knobs: `(segments, exact)`.
+fn field_model_of(params: &ParamSet) -> Result<(usize, bool), EngineError> {
+    Ok((params.count("segments")?, params.count("exact")? != 0))
+}
+
 /// An ordered, immutable set of registered scenarios.
 ///
 /// # Examples
@@ -275,16 +297,21 @@ impl Scenario for Fig4aScenario {
     }
 
     fn params(&self) -> Vec<ParamSpec> {
-        vec![
+        let mut specs = vec![
             ParamSpec::new("ecd", "device size (nm)", 55.0),
             ParamSpec::new("pitch", "array pitch (nm)", 90.0),
-        ]
+        ];
+        specs.extend(field_model_specs());
+        specs
     }
 
     fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let (segments, exact) = field_model_of(params)?;
         let fig = fig4a::run(&fig4a::Params {
             ecd: Nanometer::new(params.number("ecd")?),
             pitch: Nanometer::new(params.number("pitch")?),
+            segments,
+            exact,
         })
         .map_err(|e| model_err("fig4a", e))?;
         let (lo, hi) = fig.extremes;
@@ -307,7 +334,7 @@ impl Scenario for Fig4bScenario {
     }
 
     fn params(&self) -> Vec<ParamSpec> {
-        vec![
+        let mut specs = vec![
             ParamSpec::new(
                 "pitch",
                 "one pitch (nm) for point mode, 0 for the figure",
@@ -322,7 +349,9 @@ impl Scenario for Fig4bScenario {
             ParamSpec::new("max_pitch", "figure-mode upper pitch bound (nm)", 200.0),
             ParamSpec::new("points", "figure-mode samples per curve", 24.0),
             ParamSpec::new("psi_threshold", "design-rule Ψ threshold", 0.02),
-        ]
+        ];
+        specs.extend(field_model_specs());
+        specs
     }
 
     fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
@@ -331,8 +360,9 @@ impl Scenario for Fig4bScenario {
             // Point mode: Ψ at exactly (ecd, pitch) — the sweep and
             // cache workhorse.
             let ecd = params.number("ecd")?;
-            let device =
-                presets::imec_like(Nanometer::new(ecd)).map_err(|e| model_err("fig4b", e))?;
+            let (segments, exact) = field_model_of(params)?;
+            let device = presets::imec_like_with(Nanometer::new(ecd), segments, exact)
+                .map_err(|e| model_err("fig4b", e))?;
             let coupling = CouplingAnalyzer::new(device, Nanometer::new(pitch))
                 .map_err(|e| model_err("fig4b", e))?;
             let psi = coupling.psi(presets::MEASURED_HC);
@@ -349,11 +379,14 @@ impl Scenario for Fig4bScenario {
                 .with_scalar("psi", psi)
                 .with_scalar("psi_percent", 100.0 * psi));
         }
+        let (segments, exact) = field_model_of(params)?;
         let fig = fig4b::run(&fig4b::Params {
             ecds: params.list("ecds")?,
             max_pitch: params.number("max_pitch")?,
             points: params.count("points")?,
             psi_threshold: params.number("psi_threshold")?,
+            segments,
+            exact,
         })
         .map_err(|e| model_err("fig4b", e))?;
         Ok(ScenarioOutput::from_table(fig.to_table())
@@ -624,7 +657,7 @@ impl Scenario for FaultsScenario {
     }
 
     fn params(&self) -> Vec<ParamSpec> {
-        vec![
+        let mut specs = vec![
             ParamSpec::new("ecd", "device size (nm)", 35.0),
             ParamSpec::new("pitch", "array pitch (nm)", 70.0),
             ParamSpec::new("rows", "array rows", 8.0),
@@ -637,12 +670,16 @@ impl Scenario for FaultsScenario {
                 "initial data: zeros | checkerboard",
                 "checkerboard",
             ),
-        ]
+        ];
+        specs.extend(field_model_specs());
+        specs
     }
 
     fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
-        let device = presets::imec_like(Nanometer::new(params.number("ecd")?))
-            .map_err(|e| model_err("faults", e))?;
+        let (segments, exact) = field_model_of(params)?;
+        let device =
+            presets::imec_like_with(Nanometer::new(params.number("ecd")?), segments, exact)
+                .map_err(|e| model_err("faults", e))?;
         let pitch = Nanometer::new(params.number("pitch")?);
         let rows = params.count("rows")?;
         let cols = params.count("cols")?;
@@ -752,6 +789,26 @@ mod tests {
             .unwrap()
             .psi(presets::MEASURED_HC);
         assert!((out.scalar("psi").unwrap() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn field_model_knobs_are_engine_parameters() {
+        // `--segments` / `--exact` reach the device model: the exact
+        // backend and a coarse polygon agree on Ψ to well under a
+        // percent, and all three fingerprints are distinct cache keys.
+        let scenario = Fig4bScenario;
+        let base = ParamSet::defaults(&scenario.params())
+            .with("pitch", 90.0)
+            .with("ecd", 55.0);
+        let coarse = base.clone().with("segments", 48.0);
+        let exact = base.clone().with("exact", 1.0);
+        let psi_base = scenario.run(&base).unwrap().scalar("psi").unwrap();
+        let psi_coarse = scenario.run(&coarse).unwrap().scalar("psi").unwrap();
+        let psi_exact = scenario.run(&exact).unwrap().scalar("psi").unwrap();
+        assert!((psi_base - psi_exact).abs() < 1e-3 * psi_exact);
+        assert!((psi_coarse - psi_exact).abs() < 1e-2 * psi_exact);
+        assert_ne!(base.fingerprint(), coarse.fingerprint());
+        assert_ne!(base.fingerprint(), exact.fingerprint());
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub struct ArraySimulator {
 impl ArraySimulator {
     /// Builds a simulator for a uniform array.
     ///
+    /// The per-pattern coupling fields come from the shared
+    /// stray-field kernel cache, so constructing many simulators at
+    /// one `(device, pitch)` design point — march sweeps, fault-class
+    /// scans — pays the Biot–Savart precomputation once.
+    ///
     /// # Errors
     ///
     /// Propagates device/array construction failures.

@@ -2,9 +2,79 @@
 //!
 //! These drive the paper's Fig. 3c (3-D field visualisation around the
 //! device) and Fig. 3d (radial profile of `Hz` across the free layer).
+//!
+//! Sampling goes through the batched [`FieldSource::h_field_many`] API
+//! and, for large grids, is parallelised in row chunks on the shared
+//! [`WorkerPool`] — the same scheduler the array sweeps and the
+//! execution engine run on.
 
-use crate::FieldSource;
+use crate::{FieldSource, MagneticsError};
+use mramsim_numerics::pool::WorkerPool;
 use mramsim_numerics::Vec3;
+
+/// Below this many sample points the pool is skipped: thread spawn
+/// overhead would swamp the per-point Biot–Savart work.
+const PARALLEL_THRESHOLD: usize = 1024;
+
+/// Target points per parallel chunk (plane maps round this up to whole
+/// rows so every chunk is a contiguous row block).
+const CHUNK_POINTS: usize = 256;
+
+/// Evaluates `source` at every position, batched, and in parallel row
+/// chunks on a machine-sized worker pool once the grid is large enough.
+///
+/// This is the common engine behind [`line_scan`] and
+/// [`PlaneMap::sample`], exposed for callers that bring their own point
+/// layout (e.g. the Fig. 3d radial profiles). When already running on
+/// a pool worker (e.g. inside an engine sweep job), pass the caller's
+/// pool via [`h_field_at_points_on`] to avoid thread oversubscription —
+/// a `WorkerPool::new(1)` degrades gracefully to the serial batched
+/// path.
+pub fn h_field_at_points<S: FieldSource + Sync + ?Sized>(
+    source: &S,
+    positions: &[Vec3],
+) -> Vec<Vec3> {
+    h_field_in_chunks(
+        &WorkerPool::with_default_parallelism(),
+        source,
+        positions,
+        CHUNK_POINTS,
+    )
+}
+
+/// [`h_field_at_points`] on a caller-provided [`WorkerPool`].
+pub fn h_field_at_points_on<S: FieldSource + Sync + ?Sized>(
+    pool: &WorkerPool,
+    source: &S,
+    positions: &[Vec3],
+) -> Vec<Vec3> {
+    h_field_in_chunks(pool, source, positions, CHUNK_POINTS)
+}
+
+fn h_field_in_chunks<S: FieldSource + Sync + ?Sized>(
+    pool: &WorkerPool,
+    source: &S,
+    positions: &[Vec3],
+    chunk: usize,
+) -> Vec<Vec3> {
+    let mut out = vec![Vec3::ZERO; positions.len()];
+    if positions.len() < PARALLEL_THRESHOLD || pool.workers() < 2 {
+        source.h_field_many(positions, &mut out);
+        return out;
+    }
+    let chunks: Vec<&[Vec3]> = positions.chunks(chunk.max(1)).collect();
+    let results = pool.scoped_map(&chunks, |_, block| {
+        let mut h = vec![Vec3::ZERO; block.len()];
+        source.h_field_many(block, &mut h);
+        h
+    });
+    let mut cursor = 0;
+    for block in results {
+        out[cursor..cursor + block.len()].copy_from_slice(&block);
+        cursor += block.len();
+    }
+    out
+}
 
 /// One sample of a line scan: position along the line and the field.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,9 +90,11 @@ pub struct LineSample {
 /// Samples the field along the segment `[start, end]` at `n` evenly
 /// spaced points (inclusive of both ends).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n < 2`.
+/// * [`MagneticsError::InvalidDiscretisation`] for `n < 2`.
+/// * [`MagneticsError::InvalidGeometry`] for non-finite endpoints or a
+///   zero-length segment.
 ///
 /// # Examples
 ///
@@ -31,37 +103,73 @@ pub struct LineSample {
 /// use mramsim_numerics::Vec3;
 ///
 /// let fl = LoopSource::with_default_segments(Vec3::ZERO, 27.5e-9, 2.3e-3)?;
-/// let scan = line_scan(&fl, Vec3::new(-4e-8, 0.0, 3e-9), Vec3::new(4e-8, 0.0, 3e-9), 81);
+/// let scan = line_scan(&fl, Vec3::new(-4e-8, 0.0, 3e-9), Vec3::new(4e-8, 0.0, 3e-9), 81)?;
 /// assert_eq!(scan.len(), 81);
 /// // Symmetric scan: Hz profile is even in s.
 /// assert!((scan[0].h.z - scan[80].h.z).abs() < 1e-6 * scan[0].h.z.abs());
 /// # Ok::<(), mramsim_magnetics::MagneticsError>(())
 /// ```
-pub fn line_scan<S: FieldSource + ?Sized>(
+pub fn line_scan<S: FieldSource + Sync + ?Sized>(
     source: &S,
     start: Vec3,
     end: Vec3,
     n: usize,
-) -> Vec<LineSample> {
-    assert!(n >= 2, "a line scan needs at least two samples");
+) -> Result<Vec<LineSample>, MagneticsError> {
+    line_scan_on(
+        &WorkerPool::with_default_parallelism(),
+        source,
+        start,
+        end,
+        n,
+    )
+}
+
+/// [`line_scan`] on a caller-provided [`WorkerPool`] (use from inside
+/// an outer sweep to avoid oversubscription).
+///
+/// # Errors
+///
+/// Same contract as [`line_scan`].
+pub fn line_scan_on<S: FieldSource + Sync + ?Sized>(
+    pool: &WorkerPool,
+    source: &S,
+    start: Vec3,
+    end: Vec3,
+    n: usize,
+) -> Result<Vec<LineSample>, MagneticsError> {
+    if n < 2 {
+        return Err(MagneticsError::InvalidDiscretisation {
+            message: format!("a line scan needs at least two samples, got {n}"),
+        });
+    }
+    if !start.is_finite() || !end.is_finite() {
+        return Err(MagneticsError::InvalidGeometry {
+            message: format!("line scan endpoints must be finite, got {start} .. {end}"),
+        });
+    }
+    let length = (end - start).norm();
+    if !(length > 0.0) {
+        return Err(MagneticsError::InvalidGeometry {
+            message: format!("line scan segment is degenerate: {start} .. {end}"),
+        });
+    }
     let mid = start.lerp(end, 0.5);
-    let half = (end - start).norm() / 2.0;
-    (0..n)
-        .map(|i| {
+    let half = length / 2.0;
+    let positions: Vec<Vec3> = (0..n)
+        .map(|i| start.lerp(end, i as f64 / (n - 1) as f64))
+        .collect();
+    let fields = h_field_at_points_on(pool, source, &positions);
+    Ok(positions
+        .into_iter()
+        .zip(fields)
+        .enumerate()
+        .map(|(i, (position, h))| {
             let t = i as f64 / (n - 1) as f64;
-            let position = start.lerp(end, t);
-            LineSample {
-                s: (2.0 * t - 1.0) * half,
-                position,
-                h: source.h_field(position),
-            }
-        })
-        .map(|mut s| {
             // Signed distance measured from the midpoint along the line.
-            s.s = (s.position - mid).norm() * (s.s).signum();
-            s
+            let s = (position - mid).norm() * ((2.0 * t - 1.0) * half).signum();
+            LineSample { s, position, h }
         })
-        .collect()
+        .collect())
 }
 
 /// A rectangular grid of field samples in a constant-z plane.
@@ -79,32 +187,77 @@ pub struct PlaneMap {
 
 impl PlaneMap {
     /// Samples `source` on an `nx × ny` grid covering
-    /// `[x0, x1] × [y0, y1]` at height `z` (all metres).
+    /// `[x0, x1] × [y0, y1]` at height `z` (all metres). Rows are
+    /// evaluated with the batched kernel and spread over the worker pool
+    /// in row chunks when the grid is large.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either grid dimension is smaller than 2 or the extents
-    /// are degenerate.
-    pub fn sample<S: FieldSource + ?Sized>(
+    /// * [`MagneticsError::InvalidDiscretisation`] when either grid
+    ///   dimension is smaller than 2.
+    /// * [`MagneticsError::InvalidGeometry`] for non-increasing or
+    ///   non-finite extents.
+    pub fn sample<S: FieldSource + Sync + ?Sized>(
         source: &S,
         (x0, x1): (f64, f64),
         (y0, y1): (f64, f64),
         z: f64,
         nx: usize,
         ny: usize,
-    ) -> Self {
-        assert!(nx >= 2 && ny >= 2, "plane map needs at least a 2x2 grid");
-        assert!(x1 > x0 && y1 > y0, "plane map extents must be increasing");
+    ) -> Result<Self, MagneticsError> {
+        Self::sample_on(
+            &WorkerPool::with_default_parallelism(),
+            source,
+            (x0, x1),
+            (y0, y1),
+            z,
+            nx,
+            ny,
+        )
+    }
+
+    /// [`PlaneMap::sample`] on a caller-provided [`WorkerPool`] (use
+    /// from inside an outer sweep to avoid oversubscription).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PlaneMap::sample`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_on<S: FieldSource + Sync + ?Sized>(
+        pool: &WorkerPool,
+        source: &S,
+        (x0, x1): (f64, f64),
+        (y0, y1): (f64, f64),
+        z: f64,
+        nx: usize,
+        ny: usize,
+    ) -> Result<Self, MagneticsError> {
+        if nx < 2 || ny < 2 {
+            return Err(MagneticsError::InvalidDiscretisation {
+                message: format!("plane map needs at least a 2x2 grid, got {nx}x{ny}"),
+            });
+        }
+        if !(x1 > x0 && y1 > y0 && [x0, x1, y0, y1, z].iter().all(|v| v.is_finite())) {
+            return Err(MagneticsError::InvalidGeometry {
+                message: format!(
+                    "plane map extents must be finite and increasing, got \
+                     [{x0}, {x1}] x [{y0}, {y1}] at z = {z}"
+                ),
+            });
+        }
         let dx = (x1 - x0) / (nx - 1) as f64;
         let dy = (y1 - y0) / (ny - 1) as f64;
-        let mut samples = Vec::with_capacity(nx * ny);
+        let mut positions = Vec::with_capacity(nx * ny);
         for j in 0..ny {
             for i in 0..nx {
-                let p = Vec3::new(x0 + dx * i as f64, y0 + dy * j as f64, z);
-                samples.push(source.h_field(p));
+                positions.push(Vec3::new(x0 + dx * i as f64, y0 + dy * j as f64, z));
             }
         }
-        Self {
+        // Chunk on whole rows so each parallel job covers contiguous,
+        // cache-friendly row blocks.
+        let rows_per_chunk = CHUNK_POINTS.div_ceil(nx).max(1);
+        let samples = h_field_in_chunks(pool, source, &positions, rows_per_chunk * nx);
+        Ok(Self {
             nx,
             ny,
             x0,
@@ -113,7 +266,7 @@ impl PlaneMap {
             dy,
             z,
             samples,
-        }
+        })
     }
 
     /// Grid width (number of x samples).
@@ -180,7 +333,7 @@ mod tests {
     #[test]
     fn line_scan_endpoints_and_count() {
         let d = Dipole::new(Vec3::ZERO, 1e-18).unwrap();
-        let scan = line_scan(&d, Vec3::new(-1e-7, 0.0, 0.0), Vec3::new(1e-7, 0.0, 0.0), 5);
+        let scan = line_scan(&d, Vec3::new(-1e-7, 0.0, 0.0), Vec3::new(1e-7, 0.0, 0.0), 5).unwrap();
         assert_eq!(scan.len(), 5);
         assert_eq!(scan[0].position, Vec3::new(-1e-7, 0.0, 0.0));
         assert_eq!(scan[4].position, Vec3::new(1e-7, 0.0, 0.0));
@@ -209,7 +362,8 @@ mod tests {
             Vec3::new(-1.4e-8, 0.0, 0.0),
             Vec3::new(1.4e-8, 0.0, 0.0),
             45,
-        );
+        )
+        .unwrap();
         let center = scan[22].h.z;
         let edge = scan[0].h.z;
         assert!(center < 0.0, "net intra-cell field is negative at centre");
@@ -217,16 +371,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two samples")]
-    fn degenerate_scan_panics() {
+    fn degenerate_scans_are_errors_not_panics() {
         let d = Dipole::new(Vec3::ZERO, 1e-18).unwrap();
-        let _ = line_scan(&d, Vec3::ZERO, Vec3::X, 1);
+        // Too few samples.
+        assert!(matches!(
+            line_scan(&d, Vec3::ZERO, Vec3::X, 1),
+            Err(MagneticsError::InvalidDiscretisation { .. })
+        ));
+        // Zero-length segment.
+        assert!(matches!(
+            line_scan(&d, Vec3::X, Vec3::X, 8),
+            Err(MagneticsError::InvalidGeometry { .. })
+        ));
+        // Non-finite endpoint.
+        assert!(matches!(
+            line_scan(&d, Vec3::new(f64::NAN, 0.0, 0.0), Vec3::X, 8),
+            Err(MagneticsError::InvalidGeometry { .. })
+        ));
     }
 
     #[test]
     fn plane_map_indexing_round_trips() {
         let d = Dipole::new(Vec3::ZERO, 1e-18).unwrap();
-        let map = PlaneMap::sample(&d, (-1e-7, 1e-7), (-1e-7, 1e-7), 5e-9, 9, 7);
+        let map = PlaneMap::sample(&d, (-1e-7, 1e-7), (-1e-7, 1e-7), 5e-9, 9, 7).unwrap();
         assert_eq!(map.nx(), 9);
         assert_eq!(map.ny(), 7);
         let p = map.position(4, 3);
@@ -238,14 +405,63 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_plane_maps_are_errors_not_panics() {
+        let d = Dipole::new(Vec3::ZERO, 1e-18).unwrap();
+        assert!(matches!(
+            PlaneMap::sample(&d, (-1e-7, 1e-7), (-1e-7, 1e-7), 0.0, 1, 7),
+            Err(MagneticsError::InvalidDiscretisation { .. })
+        ));
+        assert!(matches!(
+            PlaneMap::sample(&d, (1e-7, -1e-7), (-1e-7, 1e-7), 0.0, 9, 7),
+            Err(MagneticsError::InvalidGeometry { .. })
+        ));
+        assert!(matches!(
+            PlaneMap::sample(&d, (-1e-7, 1e-7), (0.0, 0.0), 0.0, 9, 7),
+            Err(MagneticsError::InvalidGeometry { .. })
+        ));
+    }
+
+    #[test]
     fn hz_range_brackets_all_samples() {
         let l = LoopSource::with_default_segments(Vec3::ZERO, 2e-8, 1e-3).unwrap();
-        let map = PlaneMap::sample(&l, (-5e-8, 5e-8), (-5e-8, 5e-8), 2e-9, 11, 11);
+        let map = PlaneMap::sample(&l, (-5e-8, 5e-8), (-5e-8, 5e-8), 2e-9, 11, 11).unwrap();
         let (lo, hi) = map.hz_range();
         assert!(lo < 0.0, "return flux must appear in the map");
         assert!(hi > 0.0);
         for (_, h) in map.iter() {
             assert!(h.z >= lo && h.z <= hi);
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_evaluation() {
+        // A grid big enough to cross the parallel threshold must produce
+        // exactly the same samples as point-by-point evaluation.
+        let l = LoopSource::new(Vec3::ZERO, 2e-8, 1e-3, 32).unwrap();
+        let map = PlaneMap::sample(&l, (-5e-8, 5e-8), (-5e-8, 5e-8), 2e-9, 40, 40).unwrap();
+        assert!(map.nx() * map.ny() >= PARALLEL_THRESHOLD);
+        for j in [0, 17, 39] {
+            for i in [0, 23, 39] {
+                let direct = l.h_field(map.position(i, j));
+                let mapped = map.at(i, j);
+                assert!(
+                    (direct - mapped).norm() <= 1e-12 * direct.norm().max(1e-12),
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn points_helper_matches_scalar() {
+        let l = LoopSource::new(Vec3::ZERO, 2e-8, 1e-3, 64).unwrap();
+        let positions: Vec<Vec3> = (0..50)
+            .map(|i| Vec3::new(f64::from(i) * 2e-9, 1e-9, 3e-9))
+            .collect();
+        let batched = h_field_at_points(&l, &positions);
+        for (p, b) in positions.iter().zip(&batched) {
+            let s = l.h_field(*p);
+            assert!((s - *b).norm() <= 1e-12 * s.norm().max(1e-12));
         }
     }
 }

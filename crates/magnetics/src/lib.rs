@@ -49,7 +49,7 @@ pub use analytic::{on_axis_field, AnalyticLoop};
 pub use dipole::Dipole;
 pub use error::MagneticsError;
 pub use loop_source::{LoopSource, SlicedLoop, DEFAULT_SEGMENTS};
-pub use superposition::SourceSet;
+pub use superposition::{SourceKind, SourceSet};
 
 use mramsim_numerics::Vec3;
 
@@ -69,16 +69,48 @@ pub trait FieldSource {
     fn hz(&self, p: Vec3) -> f64 {
         self.h_field(p).z
     }
+
+    /// Evaluates the field at many points at once, writing `H(points[i])`
+    /// into `out[i]`.
+    ///
+    /// The default implementation is the scalar loop; batched sources
+    /// ([`LoopSource`], [`AnalyticLoop`], [`SourceSet`]) override it to
+    /// hoist per-source setup out of the per-point loop and evaluate a
+    /// chunk of points per pass over the source geometry. Overrides must
+    /// agree with [`FieldSource::h_field`] to ≤ 1e-12 relative error
+    /// (guarded by parity tests in this crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` and `out` differ in length.
+    fn h_field_many(&self, points: &[Vec3], out: &mut [Vec3]) {
+        assert_eq!(
+            points.len(),
+            out.len(),
+            "h_field_many needs one output slot per point"
+        );
+        for (p, o) in points.iter().zip(out.iter_mut()) {
+            *o = self.h_field(*p);
+        }
+    }
 }
 
 impl<S: FieldSource + ?Sized> FieldSource for &S {
     fn h_field(&self, p: Vec3) -> Vec3 {
         (**self).h_field(p)
     }
+
+    fn h_field_many(&self, points: &[Vec3], out: &mut [Vec3]) {
+        (**self).h_field_many(points, out);
+    }
 }
 
 impl<S: FieldSource + ?Sized> FieldSource for Box<S> {
     fn h_field(&self, p: Vec3) -> Vec3 {
         (**self).h_field(p)
+    }
+
+    fn h_field_many(&self, points: &[Vec3], out: &mut [Vec3]) {
+        (**self).h_field_many(points, out);
     }
 }

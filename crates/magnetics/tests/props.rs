@@ -14,6 +14,20 @@ fn far_probe() -> impl Strategy<Value = Vec3> {
         .prop_map(|(rho, phi, zf)| Vec3::new(rho * R * phi.cos(), rho * R * phi.sin(), zf * R))
 }
 
+/// The batched-vs-scalar parity bound the workspace guarantees
+/// (≤ 1e-12 relative error).
+fn assert_batched_matches_scalar<S: FieldSource>(source: &S, points: &[Vec3]) {
+    let mut batched = vec![Vec3::ZERO; points.len()];
+    source.h_field_many(points, &mut batched);
+    for (p, b) in points.iter().zip(&batched) {
+        let s = source.h_field(*p);
+        assert!(
+            (s - *b).norm() <= 1e-12 * s.norm().max(1e-12),
+            "batched/scalar mismatch at {p:?}: {s:?} vs {b:?}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -91,6 +105,89 @@ proptest! {
         let h = exact.h_field(Vec3::new(0.0, 0.0, z * R)).z;
         let formula = on_axis_field(R, I, z * R);
         prop_assert!((h - formula).abs() <= 1e-9 * formula.abs().max(1e-9));
+    }
+
+    /// Batched `h_field_many` matches the scalar `h_field` for a random
+    /// polygonal loop over a random point cloud (including the lane-tail
+    /// lengths the chunked kernel has to get right).
+    #[test]
+    fn batched_loop_matches_scalar(
+        points in prop::collection::vec(far_probe(), 1..48),
+        cx in -2.0f64..2.0,
+        cz in -1.0f64..1.0,
+        k in 0.2f64..4.0,
+    ) {
+        let l = LoopSource::new(Vec3::new(cx * R, 0.0, cz * R), R, k * I, 96).unwrap();
+        assert_batched_matches_scalar(&l, &points);
+    }
+
+    /// Batched evaluation of the exact elliptic-integral loop matches
+    /// its scalar path.
+    #[test]
+    fn batched_analytic_matches_scalar(
+        points in prop::collection::vec(far_probe(), 1..48),
+        cy in -2.0f64..2.0,
+        k in 0.2f64..4.0,
+    ) {
+        let l = AnalyticLoop::new(Vec3::new(0.0, cy * R, 0.0), R, k * I).unwrap();
+        assert_batched_matches_scalar(&l, &points);
+    }
+
+    /// Batched evaluation of a heterogeneous SourceSet (loops + exact
+    /// loop + dipole) matches its scalar superposition.
+    #[test]
+    fn batched_source_set_matches_scalar(
+        points in prop::collection::vec(far_probe(), 1..80),
+        off in -3.0f64..3.0,
+        m in 0.1f64..3.0,
+    ) {
+        let mut set = SourceSet::new();
+        set.push(LoopSource::new(Vec3::ZERO, R, I, 64).unwrap());
+        set.push(LoopSource::new(Vec3::new(off * R, 0.0, -7.85e-9), R, -0.5 * I, 64).unwrap());
+        set.push(AnalyticLoop::new(Vec3::new(0.0, off * R, -3e-9), R, 0.3 * I).unwrap());
+        set.push(Dipole::new(Vec3::new(-off * R, off * R, 0.0), m * 5.5e-18).unwrap());
+        assert_batched_matches_scalar(&set, &points);
+    }
+
+    /// The enum-dispatched SourceSet superposition over a random 3×3
+    /// neighbourhood (three loops per cell, random FL data) matches the
+    /// old boxed-trait-object formulation bit-for-bit at the tolerance
+    /// the kernel guarantees.
+    #[test]
+    fn source_kind_matches_boxed_superposition_on_3x3(
+        p in far_probe(),
+        pitch_f in 1.5f64..4.0,
+        states in prop::collection::vec(0u8..2, 8..9),
+    ) {
+        let pitch = pitch_f * 2.0 * R;
+        let offsets = [
+            (pitch, 0.0), (-pitch, 0.0), (0.0, pitch), (0.0, -pitch),
+            (pitch, pitch), (pitch, -pitch), (-pitch, pitch), (-pitch, -pitch),
+        ];
+        let mut set = SourceSet::new();
+        let mut boxed: Vec<Box<dyn FieldSource + Send + Sync>> = Vec::new();
+        for (cell, (x, y)) in offsets.into_iter().enumerate() {
+            // RL + HL (fixed) + FL whose sign is the cell's stored bit —
+            // the paper's three-loop aggressor model.
+            let fl_sign = if states[cell] == 0 { 1.0 } else { -1.0 };
+            let loops = [
+                LoopSource::new(Vec3::new(x, y, -3e-9), R, 0.07e-3, 64).unwrap(),
+                LoopSource::new(Vec3::new(x, y, -7.85e-9), R, -1.43e-3, 64).unwrap(),
+                LoopSource::new(Vec3::new(x, y, 0.0), R, fl_sign * I, 64).unwrap(),
+            ];
+            for l in loops {
+                boxed.push(Box::new(l.clone()));
+                set.push(l);
+            }
+        }
+        let old: Vec3 = boxed.iter().map(|s| s.h_field(p)).sum();
+        let new = set.h_field(p);
+        prop_assert!(
+            (new - old).norm() <= 1e-12 * old.norm().max(1e-12),
+            "enum superposition {new:?} vs boxed {old:?}"
+        );
+        // The batched path over the whole set agrees too.
+        assert_batched_matches_scalar(&set, &[p]);
     }
 
     /// Gauss's law proxy: the flux of H through a closed axis-aligned

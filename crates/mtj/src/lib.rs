@@ -59,7 +59,7 @@ pub use error::MtjError;
 pub use layer::{FerroLayer, Orientation};
 pub use retention::{retention_fault_probability, retention_time, ATTEMPT_TIME};
 pub use sharrock::{SharrockModel, ATTEMPT_FREQUENCY};
-pub use stack::{MtjStack, MtjStackBuilder};
+pub use stack::{LoopBackend, MtjStack, MtjStackBuilder};
 pub use state::MtjState;
 pub use switching::{SwitchDirection, SwitchingParams};
 pub use thermal::ThermalModel;

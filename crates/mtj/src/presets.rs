@@ -18,7 +18,8 @@
 //! | `Hc` | 2.2 kOe | §IV-B; emerges from Sharrock at 0.1 ms dwell |
 
 use crate::{
-    ElectricalParams, MtjDevice, MtjError, MtjStack, SharrockModel, SwitchingParams, ThermalModel,
+    ElectricalParams, LoopBackend, MtjDevice, MtjError, MtjStack, SharrockModel, SwitchingParams,
+    ThermalModel,
 };
 use mramsim_units::{Nanometer, Oersted, ResistanceArea, Volt};
 
@@ -50,6 +51,46 @@ pub const MEASURED_DELTA0: f64 = 45.5;
 /// ```
 pub fn imec_like(ecd: Nanometer) -> Result<MtjDevice, MtjError> {
     let stack = MtjStack::builder().build_imec_like()?;
+    imec_like_on(ecd, stack)
+}
+
+/// [`imec_like`] with explicit field-model knobs: the Biot–Savart
+/// `segments` count and, when `exact` is set, the elliptic-integral
+/// [`LoopBackend::Analytic`] backend instead of polygonal loops.
+///
+/// This is the accuracy/speed ablation entry point the `mramsim` CLI
+/// exposes as `--segments` / `--exact`.
+///
+/// # Errors
+///
+/// Propagates construction errors (non-positive `ecd`, or a `segments`
+/// count below 8 when a loop is eventually built).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_mtj::presets;
+/// use mramsim_units::Nanometer;
+///
+/// let coarse = presets::imec_like_with(Nanometer::new(35.0), 32, false)?;
+/// let exact = presets::imec_like_with(Nanometer::new(35.0), 32, true)?;
+/// let a = coarse.intra_hz_at_fl_center()?.value();
+/// let b = exact.intra_hz_at_fl_center()?.value();
+/// // Even 32 segments stay within a percent of the exact backend.
+/// assert!((a - b).abs() < 0.01 * b.abs());
+/// # Ok::<(), mramsim_mtj::MtjError>(())
+/// ```
+pub fn imec_like_with(ecd: Nanometer, segments: usize, exact: bool) -> Result<MtjDevice, MtjError> {
+    let mut builder = MtjStack::builder();
+    builder.segments(segments);
+    if exact {
+        builder.backend(LoopBackend::Analytic);
+    }
+    let stack = builder.build_imec_like()?;
+    imec_like_on(ecd, stack)
+}
+
+fn imec_like_on(ecd: Nanometer, stack: MtjStack) -> Result<MtjDevice, MtjError> {
     let electrical = ElectricalParams::new(ResistanceArea::new(4.5), 1.5, Volt::new(1.1))?;
     let switching = SwitchingParams::new(
         MEASURED_HK,

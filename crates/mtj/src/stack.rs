@@ -1,9 +1,38 @@
 //! The MTJ layer stack and its bound-current field image.
 
 use crate::{FerroLayer, MtjError, MtjState};
-use mramsim_magnetics::{FieldSource, LoopSource, SourceSet, DEFAULT_SEGMENTS};
+use mramsim_magnetics::{
+    AnalyticLoop, FieldSource, LoopSource, SourceKind, SourceSet, DEFAULT_SEGMENTS,
+};
 use mramsim_numerics::Vec3;
 use mramsim_units::{AmperePerMeter, MagnetizationThickness, Nanometer, Oersted};
+
+/// Which loop implementation the stack builds its bound-current field
+/// sources with.
+///
+/// `Polygon` is the paper's N-segment Biot–Savart discretisation (Eq. 1,
+/// speed knob = segment count); `Analytic` is the exact
+/// elliptic-integral solution (the `--exact` accuracy backend of the
+/// CLI ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopBackend {
+    /// N-segment polygonal Biot–Savart loops ([`LoopSource`]).
+    #[default]
+    Polygon,
+    /// Exact elliptic-integral loops ([`AnalyticLoop`]).
+    Analytic,
+}
+
+impl LoopBackend {
+    /// A short stable tag used in cache fingerprints.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Polygon => "polygon",
+            Self::Analytic => "analytic",
+        }
+    }
+}
 
 /// The magnetic stack of an MTJ device: the free layer plus the fixed
 /// layers (RL, HL) that generate the intra-cell stray field.
@@ -29,6 +58,7 @@ pub struct MtjStack {
     fl_thickness: Nanometer,
     fixed: Vec<FerroLayer>,
     segments: usize,
+    backend: LoopBackend,
 }
 
 impl MtjStack {
@@ -60,6 +90,72 @@ impl MtjStack {
     #[must_use]
     pub fn segments(&self) -> usize {
         self.segments
+    }
+
+    /// The loop implementation backing [`MtjStack::fl_kind_at`] and
+    /// friends.
+    #[must_use]
+    pub fn backend(&self) -> LoopBackend {
+        self.backend
+    }
+
+    /// One bound-current loop honouring the configured [`LoopBackend`].
+    fn loop_kind(&self, center: Vec3, radius: f64, current: f64) -> Result<SourceKind, MtjError> {
+        Ok(match self.backend {
+            LoopBackend::Polygon => {
+                SourceKind::Loop(LoopSource::new(center, radius, current, self.segments)?)
+            }
+            LoopBackend::Analytic => {
+                SourceKind::Analytic(AnalyticLoop::new(center, radius, current)?)
+            }
+        })
+    }
+
+    /// Bound-current sources of the fixed layers as [`SourceKind`]s,
+    /// honouring the configured backend — the monomorphic-dispatch path
+    /// the stray-field kernel evaluates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MtjError::Magnetics`] for degenerate geometry.
+    pub fn fixed_kinds_at(
+        &self,
+        ecd: Nanometer,
+        x: f64,
+        y: f64,
+    ) -> Result<Vec<SourceKind>, MtjError> {
+        let radius = ecd.to_meter().value() / 2.0;
+        self.fixed
+            .iter()
+            .map(|layer| {
+                self.loop_kind(
+                    Vec3::new(x, y, layer.z_center().to_meter().value()),
+                    radius,
+                    layer.signed_sheet_current(),
+                )
+            })
+            .collect()
+    }
+
+    /// The FL bound-current source as a [`SourceKind`], honouring the
+    /// configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MtjError::Magnetics`] for degenerate geometry.
+    pub fn fl_kind_at(
+        &self,
+        ecd: Nanometer,
+        x: f64,
+        y: f64,
+        state: MtjState,
+    ) -> Result<SourceKind, MtjError> {
+        let radius = ecd.to_meter().value() / 2.0;
+        self.loop_kind(
+            Vec3::new(x, y, 0.0),
+            radius,
+            state.fl_direction() * self.fl_ms_t.value(),
+        )
     }
 
     /// Bound-current loops of the fixed layers for a device of diameter
@@ -125,8 +221,8 @@ impl MtjStack {
         y: f64,
         state: MtjState,
     ) -> Result<SourceSet, MtjError> {
-        let mut set: SourceSet = self.fixed_sources_at(ecd, x, y)?.into_iter().collect();
-        set.push(self.fl_source_at(ecd, x, y, state)?);
+        let mut set: SourceSet = self.fixed_kinds_at(ecd, x, y)?.into_iter().collect();
+        set.push(self.fl_kind_at(ecd, x, y, state)?);
         Ok(set)
     }
 
@@ -138,7 +234,7 @@ impl MtjStack {
     ///
     /// Propagates [`MtjError::Magnetics`] for degenerate geometry.
     pub fn intra_hz_at(&self, ecd: Nanometer, point: Vec3) -> Result<AmperePerMeter, MtjError> {
-        let sources = self.fixed_sources_at(ecd, 0.0, 0.0)?;
+        let sources = self.fixed_kinds_at(ecd, 0.0, 0.0)?;
         Ok(AmperePerMeter::new(
             sources.iter().map(|s| s.hz(point)).sum(),
         ))
@@ -192,6 +288,7 @@ pub struct MtjStackBuilder {
     fl_thickness: Nanometer,
     fixed: Vec<FerroLayer>,
     segments: usize,
+    backend: LoopBackend,
 }
 
 impl Default for MtjStackBuilder {
@@ -201,6 +298,7 @@ impl Default for MtjStackBuilder {
             fl_thickness: Nanometer::new(2.0),
             fixed: Vec::new(),
             segments: DEFAULT_SEGMENTS,
+            backend: LoopBackend::default(),
         }
     }
 }
@@ -222,6 +320,13 @@ impl MtjStackBuilder {
     /// Sets the Biot–Savart discretisation used for all loops.
     pub fn segments(&mut self, segments: usize) -> &mut Self {
         self.segments = segments;
+        self
+    }
+
+    /// Sets the loop backend (polygonal Biot–Savart vs exact
+    /// elliptic-integral loops).
+    pub fn backend(&mut self, backend: LoopBackend) -> &mut Self {
+        self.backend = backend;
         self
     }
 
@@ -253,6 +358,7 @@ impl MtjStackBuilder {
             fl_thickness: self.fl_thickness,
             fixed: self.fixed.clone(),
             segments: self.segments,
+            backend: self.backend,
         })
     }
 
@@ -346,6 +452,22 @@ mod tests {
             .cell_sources_at(Nanometer::new(55.0), 9e-8, 0.0, MtjState::Parallel)
             .unwrap();
         assert_eq!(set.len(), 3); // RL + HL + FL
+    }
+
+    #[test]
+    fn analytic_backend_agrees_with_a_fine_polygon() {
+        let poly = stack();
+        let exact = MtjStack::builder()
+            .backend(LoopBackend::Analytic)
+            .build_imec_like()
+            .unwrap();
+        assert_eq!(exact.backend(), LoopBackend::Analytic);
+        let ecd = Nanometer::new(35.0);
+        let a = poly.intra_hz_at_fl_center(ecd).unwrap().value();
+        let b = exact.intra_hz_at_fl_center(ecd).unwrap().value();
+        // 256 polygon segments are within 1e-4 relative of the exact
+        // elliptic solution at the FL centre.
+        assert!((a - b).abs() < 1e-3 * b.abs(), "polygon {a} vs exact {b}");
     }
 
     #[test]

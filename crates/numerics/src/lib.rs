@@ -19,7 +19,10 @@
 //!   variation, thermal switching stochasticity),
 //! * [`histogram`] — switching-field histograms,
 //! * [`pool`] — the work-stealing worker pool shared by the array
-//!   sweeps and the `mramsim-engine` execution layer.
+//!   sweeps, the batched field maps, and the `mramsim-engine`
+//!   execution layer,
+//! * [`hash`] — FNV-1a content-address hashing shared by the engine
+//!   result cache and the stray-field kernel cache.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@
 
 pub mod dist;
 mod error;
+pub mod hash;
 pub mod histogram;
 pub mod integrate;
 pub mod interp;

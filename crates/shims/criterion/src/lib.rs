@@ -3,13 +3,25 @@
 //! Implements the subset the workspace's benches use — enough to run
 //! every bench target and print plain mean/min timings. No statistical
 //! analysis, HTML reports, or baselines.
+//!
+//! Like the real crate, passing `--test` (i.e.
+//! `cargo bench -- --test`) switches to smoke mode: every benchmark
+//! routine runs exactly once with no warm-up or measurement, so CI can
+//! verify bench code compiles and runs without paying for timings.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether the binary was invoked with `--test` (smoke mode).
+fn smoke_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// The benchmark driver.
 #[derive(Debug, Clone)]
@@ -111,6 +123,14 @@ impl Bencher {
     /// Measures `routine`: warms up, then records per-iteration
     /// timings until the sample count or the time budget is reached.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if smoke_mode() {
+            // One untimed execution: proves the routine runs.
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.clear();
+            self.samples.push(t0.elapsed());
+            return;
+        }
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
         while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
@@ -145,6 +165,10 @@ impl Bencher {
     fn report(&self, name: &str) {
         if self.samples.is_empty() {
             println!("bench {name:<40} (no samples — iter() never called)");
+            return;
+        }
+        if smoke_mode() {
+            println!("bench {name:<40} ok (smoke mode, 1 iteration)");
             return;
         }
         let min = self.samples.iter().min().copied().unwrap_or_default();

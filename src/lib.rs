@@ -12,12 +12,12 @@
 //! * [`magnetics`] — the bound-current Biot–Savart field engine,
 //! * [`mtj`] — the MTJ device model (stack, electrical, switching,
 //!   thermal stability, retention),
-//! * [`array`] — neighbourhood patterns, inter-cell coupling, and the
+//! * [`mod@array`] — neighbourhood patterns, inter-cell coupling, and the
 //!   coupling factor Ψ,
 //! * [`vlab`] — the virtual measurement lab (wafers, R-H loops,
 //!   parameter extraction),
 //! * [`faults`] — coupling-aware fault models and March memory tests,
-//! * [`core`] — calibration, per-figure experiment drivers, design
+//! * [`mod@core`] — calibration, per-figure experiment drivers, design
 //!   exploration, and reporting,
 //! * [`engine`] — the unified scenario-execution engine: a registry
 //!   over every driver, parallel cartesian sweeps on a work-stealing

@@ -78,7 +78,7 @@ fn fig4a_fig4b_fig4c_share_one_coupling_model() {
         ecds: vec![55.0],
         max_pitch: 200.0,
         points: 10,
-        psi_threshold: 0.02,
+        ..fig4b::Params::default()
     })
     .unwrap();
     // Find the 90 nm point by interpolation between sweep samples.
