@@ -1,0 +1,316 @@
+//! Lane-blocked trajectory ensembles on the shared worker pool.
+//!
+//! N replicas are stepped in blocks of [`LANES`] lanes held in
+//! structure-of-arrays form (mirroring the 16-lane batched field
+//! kernels of `mramsim-magnetics`): each step first fills the per-lane
+//! thermal-field arrays from the per-replica RNG streams, then runs one
+//! branch-free arithmetic pass over the lanes — a loop the compiler
+//! keeps in SIMD registers — and finally scans for barrier crossings.
+//! Blocks fan out as work items on [`mramsim_numerics::pool`].
+//!
+//! Determinism contract: every replica owns an RNG stream derived only
+//! from `(seed, replica index)` ([`crate::llgs::replica_rng`]), and the
+//! lane pass applies [`crate::llgs::heun_step`] verbatim per lane — so
+//! the ensemble result is **bit-identical** to stepping each replica
+//! through the scalar reference path ([`run_replica`]), no matter how
+//! replicas are blocked or how many workers execute the blocks. That is
+//! what makes Monte-Carlo results content-addressable by the engine
+//! cache.
+
+use crate::llgs::{heun_step, replica_rng, thermal_field, MacrospinParams};
+use crate::DynamicsError;
+use mramsim_numerics::pool::WorkerPool;
+use mramsim_numerics::Vec3;
+
+/// Replicas stepped together in one structure-of-arrays block.
+pub const LANES: usize = 16;
+
+/// The reproducible execution plan of one ensemble.
+///
+/// Every field is part of the result's identity: the engine folds all
+/// of them into its content-addressed cache key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsemblePlan {
+    /// Number of replicas.
+    pub trajectories: usize,
+    /// Base seed; replica `i` runs on stream `replica_rng(seed, i)`.
+    pub seed: u64,
+    /// Time step in seconds.
+    pub dt: f64,
+    /// Whether the thermal fluctuation field acts during the pulse
+    /// (`false` freezes the bath after the initial-angle draw — the
+    /// assumption of the analytic Butler model).
+    pub thermal: bool,
+}
+
+impl EnsemblePlan {
+    /// A plan with thermal noise enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicsError::InvalidParameter`] for zero trajectories or a
+    /// non-positive/non-finite `dt`.
+    pub fn new(trajectories: usize, seed: u64, dt: f64) -> Result<Self, DynamicsError> {
+        if trajectories == 0 {
+            return Err(DynamicsError::InvalidParameter {
+                name: "trajectories",
+                message: "need at least one replica".into(),
+            });
+        }
+        if !(dt > 0.0) || !dt.is_finite() {
+            return Err(DynamicsError::InvalidParameter {
+                name: "dt",
+                message: format!("time step must be positive and finite, got {dt}"),
+            });
+        }
+        Ok(Self {
+            trajectories,
+            seed,
+            dt,
+            thermal: true,
+        })
+    }
+
+    /// Builder-style: toggles the in-pulse thermal field.
+    #[must_use]
+    pub fn with_thermal(mut self, thermal: bool) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// The number of Heun steps for a simulated span of `duration`
+    /// seconds (at least one). Ratios within rounding error of an
+    /// integer snap to it, so `1 ns / 1 ps` is 1000 steps, not 1001.
+    #[must_use]
+    pub fn steps_for(&self, duration: f64) -> usize {
+        crate::llgs::snapped_steps(duration, self.dt)
+    }
+}
+
+/// The outcome of one replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaOutcome {
+    /// The magnetisation when the simulated span ended.
+    pub final_m: Vec3,
+    /// Whether `m` sat past the barrier (destination hemisphere) at the
+    /// end of the span.
+    pub switched: bool,
+    /// First time `m_z` crossed into the destination hemisphere, in
+    /// seconds (`None` if it never did).
+    pub crossing_time: Option<f64>,
+}
+
+/// Steps replica `index` through the scalar reference path.
+///
+/// This is the semantics-defining implementation: the lane-blocked
+/// ensemble must (and does, see the crate's property tests) reproduce
+/// it bit-for-bit per replica.
+#[must_use]
+pub fn run_replica(
+    params: &MacrospinParams,
+    current: f64,
+    duration: f64,
+    plan: &EnsemblePlan,
+    index: u64,
+) -> ReplicaOutcome {
+    let steps = plan.steps_for(duration);
+    let aj = params.aj_of(current);
+    let sigma = if plan.thermal {
+        params.thermal_sigma(plan.dt)
+    } else {
+        0.0
+    };
+    let dest = params.stt_sign();
+    let mut rng = replica_rng(plan.seed, index);
+    let mut m = params.initial_m(&mut rng);
+    let mut crossing_time = None;
+    for k in 0..steps {
+        let h_noise = if plan.thermal {
+            thermal_field(&mut rng, sigma)
+        } else {
+            Vec3::ZERO
+        };
+        m = heun_step(params, m, h_noise, aj, plan.dt);
+        if crossing_time.is_none() && m.z * dest > 0.0 {
+            crossing_time = Some((k + 1) as f64 * plan.dt);
+        }
+    }
+    ReplicaOutcome {
+        final_m: m,
+        switched: m.z * dest > 0.0,
+        crossing_time,
+    }
+}
+
+/// One full lane block: replicas `first..first+LANES` in SoA form.
+/// Lanes past `plan.trajectories` are computed and discarded by the
+/// caller (padding keeps the arithmetic pass branch-free).
+fn run_block(
+    params: &MacrospinParams,
+    current: f64,
+    duration: f64,
+    plan: &EnsemblePlan,
+    first: u64,
+) -> [ReplicaOutcome; LANES] {
+    let steps = plan.steps_for(duration);
+    let aj = params.aj_of(current);
+    let sigma = if plan.thermal {
+        params.thermal_sigma(plan.dt)
+    } else {
+        0.0
+    };
+    let dest = params.stt_sign();
+
+    let mut rngs: Vec<_> = (0..LANES as u64)
+        .map(|l| replica_rng(plan.seed, first + l))
+        .collect();
+    let mut mx = [0.0f64; LANES];
+    let mut my = [0.0f64; LANES];
+    let mut mz = [0.0f64; LANES];
+    for l in 0..LANES {
+        let m0 = params.initial_m(&mut rngs[l]);
+        mx[l] = m0.x;
+        my[l] = m0.y;
+        mz[l] = m0.z;
+    }
+    let mut hx = [0.0f64; LANES];
+    let mut hy = [0.0f64; LANES];
+    let mut hz = [0.0f64; LANES];
+    let mut crossing: [Option<f64>; LANES] = [None; LANES];
+
+    for k in 0..steps {
+        // 1) Per-lane RNG draws (serial per stream, independent across
+        //    lanes, so interleaving cannot change any stream).
+        if plan.thermal {
+            for l in 0..LANES {
+                let h = thermal_field(&mut rngs[l], sigma);
+                hx[l] = h.x;
+                hy[l] = h.y;
+                hz[l] = h.z;
+            }
+        }
+        // 2) The branch-free arithmetic pass — the same `heun_step`
+        //    expression tree per lane as the scalar path.
+        for l in 0..LANES {
+            let m = heun_step(
+                params,
+                Vec3::new(mx[l], my[l], mz[l]),
+                Vec3::new(hx[l], hy[l], hz[l]),
+                aj,
+                plan.dt,
+            );
+            mx[l] = m.x;
+            my[l] = m.y;
+            mz[l] = m.z;
+        }
+        // 3) Crossing scan.
+        let t = (k + 1) as f64 * plan.dt;
+        for l in 0..LANES {
+            if crossing[l].is_none() && mz[l] * dest > 0.0 {
+                crossing[l] = Some(t);
+            }
+        }
+    }
+
+    core::array::from_fn(|l| ReplicaOutcome {
+        final_m: Vec3::new(mx[l], my[l], mz[l]),
+        switched: mz[l] * dest > 0.0,
+        crossing_time: crossing[l],
+    })
+}
+
+/// Runs the full ensemble: lane-blocked stepping, blocks fanned out on
+/// `pool`, outcomes in replica order.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_dynamics::{run_ensemble, EnsemblePlan, MacrospinParams};
+/// use mramsim_mtj::{presets, SwitchDirection};
+/// use mramsim_numerics::pool::WorkerPool;
+/// use mramsim_units::{Kelvin, Nanometer};
+///
+/// let device = presets::imec_like(Nanometer::new(35.0))?;
+/// let params = MacrospinParams::from_device(
+///     &device, SwitchDirection::ApToP, Kelvin::new(300.0))?;
+/// let plan = EnsemblePlan::new(32, 7, 2e-12)?;
+/// let drive = 4.0 * params.critical_current();
+/// let out = run_ensemble(&params, drive, 6e-9, &plan, &WorkerPool::new(2));
+/// assert_eq!(out.len(), 32);
+/// // Strongly over-critical: essentially every replica switches.
+/// assert!(out.iter().filter(|o| o.switched).count() >= 30);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn run_ensemble(
+    params: &MacrospinParams,
+    current: f64,
+    duration: f64,
+    plan: &EnsemblePlan,
+    pool: &WorkerPool,
+) -> Vec<ReplicaOutcome> {
+    let blocks: Vec<u64> = (0..plan.trajectories as u64).step_by(LANES).collect();
+    let mut out: Vec<ReplicaOutcome> = pool
+        .scoped_map(&blocks, |_, &first| {
+            run_block(params, current, duration, plan, first)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    out.truncate(plan.trajectories);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::{presets, SwitchDirection};
+    use mramsim_units::{Kelvin, Nanometer};
+
+    fn params() -> MacrospinParams {
+        let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        MacrospinParams::from_device(&device, SwitchDirection::ApToP, Kelvin::new(300.0)).unwrap()
+    }
+
+    #[test]
+    fn ensemble_bit_matches_the_scalar_reference() {
+        let p = params();
+        let plan = EnsemblePlan::new(23, 99, 2e-12).unwrap();
+        let drive = 3.0 * p.critical_current();
+        let duration = 1.5e-9;
+        let ensemble = run_ensemble(&p, drive, duration, &plan, &WorkerPool::new(3));
+        assert_eq!(ensemble.len(), 23);
+        for (i, got) in ensemble.iter().enumerate() {
+            let reference = run_replica(&p, drive, duration, &plan, i as u64);
+            assert_eq!(
+                got.final_m.x.to_bits(),
+                reference.final_m.x.to_bits(),
+                "replica {i}"
+            );
+            assert_eq!(got.final_m.y.to_bits(), reference.final_m.y.to_bits());
+            assert_eq!(got.final_m.z.to_bits(), reference.final_m.z.to_bits());
+            assert_eq!(got.crossing_time, reference.crossing_time, "replica {i}");
+            assert_eq!(got.switched, reference.switched);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let p = params();
+        let plan = EnsemblePlan::new(40, 5, 2e-12).unwrap();
+        let drive = 2.5 * p.critical_current();
+        let one = run_ensemble(&p, drive, 1e-9, &plan, &WorkerPool::new(1));
+        let many = run_ensemble(&p, drive, 1e-9, &plan, &WorkerPool::new(8));
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn plan_rejects_degenerate_inputs() {
+        assert!(EnsemblePlan::new(0, 1, 1e-12).is_err());
+        assert!(EnsemblePlan::new(8, 1, 0.0).is_err());
+        assert!(EnsemblePlan::new(8, 1, f64::NAN).is_err());
+        let plan = EnsemblePlan::new(8, 1, 1e-12).unwrap();
+        assert_eq!(plan.steps_for(1e-9), 1000);
+        assert_eq!(plan.steps_for(1e-13), 1);
+    }
+}

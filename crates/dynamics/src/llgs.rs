@@ -1,0 +1,623 @@
+//! The stochastic LLGS macrospin model: calibrated coefficients and the
+//! Stratonovich–Heun stepper.
+//!
+//! # Model
+//!
+//! The free layer is one macrospin `m` (unit vector, easy axis `+z`)
+//! obeying the Landau–Lifshitz form of the stochastic
+//! Landau–Lifshitz–Gilbert–Slonczewski equation:
+//!
+//! ```text
+//! dm/dt = −γ'·[ m×H  +  α·m×(m×H)  +  a_j·m×(m×p̂) ]
+//! ```
+//!
+//! with `γ' = γ₀/(1+α²)`, `H = Hk·m_z·ẑ + H_applied + H_thermal`, the
+//! Slonczewski spin-torque field `a_j ∝ I` along the destination axis
+//! `p̂ = ±ẑ`, and a Brownian thermal field `H_thermal` whose per-component
+//! diffusion `D = α(1+α²)·kB·T/(γ₀·µ₀·m_FL)` reproduces the Boltzmann
+//! distribution (Brown 1963). The field-like torque is omitted, as usual
+//! for symmetric MTJ macrospin models. Integration is the Heun
+//! (predictor–corrector) scheme with the same noise realisation in both
+//! stages — the Stratonovich-consistent choice — followed by a
+//! projection back onto `|m| = 1`.
+//!
+//! # Calibration
+//!
+//! The analytic models of `mramsim-mtj` quote three independently
+//! extracted quantities per device: the critical current `Ic` (Eq. 2,
+//! efficiency `η`), Sun's angle-growth torque factor (Eq. 3,
+//! polarisation `P`), and the thermal stability `Δ` (Eq. 5). Those
+//! extractions are not mutually energy-consistent with the micromagnetic
+//! raw parameters, so [`MacrospinParams::from_device`] calibrates the
+//! LLGS coefficients *to the extracted quantities* instead:
+//!
+//! * the anisotropy field is the thermodynamically consistent
+//!   `Hk_eff = 2·Δ₀(T)·kB·T/(µ₀·m_FL)`, so the energy barrier and the
+//!   thermal initial-angle distribution carry exactly the device's `Δ`;
+//! * the spin-torque prefactor reproduces Sun's exponential angle-growth
+//!   rate `1/τD = µB·P·(I−Ic)/(e·m_FL·(1+P²))` (the same `τD` as
+//!   [`mramsim_mtj::wer`]);
+//! * the effective damping is chosen so the STT instability threshold
+//!   lands exactly on Eq. 2's `Ic(Hz, T)` — including its `(1 ± Hz/Hk)`
+//!   stray-field shift, because applied fields enter the dynamics in
+//!   reduced units of the extracted `Hk` (see
+//!   [`MacrospinParams::with_applied_hz`]).
+//!
+//! This makes the time-domain solver the *completion* of the repo's
+//! closed-form models — they agree where the closed forms are exact, and
+//! the solver keeps going where they are not (pulse shapes, back-hopping,
+//! transients; see Imamura & Matsumoto, arXiv:1906.00593).
+
+use crate::DynamicsError;
+use mramsim_array::{NeighborhoodPattern, StrayFieldKernel};
+use mramsim_magnetics::{FieldSource, SourceKind};
+use mramsim_mtj::{MtjDevice, SwitchDirection};
+use mramsim_numerics::dist::{standard_normal, standard_normal_pair, InitialAngle};
+use mramsim_numerics::hash::Fnv1a;
+use mramsim_numerics::Vec3;
+use mramsim_units::constants::{E_CHARGE, K_B, MU_0, MU_B};
+use mramsim_units::{Kelvin, Oersted};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Electron gyromagnetic ratio `γₑ` \[rad/(s·T)\] (CODATA 2018).
+pub const GYROMAGNETIC_RATIO: f64 = 1.760_859_630_23e11;
+
+/// `γ₀ = γₑ·µ₀` \[m/(A·s)\] — precession rate per A/m of field.
+pub const GAMMA_0: f64 = GYROMAGNETIC_RATIO * MU_0;
+
+/// Calibrated macrospin coefficients for one `(device, direction,
+/// temperature)` operating point, plus the applied field.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_dynamics::MacrospinParams;
+/// use mramsim_mtj::{presets, SwitchDirection};
+/// use mramsim_units::{Kelvin, Nanometer};
+///
+/// let device = presets::imec_like(Nanometer::new(35.0))?;
+/// let params = MacrospinParams::from_device(
+///     &device, SwitchDirection::ApToP, Kelvin::new(300.0))?;
+/// // The LLGS threshold reproduces Eq. 2's critical current.
+/// let ic_ua = 1e6 * params.critical_current();
+/// assert!((ic_ua - 57.2).abs() < 0.2, "Ic = {ic_ua} uA");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacrospinParams {
+    /// Effective Gilbert damping (calibrated, see module docs).
+    alpha_eff: f64,
+    /// `γ₀/(1+α²)` \[m/(A·s)\].
+    gamma_eff: f64,
+    /// Thermodynamically consistent anisotropy field \[A/m\].
+    hk_eff: f64,
+    /// Spin-torque field per ampere of drive \[A/m per A\].
+    aj_per_ampere: f64,
+    /// Reduced-unit scale: simulator A/m per physical A/m of applied
+    /// field (`Hk_eff / Hk_extracted`).
+    field_scale: f64,
+    /// Applied field in simulator units \[A/m\], already scaled.
+    h_app: Vec3,
+    /// Thermal-field diffusion per component \[(A/m)²·s\].
+    thermal_d: f64,
+    /// Intrinsic stability factor `Δ₀(T)` (zero applied field).
+    delta0_t: f64,
+    /// Initial easy-axis orientation: `+1` (P well) or `−1` (AP well).
+    initial_mz: f64,
+    /// STT destination axis sign: `p̂ = stt_sign·ẑ`.
+    stt_sign: f64,
+}
+
+impl MacrospinParams {
+    /// Calibrates the LLGS coefficients from a device's extracted
+    /// parameters at temperature `t` for a write in `direction`
+    /// (conventions: the P state is `m_z = +1`, AP is `m_z = −1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model domain errors for an out-of-range `t`.
+    pub fn from_device(
+        device: &MtjDevice,
+        direction: SwitchDirection,
+        t: Kelvin,
+    ) -> Result<Self, DynamicsError> {
+        let sw = device.switching();
+        let moment = device.fl_moment();
+        let delta0_t = sw.delta0_at(t)?;
+        let kbt = K_B * t.value();
+        let hk_eff = 2.0 * delta0_t * kbt / (MU_0 * moment);
+        let hk_extracted = sw.hk_at(t)?.to_ampere_per_meter().value();
+
+        // Sun's Eq. 3 torque factor per ampere of overdrive [1/(A·s)].
+        let p = sw.spin_polarization();
+        let chi = MU_B * p / (E_CHARGE * moment * (1.0 + p * p));
+        let ic0 = sw.intrinsic_critical_current(t).to_ampere().value();
+
+        // Effective damping: fixed point of α = (χ·Ic0/(γ₀·Hk_eff))·(1+α²),
+        // which puts the LLGS instability threshold exactly at Eq. 2's
+        // Ic0 while the slope of the growth rate in I stays χ. The α²
+        // correction is ~1e-4; three sweeps are far past convergence.
+        let a0 = chi * ic0 / (GAMMA_0 * hk_eff);
+        let mut alpha_eff = a0;
+        for _ in 0..3 {
+            alpha_eff = a0 * (1.0 + alpha_eff * alpha_eff);
+        }
+        let one_plus_a2 = 1.0 + alpha_eff * alpha_eff;
+
+        let (initial_mz, stt_sign) = match direction {
+            // AP (−z) → P (+z): spin torque pushes toward +z.
+            SwitchDirection::ApToP => (-1.0, 1.0),
+            SwitchDirection::PToAp => (1.0, -1.0),
+        };
+
+        Ok(Self {
+            alpha_eff,
+            gamma_eff: GAMMA_0 / one_plus_a2,
+            hk_eff,
+            aj_per_ampere: chi * one_plus_a2 / GAMMA_0,
+            field_scale: hk_eff / hk_extracted,
+            h_app: Vec3::ZERO,
+            thermal_d: alpha_eff * one_plus_a2 * kbt / (GAMMA_0 * MU_0 * moment),
+            delta0_t,
+            initial_mz,
+            stt_sign,
+        })
+    }
+
+    /// Adds an out-of-plane stray/applied field given in oersted.
+    ///
+    /// The field enters the dynamics in reduced units of the extracted
+    /// `Hk`, so the threshold shift is exactly Eq. 2's `(1 ± Hz/Hk)` and
+    /// the barrier shift exactly Eq. 5's `(1 ± Hz/Hk)²`.
+    #[must_use]
+    pub fn with_applied_hz(self, hz: Oersted) -> Self {
+        self.with_applied_field(Vec3::new(0.0, 0.0, hz.to_ampere_per_meter().value()))
+    }
+
+    /// Adds an applied field vector in physical A/m (scaled into reduced
+    /// units internally, see [`MacrospinParams::with_applied_hz`]).
+    #[must_use]
+    pub fn with_applied_field(mut self, h_apm: Vec3) -> Self {
+        self.h_app += h_apm * self.field_scale;
+        self
+    }
+
+    /// Adds the static field of arbitrary sources evaluated at `point`
+    /// (metres) — e.g. an aggressor neighbourhood built from
+    /// [`SourceKind`]s, or any boxed [`FieldSource`].
+    #[must_use]
+    pub fn with_sources(self, sources: &[SourceKind], point: Vec3) -> Self {
+        let total: Vec3 = sources.iter().map(|s| s.h_field(point)).sum();
+        self.with_applied_field(total)
+    }
+
+    /// Adds the total stray field (victim intra + aggressor inter) of a
+    /// cached [`StrayFieldKernel`] for one neighbourhood data pattern —
+    /// the array-aware entry point shared with `CouplingAnalyzer`.
+    #[must_use]
+    pub fn with_kernel_pattern(self, kernel: &StrayFieldKernel, np: NeighborhoodPattern) -> Self {
+        let class = np.class();
+        let nd = f64::from(class.direct_ones);
+        let ng = f64::from(class.diagonal_ones);
+        let direct = kernel.direct();
+        let diagonal = kernel.diagonal();
+        let inter = 4.0 * (direct.fixed_hz + diagonal.fixed_hz)
+            + nd * direct.fl_ap_hz
+            + (4.0 - nd) * direct.fl_p_hz
+            + ng * diagonal.fl_ap_hz
+            + (4.0 - ng) * diagonal.fl_p_hz;
+        self.with_applied_field(Vec3::new(0.0, 0.0, kernel.intra_hz() + inter))
+    }
+
+    /// Effective damping after calibration.
+    #[must_use]
+    pub fn alpha_eff(&self) -> f64 {
+        self.alpha_eff
+    }
+
+    /// The thermodynamically consistent anisotropy field \[A/m\].
+    #[must_use]
+    pub fn hk_eff(&self) -> f64 {
+        self.hk_eff
+    }
+
+    /// The applied field in simulator (reduced) units \[A/m\].
+    #[must_use]
+    pub fn applied_field(&self) -> Vec3 {
+        self.h_app
+    }
+
+    /// The initial easy-axis orientation (`±1`).
+    #[must_use]
+    pub fn initial_mz(&self) -> f64 {
+        self.initial_mz
+    }
+
+    /// The STT destination sign (`p̂ = stt_sign·ẑ`).
+    #[must_use]
+    pub fn stt_sign(&self) -> f64 {
+        self.stt_sign
+    }
+
+    /// The stability factor of the *initial* well under the current
+    /// applied field — Eq. 5's `Δ₀·(1 ± Hz/Hk)²`, floored at 1 like the
+    /// analytic models (guards the nearly destroyed-state regime).
+    #[must_use]
+    pub fn delta_init(&self) -> f64 {
+        let factor = 1.0 + self.initial_mz * self.h_app.z / self.hk_eff;
+        if factor <= 0.0 {
+            return 1.0;
+        }
+        (self.delta0_t * factor * factor).max(1.0)
+    }
+
+    /// The LLGS instability threshold current \[A\] — by calibration
+    /// exactly Eq. 2's `Ic(Hz, T)` for the stored applied field.
+    #[must_use]
+    pub fn critical_current(&self) -> f64 {
+        self.alpha_eff * (self.hk_eff + self.initial_mz * self.h_app.z) / self.aj_per_ampere
+    }
+
+    /// Sun's exponential angle-growth time constant `τD` \[s\] for a
+    /// drive of `current` amperes, or `+∞` below threshold.
+    #[must_use]
+    pub fn tau_d(&self, current: f64) -> f64 {
+        let rate = self.gamma_eff
+            * (self.aj_per_ampere * current
+                - self.alpha_eff * (self.hk_eff + self.initial_mz * self.h_app.z));
+        if rate > 0.0 {
+            1.0 / rate
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The Butler analytic WER for this operating point:
+    /// `1 − exp(−(π²Δ/4)·exp(−2τ/τD))`, saturating at 1 below
+    /// threshold. On a voltage-driven device this equals
+    /// [`mramsim_mtj::wer::write_error_rate_saturating`] by calibration.
+    #[must_use]
+    pub fn butler_wer(&self, current: f64, pulse: f64) -> f64 {
+        let tau_d = self.tau_d(current);
+        if !tau_d.is_finite() {
+            return 1.0;
+        }
+        let exponent = (core::f64::consts::PI.powi(2) * self.delta_init() / 4.0)
+            * (-2.0 * pulse / tau_d).exp();
+        -(-exponent).exp_m1()
+    }
+
+    /// The spin-torque field magnitude \[A/m\] for a drive of `current`
+    /// amperes.
+    #[must_use]
+    pub fn aj_of(&self, current: f64) -> f64 {
+        self.aj_per_ampere * current
+    }
+
+    /// The per-component thermal-field standard deviation \[A/m\] for a
+    /// step of `dt` seconds.
+    #[must_use]
+    pub fn thermal_sigma(&self, dt: f64) -> f64 {
+        (2.0 * self.thermal_d / dt).sqrt()
+    }
+
+    /// Draws one thermally distributed initial orientation: polar angle
+    /// from the small-angle Maxwell–Boltzmann distribution at
+    /// [`MacrospinParams::delta_init`], azimuth uniform.
+    pub fn initial_m<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec3 {
+        let theta = InitialAngle::new(self.delta_init())
+            .expect("delta_init is floored at 1")
+            .sample(rng);
+        let phi = core::f64::consts::TAU * rng.gen::<f64>();
+        let (sin_t, cos_t) = theta.sin_cos();
+        Vec3::new(
+            sin_t * phi.cos(),
+            sin_t * phi.sin(),
+            self.initial_mz * cos_t,
+        )
+    }
+
+    /// The deterministic drift `dm/dt` at `m` under thermal field
+    /// `h_noise` and spin-torque field `aj` (A/m, signed along `p̂`).
+    #[inline]
+    #[must_use]
+    pub fn drift(&self, m: Vec3, h_noise: Vec3, aj: f64) -> Vec3 {
+        let h = Vec3::new(
+            self.h_app.x + h_noise.x,
+            self.h_app.y + h_noise.y,
+            self.h_app.z + h_noise.z + self.hk_eff * m.z,
+        );
+        let p_hat = Vec3::new(0.0, 0.0, self.stt_sign);
+        let mxh = m.cross(h);
+        let mxmxh = m.cross(mxh);
+        let mxmxp = m.cross(m.cross(p_hat));
+        -self.gamma_eff * (mxh + self.alpha_eff * mxmxh + aj * mxmxp)
+    }
+}
+
+/// One Stratonovich–Heun step of length `dt` with frozen thermal field
+/// `h_noise`, followed by projection back to `|m| = 1`.
+///
+/// Shared verbatim by the scalar reference path and the lane-blocked
+/// ensemble, which is what makes the two bit-identical per replica.
+#[inline]
+#[must_use]
+pub fn heun_step(params: &MacrospinParams, m: Vec3, h_noise: Vec3, aj: f64, dt: f64) -> Vec3 {
+    let f1 = params.drift(m, h_noise, aj);
+    let predictor = m + f1 * dt;
+    let f2 = params.drift(predictor, h_noise, aj);
+    let corrected = m + (f1 + f2) * (0.5 * dt);
+    corrected / corrected.norm()
+}
+
+/// Draws the three thermal-field components for one step (a Box–Muller
+/// pair plus one single draw — four uniforms for three normals). The
+/// draw order is part of the per-replica determinism contract.
+#[inline]
+pub fn thermal_field<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> Vec3 {
+    let (nx, ny) = standard_normal_pair(rng);
+    let nz = standard_normal(rng);
+    Vec3::new(nx * sigma, ny * sigma, nz * sigma)
+}
+
+/// The number of Heun steps covering `duration` seconds at step `dt`
+/// (at least one). Ratios within rounding error of an integer snap to
+/// it, so `1 ns / 1 ps` is 1000 steps, not 1001 — shared by the
+/// ensemble plan and the trajectory recorder so both paths agree.
+pub(crate) fn snapped_steps(duration: f64, dt: f64) -> usize {
+    let ratio = duration / dt;
+    let snapped = if (ratio - ratio.round()).abs() < 1e-6 * ratio.abs().max(1.0) {
+        ratio.round()
+    } else {
+        ratio.ceil()
+    };
+    (snapped as usize).max(1)
+}
+
+/// The deterministic RNG stream of replica `index` under ensemble seed
+/// `seed` — an FNV-1a mix, so streams do not depend on how replicas are
+/// blocked into lanes or dealt to workers.
+#[must_use]
+pub fn replica_rng(seed: u64, index: u64) -> StdRng {
+    let mut h = Fnv1a::new();
+    h.field(&seed.to_le_bytes());
+    h.update(&index.to_le_bytes());
+    StdRng::seed_from_u64(h.finish())
+}
+
+/// Integrates one trajectory and records `(t, m)` every `every` steps
+/// (plus the final state) — the inspection/debug path; the Monte-Carlo
+/// ensembles use the lane-blocked stepper instead.
+///
+/// # Panics
+///
+/// Panics for a non-positive `dt` or `duration`.
+#[must_use]
+pub fn record_trajectory(
+    params: &MacrospinParams,
+    current: f64,
+    duration: f64,
+    dt: f64,
+    thermal: bool,
+    seed: u64,
+    every: usize,
+) -> Vec<(f64, Vec3)> {
+    assert!(dt > 0.0 && duration > 0.0, "need positive dt and duration");
+    let steps = snapped_steps(duration, dt);
+    let every = every.max(1);
+    let mut rng = replica_rng(seed, 0);
+    let mut m = params.initial_m(&mut rng);
+    let aj = params.aj_of(current);
+    let sigma = if thermal {
+        params.thermal_sigma(dt)
+    } else {
+        0.0
+    };
+    let mut out = Vec::with_capacity(steps / every + 2);
+    out.push((0.0, m));
+    for k in 0..steps {
+        let h_noise = if thermal {
+            thermal_field(&mut rng, sigma)
+        } else {
+            Vec3::ZERO
+        };
+        m = heun_step(params, m, h_noise, aj, dt);
+        if (k + 1) % every == 0 || k + 1 == steps {
+            out.push(((k + 1) as f64 * dt, m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::presets;
+    use mramsim_units::constants::{EULER_GAMMA, E_CHARGE as QE};
+    use mramsim_units::{Nanometer, Nanosecond, Volt};
+
+    const T300: Kelvin = Kelvin::new(300.0);
+
+    fn device() -> MtjDevice {
+        presets::imec_like(Nanometer::new(35.0)).unwrap()
+    }
+
+    #[test]
+    fn threshold_reproduces_eq2_under_stray_fields_both_directions() {
+        let dev = device();
+        for direction in [SwitchDirection::ApToP, SwitchDirection::PToAp] {
+            for hz in [0.0, -366.0, 250.0] {
+                let analytic = dev
+                    .switching()
+                    .critical_current(direction, Oersted::new(hz), T300)
+                    .to_ampere()
+                    .value();
+                let llgs = MacrospinParams::from_device(&dev, direction, T300)
+                    .unwrap()
+                    .with_applied_hz(Oersted::new(hz))
+                    .critical_current();
+                assert!(
+                    (llgs / analytic - 1.0).abs() < 1e-12,
+                    "{direction} hz={hz}: {llgs} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tau_d_matches_suns_torque_factor() {
+        // 1/τD = µB·P·(I − Ic)/(e·m·(1+P²)) — the exact τD of mtj::wer.
+        let dev = device();
+        let params = MacrospinParams::from_device(&dev, SwitchDirection::ApToP, T300).unwrap();
+        let p = dev.switching().spin_polarization();
+        let m = dev.fl_moment();
+        let ic = params.critical_current();
+        for over in [1.5, 3.0, 6.0] {
+            let i = over * ic;
+            let expected = QE * m * (1.0 + p * p) / (MU_B * p * (i - ic));
+            let got = params.tau_d(i);
+            assert!(
+                (got / expected - 1.0).abs() < 1e-9,
+                "over={over}: {got} vs {expected}"
+            );
+        }
+        assert!(params.tau_d(0.5 * ic).is_infinite());
+    }
+
+    #[test]
+    fn butler_wer_matches_the_analytic_model_on_a_voltage_drive() {
+        let dev = device();
+        let vp = Volt::new(1.0);
+        let direction = SwitchDirection::ApToP;
+        let hz = Oersted::new(-366.0);
+        let current = dev
+            .electrical()
+            .current(direction.initial_state(), vp, dev.area())
+            .value();
+        let params = MacrospinParams::from_device(&dev, direction, T300)
+            .unwrap()
+            .with_applied_hz(hz);
+        for pulse_ns in [5.0, 10.0, 20.0] {
+            let analytic = mramsim_mtj::wer::write_error_rate(
+                &dev,
+                direction,
+                vp,
+                hz,
+                T300,
+                Nanosecond::new(pulse_ns),
+            )
+            .unwrap();
+            let got = params.butler_wer(current, pulse_ns * 1e-9);
+            assert!(
+                (got - analytic).abs() <= 1e-9 * analytic.max(1e-12),
+                "pulse={pulse_ns}: {got} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_init_matches_eq5_for_the_initial_state() {
+        let dev = device();
+        for (direction, hz) in [
+            (SwitchDirection::ApToP, -366.0),
+            (SwitchDirection::PToAp, -366.0),
+            (SwitchDirection::ApToP, 0.0),
+        ] {
+            let analytic = dev
+                .delta(direction.initial_state(), Oersted::new(hz), T300)
+                .unwrap()
+                .max(1.0);
+            let got = MacrospinParams::from_device(&dev, direction, T300)
+                .unwrap()
+                .with_applied_hz(Oersted::new(hz))
+                .delta_init();
+            assert!(
+                (got / analytic - 1.0).abs() < 1e-12,
+                "{direction} hz={hz}: {got} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_temperature_relaxation_conserves_norm_and_finds_easy_axis() {
+        let dev = device();
+        let params = MacrospinParams::from_device(&dev, SwitchDirection::ApToP, T300).unwrap();
+        let traj = record_trajectory(&params, 0.0, 20e-9, 1e-12, false, 42, 100);
+        for (_, m) in &traj {
+            assert!((m.norm() - 1.0).abs() < 1e-12);
+        }
+        let (_, last) = traj.last().unwrap();
+        // AP→P starts in the −z well; with no drive it relaxes back down.
+        assert!(last.z < -0.999, "final m = {last:?}");
+    }
+
+    #[test]
+    fn over_critical_drive_switches_deterministically() {
+        let dev = device();
+        let params = MacrospinParams::from_device(&dev, SwitchDirection::ApToP, T300).unwrap();
+        let ic = params.critical_current();
+        let traj = record_trajectory(&params, 4.0 * ic, 10e-9, 1e-12, false, 3, 200);
+        let (_, last) = traj.last().unwrap();
+        assert!(last.z > 0.999, "final m = {last:?}");
+    }
+
+    #[test]
+    fn mean_switching_time_scale_is_suns_eq3() {
+        // τ_mean = τD·(C + ln(π²Δ/4))/2: the deterministic trajectory
+        // from a typical initial angle must cross on that scale.
+        let dev = device();
+        let params = MacrospinParams::from_device(&dev, SwitchDirection::ApToP, T300).unwrap();
+        let ic = params.critical_current();
+        let i = 3.0 * ic;
+        let tau_d = params.tau_d(i);
+        let delta = params.delta_init();
+        let t_mean =
+            0.5 * tau_d * (EULER_GAMMA + (core::f64::consts::PI.powi(2) * delta / 4.0).ln());
+        let traj = record_trajectory(&params, i, 4.0 * t_mean, 1e-12, false, 11, 1);
+        let crossing = traj
+            .iter()
+            .find(|(_, m)| m.z > 0.0)
+            .map(|(t, _)| *t)
+            .expect("must switch within 4 mean times");
+        assert!(
+            crossing > 0.2 * t_mean && crossing < 3.0 * t_mean,
+            "crossed at {crossing:.3e} vs mean {t_mean:.3e}"
+        );
+    }
+
+    #[test]
+    fn kernel_pattern_field_matches_coupling_analyzer() {
+        let dev = device();
+        let pitch = Nanometer::new(70.0);
+        let kernel = StrayFieldKernel::shared(&dev, pitch).unwrap();
+        let analyzer = mramsim_array::CouplingAnalyzer::new(dev.clone(), pitch).unwrap();
+        for bits in [0u8, 255, 0b1010_0101] {
+            let np = NeighborhoodPattern::new(bits);
+            let base = MacrospinParams::from_device(&dev, SwitchDirection::ApToP, T300).unwrap();
+            let via_kernel = base.clone().with_kernel_pattern(&kernel, np);
+            let via_oersted = base.with_applied_hz(analyzer.total_hz(np));
+            assert!(
+                (via_kernel.applied_field().z / via_oersted.applied_field().z - 1.0).abs() < 1e-9,
+                "np={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_streams_are_deterministic_and_distinct() {
+        let mut ra = replica_rng(7, 3);
+        let mut rb = replica_rng(7, 3);
+        let a: Vec<u64> = (0..4).map(|_| ra.gen::<u64>()).collect();
+        let b: Vec<u64> = (0..4).map(|_| rb.gen::<u64>()).collect();
+        assert_eq!(a, b);
+        assert_ne!(
+            replica_rng(7, 3).gen::<u64>(),
+            replica_rng(7, 4).gen::<u64>()
+        );
+        assert_ne!(
+            replica_rng(7, 3).gen::<u64>(),
+            replica_rng(8, 3).gen::<u64>()
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Monte-Carlo estimators on top of the trajectory ensembles: write
+//! error rates and switching-time distributions.
+
+use crate::ensemble::{run_ensemble, EnsemblePlan};
+use crate::llgs::MacrospinParams;
+use crate::DynamicsError;
+use mramsim_numerics::histogram::Histogram;
+use mramsim_numerics::pool::WorkerPool;
+use mramsim_numerics::stats;
+
+/// A Monte-Carlo write-error-rate estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WerEstimate {
+    /// Replicas simulated.
+    pub trajectories: usize,
+    /// Replicas that had not crossed the barrier when the pulse ended.
+    pub failures: usize,
+    /// The WER point estimate `failures / trajectories`.
+    pub wer: f64,
+    /// One-sigma binomial standard error (floored at `1/N` so a zero
+    /// count never reports zero uncertainty).
+    pub std_error: f64,
+}
+
+impl WerEstimate {
+    /// Whether an analytic prediction sits within `n_sigma` standard
+    /// errors of this estimate.
+    #[must_use]
+    pub fn agrees_with(&self, analytic: f64, n_sigma: f64) -> bool {
+        (self.wer - analytic).abs() <= n_sigma * self.std_error
+    }
+}
+
+/// Estimates the WER of a write pulse of `current` amperes lasting
+/// `pulse` seconds: the fraction of replicas still on the initial side
+/// of the barrier at pulse end.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_dynamics::{wer_monte_carlo, EnsemblePlan, MacrospinParams};
+/// use mramsim_mtj::{presets, SwitchDirection};
+/// use mramsim_numerics::pool::WorkerPool;
+/// use mramsim_units::{Kelvin, Nanometer};
+///
+/// let device = presets::imec_like(Nanometer::new(35.0))?;
+/// let params = MacrospinParams::from_device(
+///     &device, SwitchDirection::PToAp, Kelvin::new(300.0))?;
+/// let plan = EnsemblePlan::new(64, 7, 2e-12)?;
+/// let drive = 4.0 * params.critical_current();
+/// let est = wer_monte_carlo(&params, drive, 6e-9, &plan, &WorkerPool::new(2));
+/// assert_eq!(est.trajectories, 64);
+/// assert!(est.wer < 0.2, "wer = {}", est.wer);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn wer_monte_carlo(
+    params: &MacrospinParams,
+    current: f64,
+    pulse: f64,
+    plan: &EnsemblePlan,
+    pool: &WorkerPool,
+) -> WerEstimate {
+    let outcomes = run_ensemble(params, current, pulse, plan, pool);
+    let n = outcomes.len();
+    let failures = outcomes.iter().filter(|o| !o.switched).count();
+    let wer = failures as f64 / n as f64;
+    let std_error = (wer * (1.0 - wer) / n as f64).sqrt().max(1.0 / n as f64);
+    WerEstimate {
+        trajectories: n,
+        failures,
+        wer,
+        std_error,
+    }
+}
+
+/// A Monte-Carlo switching-time distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchingTimes {
+    /// Histogram of first barrier-crossing times, in nanoseconds, over
+    /// `[0, duration)`.
+    pub histogram: Histogram,
+    /// Replicas simulated.
+    pub trajectories: usize,
+    /// Replicas that crossed within the simulated span.
+    pub switched: usize,
+    /// Mean crossing time (ns) of the switched replicas (`NaN` if none
+    /// switched).
+    pub mean_ns: f64,
+    /// Standard deviation (ns) of the crossing times (`NaN` if fewer
+    /// than two switched).
+    pub std_ns: f64,
+    /// Median crossing time (ns) (`NaN` if none switched).
+    pub median_ns: f64,
+}
+
+/// Simulates `duration` seconds of constant drive and histograms the
+/// first barrier-crossing time of every replica.
+///
+/// Every replica that crossed within the span is counted in exactly one
+/// bin (the histogram's upper edge covers the final integration step).
+///
+/// # Errors
+///
+/// [`DynamicsError::InvalidParameter`] for a non-positive `duration`
+/// or zero `bins`.
+pub fn switching_time_distribution(
+    params: &MacrospinParams,
+    current: f64,
+    duration: f64,
+    plan: &EnsemblePlan,
+    bins: usize,
+    pool: &WorkerPool,
+) -> Result<SwitchingTimes, DynamicsError> {
+    if !(duration > 0.0) || !duration.is_finite() {
+        return Err(DynamicsError::InvalidParameter {
+            name: "duration",
+            message: format!("simulated span must be positive and finite, got {duration}"),
+        });
+    }
+    if bins == 0 {
+        return Err(DynamicsError::InvalidParameter {
+            name: "bins",
+            message: "histogram needs at least one bin".into(),
+        });
+    }
+    // The upper edge is the *actual* simulated end (step count × dt can
+    // overshoot a non-commensurate `duration`), nudged one part in 1e12
+    // above it so a final-step crossing lands in the last bin instead
+    // of the invisible overflow counter.
+    let end_ns = plan.steps_for(duration) as f64 * plan.dt * 1e9;
+    let mut histogram = Histogram::new(0.0, end_ns * (1.0 + 1e-12), bins)?;
+    let outcomes = run_ensemble(params, current, duration, plan, pool);
+    let times_ns: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.crossing_time)
+        .map(|t| t * 1e9)
+        .collect();
+    histogram.extend(times_ns.iter().copied());
+    let mean_ns = stats::mean(&times_ns).unwrap_or(f64::NAN);
+    let std_ns = stats::std_dev(&times_ns).unwrap_or(f64::NAN);
+    let median_ns = stats::median(&times_ns).unwrap_or(f64::NAN);
+    Ok(SwitchingTimes {
+        histogram,
+        trajectories: outcomes.len(),
+        switched: times_ns.len(),
+        mean_ns,
+        std_ns,
+        median_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::{presets, SwitchDirection};
+    use mramsim_units::{Kelvin, Nanometer};
+
+    fn params() -> MacrospinParams {
+        let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        MacrospinParams::from_device(&device, SwitchDirection::ApToP, Kelvin::new(300.0)).unwrap()
+    }
+
+    #[test]
+    fn longer_pulses_are_safer() {
+        let p = params();
+        let plan = EnsemblePlan::new(192, 12, 2e-12).unwrap();
+        let pool = WorkerPool::new(4);
+        let drive = 3.0 * p.critical_current();
+        let tau_d = p.tau_d(drive);
+        let short = wer_monte_carlo(&p, drive, 2.0 * tau_d, &plan, &pool);
+        let long = wer_monte_carlo(&p, drive, 5.0 * tau_d, &plan, &pool);
+        assert!(
+            long.wer < short.wer,
+            "short {} vs long {}",
+            short.wer,
+            long.wer
+        );
+    }
+
+    #[test]
+    fn wer_estimate_bookkeeping_is_consistent() {
+        let p = params();
+        let plan = EnsemblePlan::new(50, 3, 2e-12).unwrap();
+        let drive = 3.0 * p.critical_current();
+        let est = wer_monte_carlo(&p, drive, 2e-9, &plan, &WorkerPool::new(2));
+        assert_eq!(est.trajectories, 50);
+        assert!((est.wer - est.failures as f64 / 50.0).abs() < 1e-15);
+        assert!(est.std_error >= 1.0 / 50.0);
+        assert!(est.agrees_with(est.wer, 1.0));
+    }
+
+    #[test]
+    fn switching_times_concentrate_around_the_sun_mean() {
+        let p = params();
+        let plan = EnsemblePlan::new(160, 21, 2e-12).unwrap();
+        let drive = 3.0 * p.critical_current();
+        let tau_d = p.tau_d(drive);
+        let span = 12.0 * tau_d;
+        let dist =
+            switching_time_distribution(&p, drive, span, &plan, 24, &WorkerPool::new(4)).unwrap();
+        assert_eq!(dist.trajectories, 160);
+        assert!(dist.switched > 150, "switched {}", dist.switched);
+        // Mean within a factor ~2 of the analytic mean switching time.
+        let delta = p.delta_init();
+        let t_mean_ns = 0.5
+            * tau_d
+            * 1e9
+            * (mramsim_units::constants::EULER_GAMMA
+                + (core::f64::consts::PI.powi(2) * delta / 4.0).ln());
+        assert!(
+            dist.mean_ns > 0.5 * t_mean_ns && dist.mean_ns < 2.0 * t_mean_ns,
+            "mean {} vs analytic {}",
+            dist.mean_ns,
+            t_mean_ns
+        );
+        assert_eq!(dist.histogram.total() as usize, dist.switched);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let p = params();
+        let plan = EnsemblePlan::new(8, 1, 1e-12).unwrap();
+        assert!(
+            switching_time_distribution(&p, 1e-4, 0.0, &plan, 10, &WorkerPool::new(1)).is_err()
+        );
+        assert!(
+            switching_time_distribution(&p, 1e-4, f64::NAN, &plan, 10, &WorkerPool::new(1))
+                .is_err()
+        );
+        assert!(
+            switching_time_distribution(&p, 1e-4, 1e-9, &plan, 0, &WorkerPool::new(1)).is_err()
+        );
+    }
+
+    #[test]
+    fn final_step_crossings_land_in_a_bin_for_non_commensurate_spans() {
+        // span/dt not integer: the step count ceils past `duration`, so
+        // a crossing on the final step must still land inside the
+        // histogram (regression: it fell into the overflow counter).
+        let p = params();
+        let plan = EnsemblePlan::new(96, 7, 3e-12).unwrap();
+        let drive = 3.0 * p.critical_current();
+        let span = 10.3e-9; // 3433.33… steps of 3 ps
+        let dist =
+            switching_time_distribution(&p, drive, span, &plan, 20, &WorkerPool::new(2)).unwrap();
+        assert_eq!(dist.histogram.overflow(), 0);
+        assert_eq!(dist.histogram.underflow(), 0);
+        assert_eq!(dist.histogram.total() as usize, dist.switched);
+    }
+}

@@ -43,6 +43,14 @@ EXAMPLES:
     mramsim sweep fig4b --pitch 60..240:20 --ecd 20,35,55
     mramsim sweep faults --pitch 55..90:5 --format csv
 
+MONTE-CARLO DYNAMICS (s-LLGS trajectory ensembles):
+    Seeded and deterministic: --trajectories/--seed/--dt_ps are part of
+    the result's cache key, so repeats are served from the cache.
+
+    mramsim run wer-mc --trajectories 4096 --seed 7
+    mramsim sweep wer-mc --pulse_ns 0.8..2.0:0.2 --trajectories 2048
+    mramsim run switch-traj --overdrive 3 --span_ns 15
+
 ABLATIONS:
     Scenarios that build a device (fig4a, fig4b point mode, faults)
     accept the field-model knobs for accuracy/speed studies:

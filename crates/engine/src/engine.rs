@@ -7,6 +7,24 @@ use mramsim_numerics::pool::WorkerPool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+thread_local! {
+    /// Inner-parallelism budget the sweep executor hands to scenarios
+    /// running on its worker threads (`None` outside a sweep).
+    static SCENARIO_WORKERS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The worker-pool width a scenario should use for its *own* internal
+/// parallelism (e.g. the Monte-Carlo trajectory ensembles): the
+/// machine's full parallelism when the scenario runs directly, and the
+/// per-job share when it runs inside a parallel [`Engine::sweep`] —
+/// whose workers already occupy the cores.
+#[must_use]
+pub fn scenario_workers() -> usize {
+    SCENARIO_WORKERS
+        .get()
+        .unwrap_or_else(|| WorkerPool::with_default_parallelism().workers())
+}
+
 /// The outcome of one cache-aware [`Engine::run`].
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -277,8 +295,14 @@ impl Engine {
             .collect::<Result<_, EngineError>>()?;
 
         let start = Instant::now();
+        // Scenarios with internal parallelism (the Monte-Carlo dynamics)
+        // get the cores the sweep itself leaves idle, so a wide sweep
+        // does not multiply thread counts (7 jobs × 8 inner workers).
+        let inner_workers =
+            (WorkerPool::with_default_parallelism().workers() / self.pool.workers().max(1)).max(1);
         let results: Vec<(bool, Result<Arc<ScenarioOutput>, String>)> =
             self.pool.scoped_map(&jobs, |_, (_, params)| {
+                SCENARIO_WORKERS.set(Some(inner_workers));
                 match self.run_resolved(&id, params) {
                     Ok(outcome) => (outcome.cache_hit, Ok(outcome.output)),
                     Err(e) => (false, Err(e.to_string())),

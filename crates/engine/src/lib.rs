@@ -48,7 +48,7 @@ mod registry;
 mod scenario;
 mod sweep;
 
-pub use engine::{Engine, RunOutcome, SweepJob, SweepOutcome};
+pub use engine::{scenario_workers, Engine, RunOutcome, SweepJob, SweepOutcome};
 pub use error::EngineError;
 pub use params::{parse_value, ParamSet, ParamSpec, ParamValue};
 pub use registry::Registry;

@@ -2,21 +2,27 @@
 //! uniform [`Scenario`] interface.
 //!
 //! Ten paper figures, the extension WER study, the design-space
-//! explorer, and the coupling-aware fault simulator are registered
+//! explorer, the coupling-aware fault simulator, and the s-LLGS
+//! Monte-Carlo dynamics (`wer-mc`, `switch-traj`) are registered
 //! under stable ids. [`Registry::standard`] builds the full set.
 
 use crate::{EngineError, ParamSet, ParamSpec, Scenario, ScenarioOutput};
-use mramsim_array::CouplingAnalyzer;
+use mramsim_array::{CouplingAnalyzer, NeighborhoodPattern};
 use mramsim_core::experiments::{
     ext_wer, fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b,
 };
 use mramsim_core::explorer::{explore, DesignQuery};
 use mramsim_core::report::Table;
+use mramsim_dynamics::{
+    switching_time_distribution, wer_monte_carlo, EnsemblePlan, MacrospinParams,
+};
 use mramsim_faults::march::MarchTest;
 use mramsim_faults::{classify_write_faults, ArraySimulator, CellArray, WriteConditions};
-use mramsim_mtj::{presets, MtjState};
-use mramsim_units::constants::OERSTED_PER_AMPERE_PER_METER;
-use mramsim_units::{Kelvin, Nanometer, Nanosecond, Volt};
+use mramsim_mtj::wer::write_error_rate_saturating;
+use mramsim_mtj::{presets, MtjDevice, MtjState, SwitchDirection};
+use mramsim_numerics::pool::WorkerPool;
+use mramsim_units::constants::{EULER_GAMMA, OERSTED_PER_AMPERE_PER_METER};
+use mramsim_units::{Kelvin, Nanometer, Nanosecond, Oersted, Volt};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -93,7 +99,7 @@ impl Registry {
     }
 
     /// The full standard set: all ten figures, the WER extension, the
-    /// explorer, and the fault simulator.
+    /// explorer, the fault simulator, and the Monte-Carlo dynamics.
     #[must_use]
     pub fn standard() -> Self {
         let mut registry = Self::new();
@@ -110,6 +116,8 @@ impl Registry {
         registry.register(Arc::new(ExtWerScenario));
         registry.register(Arc::new(ExploreScenario));
         registry.register(Arc::new(FaultsScenario));
+        registry.register(Arc::new(WerMcScenario));
+        registry.register(Arc::new(SwitchTrajScenario));
         registry
     }
 
@@ -756,18 +764,353 @@ impl Scenario for FaultsScenario {
     }
 }
 
+/// The resolved s-LLGS operating point shared by the Monte-Carlo
+/// dynamics scenarios.
+struct DynamicsPoint {
+    device: MtjDevice,
+    direction: SwitchDirection,
+    temperature: Kelvin,
+    hz_stray: Oersted,
+    macrospin: MacrospinParams,
+    /// Drive current through the junction, in amperes.
+    drive: f64,
+    /// The pulse amplitude when the drive came from a voltage.
+    voltage: Option<Volt>,
+    plan: EnsemblePlan,
+}
+
+/// The parameter block shared by `wer-mc` and `switch-traj` (the
+/// scenario appends its own pulse/span/bin knobs and the field-model
+/// ablations). All of these flow into the cache fingerprint, so
+/// `--trajectories`, `--seed`, and `--dt_ps` are part of the result's
+/// content address.
+fn dynamics_specs(
+    direction_default: &'static str,
+    temperature_default: f64,
+    overdrive_default: f64,
+    trajectories_default: f64,
+    dt_ps_default: f64,
+) -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::new("ecd", "device size (nm)", 35.0),
+        ParamSpec::new(
+            "direction",
+            "write direction: ap2p | p2ap",
+            direction_default,
+        ),
+        ParamSpec::new("temperature_k", "temperature (K)", temperature_default),
+        ParamSpec::new(
+            "voltage_v",
+            "pulse amplitude (V); 0: drive by --overdrive instead",
+            0.0,
+        ),
+        ParamSpec::new(
+            "overdrive",
+            "drive current in units of Ic (used when voltage_v = 0)",
+            overdrive_default,
+        ),
+        ParamSpec::new(
+            "pitch",
+            "array pitch (nm); 0: isolated victim, no stray field",
+            0.0,
+        ),
+        ParamSpec::new(
+            "np",
+            "aggressor neighbourhood pattern NP8 (0..=255, with pitch > 0)",
+            255.0,
+        ),
+        ParamSpec::new("hz_oe", "extra applied out-of-plane field (Oe)", 0.0),
+        ParamSpec::new("trajectories", "Monte-Carlo replicas", trajectories_default),
+        ParamSpec::new("seed", "ensemble RNG seed", 7.0),
+        ParamSpec::new("dt_ps", "integrator time step (ps)", dt_ps_default),
+        ParamSpec::new(
+            "thermal",
+            "1: thermal fluctuation field active during the pulse",
+            1.0,
+        ),
+    ]
+}
+
+/// Resolves the shared dynamics parameters into a calibrated macrospin
+/// operating point.
+fn resolve_dynamics_point(
+    scenario: &'static str,
+    params: &ParamSet,
+) -> Result<DynamicsPoint, EngineError> {
+    let (segments, exact) = field_model_of(params)?;
+    let device = presets::imec_like_with(Nanometer::new(params.number("ecd")?), segments, exact)
+        .map_err(|e| model_err(scenario, e))?;
+    let direction = match params.text("direction")? {
+        "ap2p" => SwitchDirection::ApToP,
+        "p2ap" => SwitchDirection::PToAp,
+        other => {
+            return Err(EngineError::InvalidParameter {
+                name: "direction".into(),
+                message: format!("expected `ap2p` or `p2ap`, got `{other}`"),
+            })
+        }
+    };
+    let temperature = Kelvin::new(params.number("temperature_k")?);
+
+    let mut hz = params.number("hz_oe")?;
+    let pitch = params.number("pitch")?;
+    if pitch > 0.0 {
+        let np_bits = params.count("np")?;
+        if np_bits > 255 {
+            return Err(EngineError::InvalidParameter {
+                name: "np".into(),
+                message: format!("pattern byte must be 0..=255, got {np_bits}"),
+            });
+        }
+        // Served by the process-wide stray-field kernel cache.
+        let analyzer = CouplingAnalyzer::new(device.clone(), Nanometer::new(pitch))
+            .map_err(|e| model_err(scenario, e))?;
+        hz += analyzer
+            .total_hz(NeighborhoodPattern::new(np_bits as u8))
+            .value();
+    }
+    let hz_stray = Oersted::new(hz);
+
+    let macrospin = MacrospinParams::from_device(&device, direction, temperature)
+        .map_err(|e| model_err(scenario, e))?
+        .with_applied_hz(hz_stray);
+
+    let voltage_v = params.number("voltage_v")?;
+    if voltage_v < 0.0 || !voltage_v.is_finite() {
+        // Falling through to overdrive mode here would silently simulate
+        // a different operating point; polarity does not select the
+        // write direction (use --direction).
+        return Err(EngineError::InvalidParameter {
+            name: "voltage_v".into(),
+            message: format!("must be >= 0 (0 selects --overdrive mode), got {voltage_v}"),
+        });
+    }
+    let (drive, voltage) = if voltage_v > 0.0 {
+        let vp = Volt::new(voltage_v);
+        let current = device
+            .electrical()
+            .current(direction.initial_state(), vp, device.area())
+            .value();
+        (current, Some(vp))
+    } else {
+        let over = params.number("overdrive")?;
+        if !(over > 0.0) {
+            return Err(EngineError::InvalidParameter {
+                name: "overdrive".into(),
+                message: format!("must be positive, got {over}"),
+            });
+        }
+        (over * macrospin.critical_current(), None)
+    };
+
+    let plan = EnsemblePlan::new(
+        params.count("trajectories")?,
+        seed_of(params, "seed")?,
+        params.number("dt_ps")? * 1e-12,
+    )
+    .map_err(|e| model_err(scenario, e))?
+    .with_thermal(params.count("thermal")? != 0);
+
+    Ok(DynamicsPoint {
+        device,
+        direction,
+        temperature,
+        hz_stray,
+        macrospin,
+        drive,
+        voltage,
+        plan,
+    })
+}
+
+/// Monte-Carlo write error rate from s-LLGS trajectory ensembles.
+struct WerMcScenario;
+
+impl Scenario for WerMcScenario {
+    fn id(&self) -> &'static str {
+        "wer-mc"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Monte-Carlo WER from s-LLGS ensembles, vs the analytic Butler model"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        // Defaults sit at the validated agreement point: Δ0(253 K) ≈ 60
+        // and 5× over-critical drive, where the Butler closed form is
+        // quantitatively accurate (see crates/dynamics/tests/validation.rs).
+        let mut specs = dynamics_specs("p2ap", 253.0, 5.0, 1024.0, 1.0);
+        specs.push(ParamSpec::new("pulse_ns", "write pulse width (ns)", 1.3));
+        specs.extend(field_model_specs());
+        specs
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let point = resolve_dynamics_point("wer-mc", params)?;
+        let pulse_ns = params.number("pulse_ns")?;
+        if !(pulse_ns > 0.0) {
+            return Err(EngineError::InvalidParameter {
+                name: "pulse_ns".into(),
+                message: format!("must be positive, got {pulse_ns}"),
+            });
+        }
+        let pulse = pulse_ns * 1e-9;
+        let pool = WorkerPool::new(crate::scenario_workers());
+        let est = wer_monte_carlo(&point.macrospin, point.drive, pulse, &point.plan, &pool);
+        // Voltage drives go through the saturating device-level API (so
+        // sweeps crossing the threshold keep going); overdrive mode uses
+        // the identical calibrated closed form directly.
+        let analytic = match point.voltage {
+            Some(vp) => write_error_rate_saturating(
+                &point.device,
+                point.direction,
+                vp,
+                point.hz_stray,
+                point.temperature,
+                Nanosecond::new(pulse_ns),
+            )
+            .map_err(|e| model_err("wer-mc", e))?,
+            None => point.macrospin.butler_wer(point.drive, pulse),
+        };
+        let diff_sigma = (est.wer - analytic) / est.std_error;
+        let ic_ua = 1e6 * point.macrospin.critical_current();
+        let drive_ua = 1e6 * point.drive;
+
+        let mut table = Table::new(
+            "wer-mc: Monte-Carlo write error rate (s-LLGS ensemble)",
+            &["quantity", "value"],
+        );
+        table.push_row(&["direction", &point.direction.to_string()]);
+        table.push_row(&["Hz_stray (Oe)", &format!("{:.1}", point.hz_stray.value())]);
+        table.push_row(&[
+            "Δ (initial state)",
+            &format!("{:.1}", point.macrospin.delta_init()),
+        ]);
+        table.push_row(&["drive (µA)", &format!("{drive_ua:.1}")]);
+        table.push_row(&["Ic (µA)", &format!("{ic_ua:.1}")]);
+        table.push_row(&[
+            "τD (ns)",
+            &format!("{:.3}", 1e9 * point.macrospin.tau_d(point.drive)),
+        ]);
+        table.push_row(&["pulse (ns)", &format!("{pulse_ns:.2}")]);
+        table.push_row(&["trajectories", &est.trajectories.to_string()]);
+        table.push_row(&["write failures", &est.failures.to_string()]);
+        table.push_row(&["WER (Monte-Carlo)", &format!("{:.5}", est.wer)]);
+        table.push_row(&["WER (analytic Butler)", &format!("{analytic:.5}")]);
+        table.push_row(&["(MC − analytic)/σ", &format!("{diff_sigma:+.2}")]);
+
+        Ok(ScenarioOutput::from_table(table)
+            .with_scalar("wer_mc", est.wer)
+            .with_scalar("wer_analytic", analytic)
+            .with_scalar("std_error", est.std_error)
+            .with_scalar("diff_sigma", diff_sigma)
+            .with_scalar("failures", est.failures as f64)
+            .with_scalar("delta_init", point.macrospin.delta_init())
+            .with_scalar("hz_stray_oe", point.hz_stray.value())
+            .with_scalar("drive_ua", drive_ua)
+            .with_scalar("ic_ua", ic_ua))
+    }
+}
+
+/// Switching-time distributions from s-LLGS trajectory ensembles.
+struct SwitchTrajScenario;
+
+impl Scenario for SwitchTrajScenario {
+    fn id(&self) -> &'static str {
+        "switch-traj"
+    }
+
+    fn summary(&self) -> &'static str {
+        "s-LLGS switching-time distribution under constant drive"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        let mut specs = dynamics_specs("ap2p", 300.0, 3.0, 512.0, 2.0);
+        specs.push(ParamSpec::new("span_ns", "simulated span (ns)", 15.0));
+        specs.push(ParamSpec::new("bins", "histogram bins", 30.0));
+        specs.extend(field_model_specs());
+        specs
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let point = resolve_dynamics_point("switch-traj", params)?;
+        let span_ns = params.number("span_ns")?;
+        let bins = params.count("bins")?;
+        let pool = WorkerPool::new(crate::scenario_workers());
+        let dist = switching_time_distribution(
+            &point.macrospin,
+            point.drive,
+            span_ns * 1e-9,
+            &point.plan,
+            bins,
+            &pool,
+        )
+        .map_err(|e| model_err("switch-traj", e))?;
+
+        // Sun's Eq. 3 mean on the same calibrated coefficients.
+        let tau_d = point.macrospin.tau_d(point.drive);
+        let delta = point.macrospin.delta_init();
+        let sun_tw_ns =
+            0.5 * tau_d * 1e9 * (EULER_GAMMA + (core::f64::consts::PI.powi(2) * delta / 4.0).ln());
+
+        let mut histogram = Table::new(
+            "switch-traj: first barrier-crossing time distribution",
+            &["bin_center_ns", "count"],
+        );
+        for i in 0..dist.histogram.bins() {
+            histogram.push_row(&[
+                format!("{:.3}", dist.histogram.bin_center(i)),
+                dist.histogram.count(i).to_string(),
+            ]);
+        }
+        let switched_fraction = dist.switched as f64 / dist.trajectories as f64;
+        let mut summary = Table::new("switch-traj: summary", &["quantity", "value"]);
+        summary.push_row(&["direction", &point.direction.to_string()]);
+        summary.push_row(&["drive (µA)", &format!("{:.1}", 1e6 * point.drive)]);
+        summary.push_row(&["trajectories", &dist.trajectories.to_string()]);
+        summary.push_row(&["switched", &dist.switched.to_string()]);
+        summary.push_row(&["mean (ns)", &format!("{:.3}", dist.mean_ns)]);
+        summary.push_row(&["median (ns)", &format!("{:.3}", dist.median_ns)]);
+        summary.push_row(&["std dev (ns)", &format!("{:.3}", dist.std_ns)]);
+        summary.push_row(&["Sun Eq. 3 mean (ns)", &format!("{sun_tw_ns:.3}")]);
+
+        Ok(ScenarioOutput::from_table(summary)
+            .with_table(histogram)
+            .with_scalar("switched_fraction", switched_fraction)
+            .with_scalar("mean_ns", dist.mean_ns)
+            .with_scalar("median_ns", dist.median_ns)
+            .with_scalar("std_ns", dist.std_ns)
+            .with_scalar("sun_tw_ns", sun_tw_ns)
+            .with_scalar("tau_d_ns", 1e9 * tau_d)
+            .with_scalar("drive_ua", 1e6 * point.drive))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn standard_registry_lists_thirteen_scenarios() {
+    fn standard_registry_lists_fifteen_scenarios() {
         let registry = Registry::standard();
-        assert_eq!(registry.len(), 13);
+        assert_eq!(registry.len(), 15);
         let ids: Vec<&str> = registry.ids().collect();
         for id in [
-            "ext_wer", "explore", "faults", "fig2a", "fig2b", "fig3c", "fig3d", "fig4a", "fig4b",
-            "fig4c", "fig5", "fig6a", "fig6b",
+            "ext_wer",
+            "explore",
+            "faults",
+            "fig2a",
+            "fig2b",
+            "fig3c",
+            "fig3d",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig5",
+            "fig6a",
+            "fig6b",
+            "switch-traj",
+            "wer-mc",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }
@@ -819,6 +1162,96 @@ mod tests {
             scenario.run(&params),
             Err(EngineError::InvalidParameter { .. })
         ));
+    }
+
+    #[test]
+    fn wer_mc_is_deterministic_and_mc_params_are_cache_keys() {
+        let scenario = WerMcScenario;
+        let base = ParamSet::defaults(&scenario.params()).with("trajectories", 96.0);
+        let a = scenario.run(&base).unwrap();
+        let b = scenario.run(&base).unwrap();
+        assert_eq!(
+            a.scalar("wer_mc").unwrap(),
+            b.scalar("wer_mc").unwrap(),
+            "same seed must reproduce the same WER bit-for-bit"
+        );
+        // --trajectories/--seed/--dt_ps are part of the content address.
+        for (name, value) in [("trajectories", 128.0), ("seed", 8.0), ("dt_ps", 2.0)] {
+            assert_ne!(
+                base.fingerprint(),
+                base.clone().with(name, value).fingerprint(),
+                "{name} must change the cache key"
+            );
+        }
+    }
+
+    #[test]
+    fn wer_mc_stray_field_worsens_the_error_rate() {
+        // A hostile neighbourhood (negative stray: intra + all-P
+        // aggressors at tight pitch) raises Ic for an AP→P write, and
+        // at fixed voltage and pulse width the analytic WER must not
+        // improve.
+        let scenario = WerMcScenario;
+        let isolated = ParamSet::defaults(&scenario.params())
+            .with("direction", "ap2p")
+            .with("trajectories", 64.0)
+            .with("voltage_v", 1.1);
+        let coupled = isolated.clone().with("pitch", 60.0).with("np", 0.0);
+        let a = scenario.run(&isolated).unwrap();
+        let b = scenario.run(&coupled).unwrap();
+        assert_eq!(a.scalar("hz_stray_oe").unwrap(), 0.0);
+        assert!(b.scalar("hz_stray_oe").unwrap() < -100.0);
+        assert!(b.scalar("ic_ua").unwrap() > a.scalar("ic_ua").unwrap());
+        assert!(b.scalar("wer_analytic").unwrap() >= a.scalar("wer_analytic").unwrap());
+    }
+
+    #[test]
+    fn dynamics_scenarios_reject_bad_directions_and_patterns() {
+        let scenario = WerMcScenario;
+        let bad_dir = ParamSet::defaults(&scenario.params()).with("direction", "sideways");
+        assert!(matches!(
+            scenario.run(&bad_dir),
+            Err(EngineError::InvalidParameter { .. })
+        ));
+        let bad_np = ParamSet::defaults(&scenario.params())
+            .with("pitch", 70.0)
+            .with("np", 300.0);
+        assert!(matches!(
+            scenario.run(&bad_np),
+            Err(EngineError::InvalidParameter { .. })
+        ));
+        // A negative voltage must not silently fall through to the
+        // overdrive default (a completely different operating point).
+        let bad_v = ParamSet::defaults(&scenario.params()).with("voltage_v", -1.1);
+        assert!(matches!(
+            scenario.run(&bad_v),
+            Err(EngineError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn switch_traj_histogram_accounts_for_every_switched_replica() {
+        let scenario = SwitchTrajScenario;
+        let params = ParamSet::defaults(&scenario.params())
+            .with("trajectories", 64.0)
+            .with("span_ns", 10.0);
+        let out = scenario.run(&params).unwrap();
+        let switched = out.scalar("switched_fraction").unwrap() * 64.0;
+        let counted: u64 = out.tables[1]
+            .to_csv()
+            .lines()
+            .skip(1) // header
+            .map(|line| line.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert!(switched >= 60.0, "3x-overdrive ensemble barely switched");
+        assert_eq!(counted, switched.round() as u64);
+        // The MC mean sits on Sun's Eq. 3 scale.
+        let mean = out.scalar("mean_ns").unwrap();
+        let sun = out.scalar("sun_tw_ns").unwrap();
+        assert!(
+            mean > 0.4 * sun && mean < 2.5 * sun,
+            "mean {mean} vs Sun {sun}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use mramsim_engine::{Engine, ParamSet, SweepPlan};
 fn every_registered_scenario_runs_end_to_end_and_caches() {
     let engine = Engine::standard();
     let ids: Vec<&str> = engine.registry().ids().collect();
-    assert_eq!(ids.len(), 13, "the standard registry shrank: {ids:?}");
+    assert_eq!(ids.len(), 15, "the standard registry shrank: {ids:?}");
 
     for id in &ids {
         let cold = engine
@@ -86,6 +86,46 @@ fn fifty_point_grid_sweeps_in_parallel_with_a_warm_cache_rerun() {
         let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
         assert_eq!(a.scalar("psi"), b.scalar("psi"));
     }
+}
+
+#[test]
+fn wer_mc_is_deterministic_cached_and_sweepable_over_pulse_width() {
+    // The acceptance-criteria path at test scale: a seeded Monte-Carlo
+    // run reproduces bit-for-bit, repeats hit the result cache, and the
+    // pulse-width axis sweeps with monotone non-increasing analytic WER.
+    let engine = Engine::standard().with_workers(4);
+    let point = ParamSet::new()
+        .with("trajectories", 128.0)
+        .with("seed", 7.0);
+    let cold = engine.run("wer-mc", &point).unwrap();
+    assert!(!cold.cache_hit);
+    let warm = engine.run("wer-mc", &point).unwrap();
+    assert!(warm.cache_hit, "repeat run must be served from the cache");
+    assert_eq!(
+        cold.output.scalar("wer_mc"),
+        warm.output.scalar("wer_mc"),
+        "seeded MC result must be reproducible"
+    );
+    // A different seed is a different content address and result.
+    let reseeded = engine
+        .run("wer-mc", &point.clone().with("seed", 8.0))
+        .unwrap();
+    assert!(!reseeded.cache_hit);
+
+    let plan = SweepPlan::new("wer-mc")
+        .fix("trajectories", 128.0)
+        .axis("pulse_ns", vec![0.9, 1.3, 1.8]);
+    let sweep = engine.sweep(&plan).unwrap();
+    assert_eq!(sweep.errors, 0);
+    let analytic: Vec<f64> = sweep
+        .jobs
+        .iter()
+        .map(|j| j.result.as_ref().unwrap().scalar("wer_analytic").unwrap())
+        .collect();
+    assert!(
+        analytic.windows(2).all(|w| w[1] <= w[0]),
+        "longer pulses must not raise the analytic WER: {analytic:?}"
+    );
 }
 
 #[test]

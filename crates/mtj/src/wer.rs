@@ -79,6 +79,50 @@ pub fn write_error_rate(
     Ok(-(-exponent).exp_m1())
 }
 
+/// [`write_error_rate`], saturating at `WER = 1` below threshold
+/// instead of failing.
+///
+/// Below the critical current the precessional model does not apply and
+/// the write essentially never completes — the physically sensible
+/// answer for a sweep is `WER ≈ 1`, not an abort. This variant maps
+/// [`MtjError::SubCriticalDrive`] to `Ok(1.0)` so Monte-Carlo-vs-analytic
+/// comparisons over a voltage or pulse grid keep going past the
+/// threshold point; every other error (thermal-model domain, invalid
+/// parameters) still propagates. The strict API is unchanged.
+///
+/// # Errors
+///
+/// Thermal-model domain errors for out-of-range temperatures.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_mtj::{presets, wer::write_error_rate_saturating, SwitchDirection};
+/// use mramsim_units::{Kelvin, Nanometer, Nanosecond, Oersted, Volt};
+///
+/// let dev = presets::imec_like(Nanometer::new(35.0))?;
+/// // 0.3 V is far below threshold: strict API errors, this returns 1.
+/// let wer = write_error_rate_saturating(
+///     &dev, SwitchDirection::ApToP, Volt::new(0.3),
+///     Oersted::ZERO, Kelvin::new(300.0), Nanosecond::new(100.0),
+/// )?;
+/// assert_eq!(wer, 1.0);
+/// # Ok::<(), mramsim_mtj::MtjError>(())
+/// ```
+pub fn write_error_rate_saturating(
+    device: &MtjDevice,
+    direction: SwitchDirection,
+    vp: Volt,
+    hz_stray: Oersted,
+    t: Kelvin,
+    pulse: Nanosecond,
+) -> Result<f64, MtjError> {
+    match write_error_rate(device, direction, vp, hz_stray, t, pulse) {
+        Err(MtjError::SubCriticalDrive { .. }) => Ok(1.0),
+        other => other,
+    }
+}
+
 /// The pulse width achieving a target write-error rate, in nanoseconds.
 ///
 /// Inverts the WER formula analytically:
@@ -280,6 +324,49 @@ mod tests {
             ),
             Err(MtjError::SubCriticalDrive { .. })
         ));
+    }
+
+    #[test]
+    fn saturating_variant_spans_the_threshold() {
+        // A voltage grid crossing the sub-critical regime never aborts
+        // and the WER is monotone non-increasing in drive.
+        let dev = device();
+        let mut last = f64::INFINITY;
+        for v in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2] {
+            let wer = write_error_rate_saturating(
+                &dev,
+                SwitchDirection::ApToP,
+                Volt::new(v),
+                Oersted::ZERO,
+                T300,
+                Nanosecond::new(15.0),
+            )
+            .unwrap();
+            assert!((0.0..=1.0).contains(&wer), "v={v}: wer={wer}");
+            assert!(wer <= last + 1e-15, "v={v}: wer={wer} after {last}");
+            last = wer;
+        }
+        assert!(last < 1e-3, "over-critical end of the grid: {last}");
+        // Above threshold the saturating and strict APIs agree exactly.
+        let strict = write_error_rate(
+            &dev,
+            SwitchDirection::ApToP,
+            Volt::new(1.0),
+            Oersted::ZERO,
+            T300,
+            Nanosecond::new(10.0),
+        )
+        .unwrap();
+        let saturating = write_error_rate_saturating(
+            &dev,
+            SwitchDirection::ApToP,
+            Volt::new(1.0),
+            Oersted::ZERO,
+            T300,
+            Nanosecond::new(10.0),
+        )
+        .unwrap();
+        assert_eq!(strict, saturating);
     }
 
     #[test]

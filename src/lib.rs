@@ -17,6 +17,9 @@
 //! * [`vlab`] — the virtual measurement lab (wafers, R-H loops,
 //!   parameter extraction),
 //! * [`faults`] — coupling-aware fault models and March memory tests,
+//! * [`dynamics`] — the stochastic LLGS macrospin solver: lane-blocked
+//!   trajectory ensembles and Monte-Carlo WER / switching-time
+//!   estimators,
 //! * [`mod@core`] — calibration, per-figure experiment drivers, design
 //!   exploration, and reporting,
 //! * [`engine`] — the unified scenario-execution engine: a registry
@@ -73,6 +76,7 @@
 
 pub use mramsim_array as array;
 pub use mramsim_core as core;
+pub use mramsim_dynamics as dynamics;
 pub use mramsim_engine as engine;
 pub use mramsim_faults as faults;
 pub use mramsim_magnetics as magnetics;
@@ -101,6 +105,9 @@ pub mod prelude {
     pub use mramsim_core::experiments;
     pub use mramsim_core::explorer::{explore, DesignQuery};
     pub use mramsim_core::report::{ascii_chart, Series, Table};
+    pub use mramsim_dynamics::{
+        run_ensemble, switching_time_distribution, wer_monte_carlo, EnsemblePlan, MacrospinParams,
+    };
     pub use mramsim_engine::{Engine, ParamSet, Registry, Scenario, ScenarioOutput, SweepPlan};
     pub use mramsim_faults::{
         classify_write_faults, march::MarchTest, ArraySimulator, CellArray, WriteConditions,
