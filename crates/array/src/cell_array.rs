@@ -1,7 +1,10 @@
 //! The data state of an N×M MTJ array.
+//!
+//! Moved up from the faults crate so that array-level field adapters
+//! (the write-campaign [`crate::cell_field_map`]) and the fault
+//! machinery share one grid type; `mramsim-faults` re-exports it.
 
-use crate::FaultsError;
-use mramsim_array::NeighborhoodPattern;
+use crate::{ArrayError, NeighborhoodPattern};
 use mramsim_mtj::MtjState;
 
 /// An N×M array of MTJ cell states with neighbourhood extraction.
@@ -15,7 +18,7 @@ use mramsim_mtj::MtjState;
 /// # Examples
 ///
 /// ```
-/// use mramsim_faults::CellArray;
+/// use mramsim_array::CellArray;
 /// use mramsim_mtj::MtjState;
 ///
 /// let mut array = CellArray::filled(3, 3, MtjState::Parallel)?;
@@ -23,7 +26,7 @@ use mramsim_mtj::MtjState;
 /// assert_eq!(array.get(1, 1)?, MtjState::AntiParallel);
 /// // The centre's neighbours are all P:
 /// assert_eq!(array.neighborhood(1, 1)?.bits(), 0);
-/// # Ok::<(), mramsim_faults::FaultsError>(())
+/// # Ok::<(), mramsim_array::ArrayError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellArray {
@@ -37,10 +40,10 @@ impl CellArray {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultsError::InvalidParameter`] for zero dimensions.
-    pub fn filled(rows: usize, cols: usize, state: MtjState) -> Result<Self, FaultsError> {
+    /// Returns [`ArrayError::InvalidParameter`] for zero dimensions.
+    pub fn filled(rows: usize, cols: usize, state: MtjState) -> Result<Self, ArrayError> {
         if rows == 0 || cols == 0 {
-            return Err(FaultsError::InvalidParameter {
+            return Err(ArrayError::InvalidParameter {
                 name: "rows/cols",
                 message: format!("array dimensions must be positive, got {rows}x{cols}"),
             });
@@ -57,14 +60,31 @@ impl CellArray {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultsError::InvalidParameter`] for zero dimensions.
-    pub fn checkerboard(rows: usize, cols: usize) -> Result<Self, FaultsError> {
+    /// Returns [`ArrayError::InvalidParameter`] for zero dimensions.
+    pub fn checkerboard(rows: usize, cols: usize) -> Result<Self, ArrayError> {
+        Self::from_fn(rows, cols, |r, c| {
+            if (r + c) % 2 == 1 {
+                MtjState::AntiParallel
+            } else {
+                MtjState::Parallel
+            }
+        })
+    }
+
+    /// Creates an array from a per-cell state function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::InvalidParameter`] for zero dimensions.
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        state: impl Fn(usize, usize) -> MtjState,
+    ) -> Result<Self, ArrayError> {
         let mut array = Self::filled(rows, cols, MtjState::Parallel)?;
         for r in 0..rows {
             for c in 0..cols {
-                if (r + c) % 2 == 1 {
-                    array.bits[r * cols + c] = MtjState::AntiParallel;
-                }
+                array.bits[r * cols + c] = state(r, c);
             }
         }
         Ok(array)
@@ -94,9 +114,9 @@ impl CellArray {
         self.bits.is_empty()
     }
 
-    fn check(&self, row: usize, col: usize) -> Result<usize, FaultsError> {
+    fn check(&self, row: usize, col: usize) -> Result<usize, ArrayError> {
         if row >= self.rows || col >= self.cols {
-            return Err(FaultsError::InvalidAddress {
+            return Err(ArrayError::InvalidAddress {
                 message: format!("({row}, {col}) outside a {}x{} array", self.rows, self.cols),
             });
         }
@@ -107,8 +127,8 @@ impl CellArray {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultsError::InvalidAddress`] when out of range.
-    pub fn get(&self, row: usize, col: usize) -> Result<MtjState, FaultsError> {
+    /// Returns [`ArrayError::InvalidAddress`] when out of range.
+    pub fn get(&self, row: usize, col: usize) -> Result<MtjState, ArrayError> {
         Ok(self.bits[self.check(row, col)?])
     }
 
@@ -116,8 +136,8 @@ impl CellArray {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultsError::InvalidAddress`] when out of range.
-    pub fn set(&mut self, row: usize, col: usize, state: MtjState) -> Result<(), FaultsError> {
+    /// Returns [`ArrayError::InvalidAddress`] when out of range.
+    pub fn set(&mut self, row: usize, col: usize, state: MtjState) -> Result<(), ArrayError> {
         let idx = self.check(row, col)?;
         self.bits[idx] = state;
         Ok(())
@@ -128,8 +148,8 @@ impl CellArray {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultsError::InvalidAddress`] when out of range.
-    pub fn neighborhood(&self, row: usize, col: usize) -> Result<NeighborhoodPattern, FaultsError> {
+    /// Returns [`ArrayError::InvalidAddress`] when out of range.
+    pub fn neighborhood(&self, row: usize, col: usize) -> Result<NeighborhoodPattern, ArrayError> {
         self.check(row, col)?;
         let r = row as isize;
         let c = col as isize;
@@ -196,6 +216,13 @@ mod tests {
     }
 
     #[test]
+    fn from_fn_addresses_cells_row_major() {
+        let a = CellArray::from_fn(2, 3, |r, c| MtjState::from_bit(r == 1 && c == 2)).unwrap();
+        assert_eq!(a.count_ap(), 1);
+        assert_eq!(a.get(1, 2).unwrap(), MtjState::AntiParallel);
+    }
+
+    #[test]
     fn interior_neighborhood_of_checkerboard() {
         let a = CellArray::checkerboard(5, 5).unwrap();
         // A P cell at (2,2): direct neighbours are all AP, diagonals P.
@@ -211,6 +238,13 @@ mod tests {
         // Only E, S, SE exist: 2 direct + 1 diagonal AP bits.
         assert_eq!(np.ones_direct(), 2);
         assert_eq!(np.ones_diagonal(), 1);
+    }
+
+    #[test]
+    fn one_by_one_array_has_an_all_p_neighborhood() {
+        // The degenerate single-cell array: every neighbour is a dummy.
+        let a = CellArray::filled(1, 1, MtjState::AntiParallel).unwrap();
+        assert_eq!(a.neighborhood(0, 0).unwrap().bits(), 0);
     }
 
     #[test]

@@ -51,12 +51,7 @@ pub struct InterFieldBreakdown {
 pub struct CouplingAnalyzer {
     device: MtjDevice,
     pitch: Nanometer,
-    fixed_direct: f64,
-    fixed_diagonal: f64,
-    fl_p_direct: f64,
-    fl_ap_direct: f64,
-    fl_p_diagonal: f64,
-    fl_ap_diagonal: f64,
+    kernel: std::sync::Arc<StrayFieldKernel>,
     intra: Oersted,
 }
 
@@ -75,18 +70,12 @@ impl CouplingAnalyzer {
         // per (device, pitch) so repeated builds at a design point skip
         // the Biot–Savart work entirely.
         let kernel = StrayFieldKernel::shared(&device, pitch)?;
-        let direct = kernel.direct();
-        let diagonal = kernel.diagonal();
+        let intra = Oersted::new(kernel.intra_hz() * OERSTED_PER_AMPERE_PER_METER);
         Ok(Self {
             device,
             pitch,
-            fixed_direct: direct.fixed_hz,
-            fixed_diagonal: diagonal.fixed_hz,
-            fl_p_direct: direct.fl_p_hz,
-            fl_ap_direct: direct.fl_ap_hz,
-            fl_p_diagonal: diagonal.fl_p_hz,
-            fl_ap_diagonal: diagonal.fl_ap_hz,
-            intra: Oersted::new(kernel.intra_hz() * OERSTED_PER_AMPERE_PER_METER),
+            kernel,
+            intra,
         })
     }
 
@@ -108,17 +97,11 @@ impl CouplingAnalyzer {
         self.intra
     }
 
-    /// `Hz_s_inter` for a symmetry class (the Fig. 4a axes).
+    /// `Hz_s_inter` for a symmetry class (the Fig. 4a axes) — the
+    /// kernel's arithmetic, converted to oersted.
     #[must_use]
     pub fn inter_hz_class(&self, class: PatternClass) -> Oersted {
-        let nd = f64::from(class.direct_ones);
-        let ng = f64::from(class.diagonal_ones);
-        let total_apm = 4.0 * (self.fixed_direct + self.fixed_diagonal)
-            + nd * self.fl_ap_direct
-            + (4.0 - nd) * self.fl_p_direct
-            + ng * self.fl_ap_diagonal
-            + (4.0 - ng) * self.fl_p_diagonal;
-        Oersted::new(total_apm * OERSTED_PER_AMPERE_PER_METER)
+        Oersted::new(self.kernel.inter_hz_class(class) * OERSTED_PER_AMPERE_PER_METER)
     }
 
     /// `Hz_s_inter` for a full neighbourhood pattern.
@@ -141,15 +124,17 @@ impl CouplingAnalyzer {
     /// The physical decomposition behind Fig. 4a.
     #[must_use]
     pub fn breakdown(&self) -> InterFieldBreakdown {
+        let direct = self.kernel.direct();
+        let diagonal = self.kernel.diagonal();
         InterFieldBreakdown {
             fixed_total: Oersted::new(
-                4.0 * (self.fixed_direct + self.fixed_diagonal) * OERSTED_PER_AMPERE_PER_METER,
+                4.0 * (direct.fixed_hz + diagonal.fixed_hz) * OERSTED_PER_AMPERE_PER_METER,
             ),
             direct_step: Oersted::new(
-                (self.fl_ap_direct - self.fl_p_direct) * OERSTED_PER_AMPERE_PER_METER,
+                (direct.fl_ap_hz - direct.fl_p_hz) * OERSTED_PER_AMPERE_PER_METER,
             ),
             diagonal_step: Oersted::new(
-                (self.fl_ap_diagonal - self.fl_p_diagonal) * OERSTED_PER_AMPERE_PER_METER,
+                (diagonal.fl_ap_hz - diagonal.fl_p_hz) * OERSTED_PER_AMPERE_PER_METER,
             ),
         }
     }

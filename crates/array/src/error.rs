@@ -13,6 +13,11 @@ pub enum ArrayError {
         /// Human-readable description of the violated constraint.
         message: String,
     },
+    /// A cell address fell outside the array.
+    InvalidAddress {
+        /// Human-readable description.
+        message: String,
+    },
     /// The underlying device model failed.
     Device(mramsim_mtj::MtjError),
     /// A numeric search (e.g. the max-density pitch) failed.
@@ -25,6 +30,7 @@ impl fmt::Display for ArrayError {
             Self::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter {name}: {message}")
             }
+            Self::InvalidAddress { message } => write!(f, "invalid address: {message}"),
             Self::Device(e) => write!(f, "device model failed: {e}"),
             Self::Numerics(e) => write!(f, "numeric search failed: {e}"),
         }
@@ -36,7 +42,7 @@ impl std::error::Error for ArrayError {
         match self {
             Self::Device(e) => Some(e),
             Self::Numerics(e) => Some(e),
-            Self::InvalidParameter { .. } => None,
+            Self::InvalidParameter { .. } | Self::InvalidAddress { .. } => None,
         }
     }
 }

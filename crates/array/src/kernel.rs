@@ -186,6 +186,38 @@ impl StrayFieldKernel {
     pub fn diagonal(&self) -> OffsetField {
         self.diagonal
     }
+
+    /// `Hz_s_inter` \[A/m\] for a symmetry class: the fixed-layer
+    /// baseline of all 8 aggressors plus the data-dependent FL terms.
+    ///
+    /// This is the one place the NP8 → field arithmetic lives;
+    /// `CouplingAnalyzer` and the dynamics' kernel-pattern applied
+    /// fields both delegate here, so the analytic and Monte-Carlo
+    /// paths see bit-identical stray fields.
+    #[must_use]
+    pub fn inter_hz_class(&self, class: crate::PatternClass) -> f64 {
+        let nd = f64::from(class.direct_ones);
+        let ng = f64::from(class.diagonal_ones);
+        4.0 * (self.direct.fixed_hz + self.diagonal.fixed_hz)
+            + nd * self.direct.fl_ap_hz
+            + (4.0 - nd) * self.direct.fl_p_hz
+            + ng * self.diagonal.fl_ap_hz
+            + (4.0 - ng) * self.diagonal.fl_p_hz
+    }
+
+    /// `Hz_s_inter` \[A/m\] for a full neighbourhood pattern.
+    #[must_use]
+    pub fn inter_hz(&self, np: crate::NeighborhoodPattern) -> f64 {
+        self.inter_hz_class(np.class())
+    }
+
+    /// The total stray field \[A/m\] at a victim's FL centre under one
+    /// neighbourhood pattern: `Hz_s_intra + Hz_s_inter(NP8)` — the
+    /// Eq. 2 / Eq. 5 input.
+    #[must_use]
+    pub fn total_hz(&self, np: crate::NeighborhoodPattern) -> f64 {
+        self.intra_hz + self.inter_hz(np)
+    }
 }
 
 /// Canonical, bit-exact fingerprint of everything the kernel depends on:

@@ -33,6 +33,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod campaign;
+mod cell_array;
 mod coupling;
 mod density;
 mod error;
@@ -42,6 +44,8 @@ mod pattern;
 mod rings;
 mod sweep;
 
+pub use campaign::{cell_field_map, CellField, DataPattern};
+pub use cell_array::CellArray;
 pub use coupling::{CouplingAnalyzer, InterFieldBreakdown};
 pub use density::{array_density_bits_per_um2, ArrayDensity};
 pub use error::ArrayError;

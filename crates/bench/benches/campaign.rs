@@ -1,0 +1,110 @@
+//! Benchmarks of the array write-campaign subsystem: the kernel-to-cell
+//! field adapter (pure cached-pattern arithmetic) and the per-cell
+//! Monte-Carlo WER campaign, per-cell-sequential vs block-flattened.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mramsim_array::{cell_field_map, CellArray, StrayFieldKernel};
+use mramsim_dynamics::{
+    cell_seed, wer_campaign, wer_monte_carlo, CellDrive, EnsemblePlan, MacrospinParams,
+};
+use mramsim_faults::{array_wer_campaign, ArrayWerConfig};
+use mramsim_mtj::{presets, MtjDevice, SwitchDirection};
+use mramsim_numerics::pool::WorkerPool;
+use mramsim_units::{Kelvin, Nanometer, Nanosecond, Volt};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn device() -> MtjDevice {
+    presets::imec_like(Nanometer::new(35.0)).unwrap()
+}
+
+/// The adapter alone: deriving 256 per-cell stray fields from the
+/// warmed kernel cache is pattern arithmetic, no Biot–Savart at all.
+fn bench_cell_field_map(c: &mut Criterion) {
+    let dev = device();
+    let pitch = Nanometer::new(70.0);
+    let data = CellArray::checkerboard(16, 16).unwrap();
+    // Warm the process-wide kernel cache once.
+    let _ = StrayFieldKernel::shared(&dev, pitch).unwrap();
+    c.bench_function("cell_field_map_16x16_warm_kernel", |b| {
+        b.iter(|| black_box(cell_field_map(&dev, pitch, &data).unwrap()))
+    });
+}
+
+/// Per-cell-sequential ensembles vs the flattened campaign on the same
+/// seeds: the flattening removes the per-cell fan-out barrier, so the
+/// pool drains one item list instead of N small ones.
+fn bench_campaign_vs_sequential(c: &mut Criterion) {
+    let dev = device();
+    let base =
+        MacrospinParams::from_device(&dev, SwitchDirection::ApToP, Kelvin::new(300.0)).unwrap();
+    let fields = cell_field_map(
+        &dev,
+        Nanometer::new(70.0),
+        &CellArray::checkerboard(4, 4).unwrap(),
+    )
+    .unwrap();
+    let drive = 3.0 * base.critical_current();
+    let cells: Vec<CellDrive> = fields
+        .iter()
+        .map(|f| CellDrive {
+            params: base.clone().with_applied_hz(f.hz_oe()),
+            current: drive,
+        })
+        .collect();
+    let plan = EnsemblePlan::new(64, 7, 2e-12).unwrap();
+    let pulse = 2e-9;
+    let pool = WorkerPool::with_default_parallelism();
+    let mut group = c.benchmark_group("wer_campaign_16cells_64traj");
+    group.bench_function("per_cell_sequential", |b| {
+        b.iter(|| {
+            let wers: Vec<_> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| {
+                    let cell_plan = EnsemblePlan {
+                        seed: cell_seed(plan.seed, i as u64),
+                        ..plan
+                    };
+                    wer_monte_carlo(&cell.params, cell.current, pulse, &cell_plan, &pool)
+                })
+                .collect();
+            black_box(wers)
+        })
+    });
+    group.bench_function("flattened_campaign", |b| {
+        b.iter(|| black_box(wer_campaign(&cells, pulse, &plan, &pool)))
+    });
+    group.finish();
+}
+
+/// The full fault-map pipeline the `array-wer` scenario runs.
+fn bench_full_array_wer(c: &mut Criterion) {
+    let dev = device();
+    let data = CellArray::checkerboard(4, 4).unwrap();
+    let cfg = ArrayWerConfig {
+        voltage: Volt::new(0.9),
+        pulse: Nanosecond::new(4.0),
+        trajectories: 32,
+        ..ArrayWerConfig::default()
+    };
+    let pool = WorkerPool::with_default_parallelism();
+    c.bench_function("array_wer_campaign_4x4_32traj", |b| {
+        b.iter(|| {
+            black_box(array_wer_campaign(&dev, Nanometer::new(70.0), &data, &cfg, &pool).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = campaign;
+    config = config();
+    targets = bench_cell_field_map, bench_campaign_vs_sequential, bench_full_array_wer
+}
+criterion_main!(campaign);

@@ -1,0 +1,235 @@
+//! Array write campaigns: per-cell Monte-Carlo WER ensembles sharded
+//! across the shared worker pool.
+//!
+//! A campaign runs one WER ensemble per cell of an array, each cell
+//! under its own applied stray field and drive. The work is flattened
+//! into `(cell, lane block)` items so the pool load-balances across the
+//! whole array rather than cell by cell, and each item reduces its
+//! block to three counters on the worker (**streaming aggregation** —
+//! per-replica outcomes never leave the worker thread, so a 64-cell ×
+//! 4096-trajectory campaign allocates a few kilobytes, not millions of
+//! `ReplicaOutcome`s).
+//!
+//! Determinism contract: cell `c` runs on the derived seed
+//! [`cell_seed`]`(plan.seed, c)` and every replica inside it on the
+//! usual [`crate::llgs::replica_rng`] stream — both FNV-1a mixes of
+//! position only. The campaign is therefore **bit-identical** to
+//! running [`crate::wer_monte_carlo`] per cell with the derived seed,
+//! for any worker count, lane blocking, or cell count (property-tested
+//! in this module and in `tests/props.rs`).
+
+use crate::ensemble::{run_block, EnsemblePlan, LANES};
+use crate::llgs::MacrospinParams;
+use crate::mc::WerEstimate;
+use mramsim_numerics::hash::Fnv1a;
+use mramsim_numerics::pool::WorkerPool;
+
+/// One cell's operating point in a campaign: its calibrated macrospin
+/// coefficients (with the cell's total stray field already applied)
+/// plus the drive current through that cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDrive {
+    /// Calibrated coefficients including the cell's applied field.
+    pub params: MacrospinParams,
+    /// Drive current through the junction \[A\].
+    pub current: f64,
+}
+
+/// The deterministic ensemble seed of campaign cell `cell` under base
+/// seed `seed` — an FNV-1a mix with a domain tag, so cell streams can
+/// never collide with the replica streams derived inside each cell.
+#[must_use]
+pub fn cell_seed(seed: u64, cell: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.field(b"cell");
+    h.field(&seed.to_le_bytes());
+    h.update(&cell.to_le_bytes());
+    h.finish()
+}
+
+/// Runs one WER ensemble per cell: `plan.trajectories` replicas each,
+/// pulse length `pulse` seconds, estimates in cell order.
+///
+/// `plan.seed` is the campaign base seed; cell `c` runs on
+/// [`cell_seed`]`(plan.seed, c)`.
+///
+/// # Panics
+///
+/// Panics when `plan.trajectories` is zero (only constructible by
+/// bypassing [`EnsemblePlan::new`] with the struct-update syntax).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_dynamics::{cell_seed, wer_campaign, wer_monte_carlo};
+/// use mramsim_dynamics::{CellDrive, EnsemblePlan, MacrospinParams};
+/// use mramsim_mtj::{presets, SwitchDirection};
+/// use mramsim_numerics::pool::WorkerPool;
+/// use mramsim_units::{Kelvin, Nanometer, Oersted};
+///
+/// let device = presets::imec_like(Nanometer::new(35.0))?;
+/// let base = MacrospinParams::from_device(
+///     &device, SwitchDirection::ApToP, Kelvin::new(300.0))?;
+/// let drive = 3.0 * base.critical_current();
+/// let cells: Vec<CellDrive> = [0.0, -150.0]
+///     .iter()
+///     .map(|&hz| CellDrive {
+///         params: base.clone().with_applied_hz(Oersted::new(hz)),
+///         current: drive,
+///     })
+///     .collect();
+/// let plan = EnsemblePlan::new(48, 7, 2e-12)?;
+/// let pool = WorkerPool::new(2);
+/// let wers = wer_campaign(&cells, 4e-9, &plan, &pool);
+/// assert_eq!(wers.len(), 2);
+/// // Each cell is bit-identical to a standalone ensemble on its
+/// // derived seed.
+/// let solo_plan = EnsemblePlan { seed: cell_seed(7, 1), ..plan };
+/// let solo = wer_monte_carlo(&cells[1].params, drive, 4e-9, &solo_plan, &pool);
+/// assert_eq!(wers[1], solo);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn wer_campaign(
+    cells: &[CellDrive],
+    pulse: f64,
+    plan: &EnsemblePlan,
+    pool: &WorkerPool,
+) -> Vec<WerEstimate> {
+    assert!(
+        plan.trajectories > 0 || cells.is_empty(),
+        "a campaign needs at least one replica per cell"
+    );
+    let plans: Vec<EnsemblePlan> = (0..cells.len() as u64)
+        .map(|c| EnsemblePlan {
+            seed: cell_seed(plan.seed, c),
+            ..*plan
+        })
+        .collect();
+
+    // Flatten to (cell, first replica of block) so the pool balances
+    // across the whole campaign, not per cell.
+    let items: Vec<(usize, u64)> = (0..cells.len())
+        .flat_map(|c| {
+            (0..plan.trajectories as u64)
+                .step_by(LANES)
+                .map(move |first| (c, first))
+        })
+        .collect();
+
+    // Each item reduces its lane block to (live lanes, failures) on the
+    // worker; only those counters cross threads.
+    let summaries: Vec<(usize, usize, usize)> = pool.scoped_map(&items, |_, &(cell, first)| {
+        let block = run_block(
+            &cells[cell].params,
+            cells[cell].current,
+            pulse,
+            &plans[cell],
+            first,
+        );
+        let live = LANES.min(plan.trajectories - first as usize);
+        let failures = block[..live].iter().filter(|o| !o.switched).count();
+        (cell, live, failures)
+    });
+
+    let mut trajectories = vec![0usize; cells.len()];
+    let mut failures = vec![0usize; cells.len()];
+    for (cell, live, failed) in summaries {
+        trajectories[cell] += live;
+        failures[cell] += failed;
+    }
+    trajectories
+        .into_iter()
+        .zip(failures)
+        .map(|(n, failed)| WerEstimate::from_counts(n, failed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wer_monte_carlo;
+    use mramsim_mtj::{presets, SwitchDirection};
+    use mramsim_units::{Kelvin, Nanometer, Oersted};
+
+    fn base() -> MacrospinParams {
+        let device = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        MacrospinParams::from_device(&device, SwitchDirection::ApToP, Kelvin::new(300.0)).unwrap()
+    }
+
+    fn cells(fields_oe: &[f64], overdrive: f64) -> Vec<CellDrive> {
+        let b = base();
+        let current = overdrive * b.critical_current();
+        fields_oe
+            .iter()
+            .map(|&hz| CellDrive {
+                params: b.clone().with_applied_hz(Oersted::new(hz)),
+                current,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn campaign_matches_per_cell_ensembles_bit_for_bit() {
+        let cells = cells(&[0.0, -200.0, 150.0], 3.0);
+        let plan = EnsemblePlan::new(37, 11, 2e-12).unwrap(); // non-multiple of LANES
+        let pool = WorkerPool::new(3);
+        let campaign = wer_campaign(&cells, 2e-9, &plan, &pool);
+        for (c, cell) in cells.iter().enumerate() {
+            let solo_plan = EnsemblePlan {
+                seed: cell_seed(plan.seed, c as u64),
+                ..plan
+            };
+            let solo = wer_monte_carlo(&cell.params, cell.current, 2e-9, &solo_plan, &pool);
+            assert_eq!(campaign[c], solo, "cell {c}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_campaign_results() {
+        let cells = cells(&[0.0, -366.0], 2.5);
+        let plan = EnsemblePlan::new(40, 5, 2e-12).unwrap();
+        let one = wer_campaign(&cells, 1.5e-9, &plan, &WorkerPool::new(1));
+        let many = wer_campaign(&cells, 1.5e-9, &plan, &WorkerPool::new(8));
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn hostile_fields_raise_the_cell_wer() {
+        // AP→P: a negative stray field raises Ic, so at fixed drive the
+        // hostile cell must not be more reliable.
+        let cells = cells(&[150.0, -400.0], 1.6);
+        let plan = EnsemblePlan::new(192, 3, 2e-12).unwrap();
+        let wers = wer_campaign(&cells, 3e-9, &plan, &WorkerPool::new(4));
+        assert!(
+            wers[1].wer >= wers[0].wer,
+            "hostile {} vs helpful {}",
+            wers[1].wer,
+            wers[0].wer
+        );
+    }
+
+    #[test]
+    fn empty_campaign_is_empty() {
+        let plan = EnsemblePlan::new(8, 1, 2e-12).unwrap();
+        assert!(wer_campaign(&[], 1e-9, &plan, &WorkerPool::new(2)).is_empty());
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_and_tagged() {
+        assert_ne!(cell_seed(7, 0), cell_seed(7, 1));
+        assert_ne!(cell_seed(7, 0), cell_seed(8, 0));
+        // The domain tag keeps cell streams off the raw base seed.
+        assert_ne!(cell_seed(7, 0), 7);
+    }
+
+    #[test]
+    fn sub_critical_cells_saturate_instead_of_panicking() {
+        // Drive below Ic: every replica fails, WER = 1, no panic.
+        let cells = cells(&[0.0], 0.5);
+        let plan = EnsemblePlan::new(24, 2, 2e-12).unwrap();
+        let wers = wer_campaign(&cells, 1e-9, &plan, &WorkerPool::new(2));
+        assert_eq!(wers[0].failures, 24);
+        assert_eq!(wers[0].wer, 1.0);
+    }
+}

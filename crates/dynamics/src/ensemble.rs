@@ -144,8 +144,10 @@ pub fn run_replica(
 
 /// One full lane block: replicas `first..first+LANES` in SoA form.
 /// Lanes past `plan.trajectories` are computed and discarded by the
-/// caller (padding keeps the arithmetic pass branch-free).
-fn run_block(
+/// caller (padding keeps the arithmetic pass branch-free). Shared with
+/// the array write campaign, which reduces each block in place instead
+/// of collecting per-replica outcomes.
+pub(crate) fn run_block(
     params: &MacrospinParams,
     current: f64,
     duration: f64,

@@ -3,7 +3,7 @@
 use core::fmt;
 
 /// Errors of the s-LLGS solver and its Monte-Carlo estimators.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DynamicsError {
     /// A solver or ensemble parameter was outside its valid range.
     InvalidParameter {

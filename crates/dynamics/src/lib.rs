@@ -21,7 +21,11 @@
 //!   scalar reference [`run_replica`] for identical seeds,
 //! * [`wer_monte_carlo`] / [`switching_time_distribution`] — the
 //!   Monte-Carlo estimators surfaced by the engine's `wer-mc` and
-//!   `switch-traj` scenarios.
+//!   `switch-traj` scenarios,
+//! * [`wer_campaign`] — one WER ensemble per array cell (each under its
+//!   own stray field and drive), flattened into lane-block work items
+//!   with deterministic per-cell FNV seed streams and streaming
+//!   per-block aggregation — the substrate of the `array-wer` scenario.
 //!
 //! # Example: Monte-Carlo WER vs the analytic model
 //!
@@ -47,11 +51,13 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod campaign;
 mod ensemble;
 mod error;
 pub mod llgs;
 mod mc;
 
+pub use campaign::{cell_seed, wer_campaign, CellDrive};
 pub use ensemble::{run_ensemble, run_replica, EnsemblePlan, ReplicaOutcome, LANES};
 pub use error::DynamicsError;
 pub use llgs::{heun_step, record_trajectory, MacrospinParams, GAMMA_0, GYROMAGNETIC_RATIO};

@@ -197,17 +197,7 @@ impl MacrospinParams {
     /// the array-aware entry point shared with `CouplingAnalyzer`.
     #[must_use]
     pub fn with_kernel_pattern(self, kernel: &StrayFieldKernel, np: NeighborhoodPattern) -> Self {
-        let class = np.class();
-        let nd = f64::from(class.direct_ones);
-        let ng = f64::from(class.diagonal_ones);
-        let direct = kernel.direct();
-        let diagonal = kernel.diagonal();
-        let inter = 4.0 * (direct.fixed_hz + diagonal.fixed_hz)
-            + nd * direct.fl_ap_hz
-            + (4.0 - nd) * direct.fl_p_hz
-            + ng * diagonal.fl_ap_hz
-            + (4.0 - ng) * diagonal.fl_p_hz;
-        self.with_applied_field(Vec3::new(0.0, 0.0, kernel.intra_hz() + inter))
+        self.with_applied_field(Vec3::new(0.0, 0.0, kernel.total_hz(np)))
     }
 
     /// Effective damping after calibration.

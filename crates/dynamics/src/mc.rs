@@ -23,6 +23,27 @@ pub struct WerEstimate {
 }
 
 impl WerEstimate {
+    /// Builds the estimate from raw ensemble counts — the one place
+    /// the point estimate and its floored binomial standard error are
+    /// defined (shared by [`wer_monte_carlo`] and the array
+    /// campaign's per-cell aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an empty ensemble (`trajectories == 0`).
+    #[must_use]
+    pub fn from_counts(trajectories: usize, failures: usize) -> Self {
+        assert!(trajectories > 0, "an estimate needs at least one replica");
+        let n = trajectories as f64;
+        let wer = failures as f64 / n;
+        Self {
+            trajectories,
+            failures,
+            wer,
+            std_error: (wer * (1.0 - wer) / n).sqrt().max(1.0 / n),
+        }
+    }
+
     /// Whether an analytic prediction sits within `n_sigma` standard
     /// errors of this estimate.
     #[must_use]
@@ -62,16 +83,8 @@ pub fn wer_monte_carlo(
     pool: &WorkerPool,
 ) -> WerEstimate {
     let outcomes = run_ensemble(params, current, pulse, plan, pool);
-    let n = outcomes.len();
     let failures = outcomes.iter().filter(|o| !o.switched).count();
-    let wer = failures as f64 / n as f64;
-    let std_error = (wer * (1.0 - wer) / n as f64).sqrt().max(1.0 / n as f64);
-    WerEstimate {
-        trajectories: n,
-        failures,
-        wer,
-        std_error,
-    }
+    WerEstimate::from_counts(outcomes.len(), failures)
 }
 
 /// A Monte-Carlo switching-time distribution.

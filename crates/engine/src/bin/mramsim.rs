@@ -51,6 +51,17 @@ MONTE-CARLO DYNAMICS (s-LLGS trajectory ensembles):
     mramsim sweep wer-mc --pulse_ns 0.8..2.0:0.2 --trajectories 2048
     mramsim run switch-traj --overdrive 3 --span_ns 15
 
+ARRAY WRITE CAMPAIGNS (per-cell Monte-Carlo fault maps):
+    array-wer writes every cell of an N x M array to the complement of
+    its stored pattern bit, each cell under the stray field of its own
+    neighbourhood, via per-cell s-LLGS WER ensembles. --rows/--cols/
+    --pattern/--trajectories are cache-key parameters; sweep --pitch
+    for WER-vs-density curves.
+
+    mramsim run array-wer --rows 8 --cols 8 --pattern checkerboard
+    mramsim sweep array-wer --pitch 60,70,90 --trajectories 256
+    mramsim run array-wer --pitch 55 --voltage_v 0.8 --format chart
+
 ABLATIONS:
     Scenarios that build a device (fig4a, fig4b point mode, faults)
     accept the field-model knobs for accuracy/speed studies:

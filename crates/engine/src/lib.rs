@@ -5,8 +5,9 @@
 //! extension, the design-space explorer, and the fault simulator.
 //!
 //! * [`Scenario`] — the uniform `run(params) -> ScenarioOutput`
-//!   interface, with a [`Registry`] of the thirteen standard
-//!   scenarios,
+//!   interface, with a [`Registry`] of the sixteen standard
+//!   scenarios (figures, explorer, faults, Monte-Carlo dynamics, and
+//!   the `array-wer` write campaign),
 //! * [`SweepPlan`] — cartesian parameter grids (pitch × eCD ×
 //!   temperature × voltage × …) with deterministic expansion order
 //!   and per-job seeding,

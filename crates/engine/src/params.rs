@@ -2,7 +2,7 @@
 //!
 //! Every scenario consumes a flat, string-keyed [`ParamSet`]. That
 //! uniformity is what lets one sweep planner, one cache, and one CLI
-//! drive thirteen very different drivers: a parameter point is just a
+//! drive sixteen very different drivers: a parameter point is just a
 //! map, and its canonical [`ParamSet::fingerprint`] is the content
 //! address the result cache keys on.
 

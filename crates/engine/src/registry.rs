@@ -2,11 +2,13 @@
 //! uniform [`Scenario`] interface.
 //!
 //! Ten paper figures, the extension WER study, the design-space
-//! explorer, the coupling-aware fault simulator, and the s-LLGS
-//! Monte-Carlo dynamics (`wer-mc`, `switch-traj`) are registered
-//! under stable ids. [`Registry::standard`] builds the full set.
+//! explorer, the coupling-aware fault simulator, the s-LLGS
+//! Monte-Carlo dynamics (`wer-mc`, `switch-traj`), and the array-scale
+//! Monte-Carlo write campaign (`array-wer`) are registered under
+//! stable ids. [`Registry::standard`] builds the full set.
 
 use crate::{EngineError, ParamSet, ParamSpec, Scenario, ScenarioOutput};
+use mramsim_array::DataPattern;
 use mramsim_array::{CouplingAnalyzer, NeighborhoodPattern};
 use mramsim_core::experiments::{
     ext_wer, fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b,
@@ -17,9 +19,11 @@ use mramsim_dynamics::{
     switching_time_distribution, wer_monte_carlo, EnsemblePlan, MacrospinParams,
 };
 use mramsim_faults::march::MarchTest;
-use mramsim_faults::{classify_write_faults, ArraySimulator, CellArray, WriteConditions};
+use mramsim_faults::{
+    array_wer_campaign, classify_write_faults, ArraySimulator, ArrayWerConfig, WriteConditions,
+};
 use mramsim_mtj::wer::write_error_rate_saturating;
-use mramsim_mtj::{presets, MtjDevice, MtjState, SwitchDirection};
+use mramsim_mtj::{presets, MtjDevice, SwitchDirection};
 use mramsim_numerics::pool::WorkerPool;
 use mramsim_units::constants::{EULER_GAMMA, OERSTED_PER_AMPERE_PER_METER};
 use mramsim_units::{Kelvin, Nanometer, Nanosecond, Oersted, Volt};
@@ -99,7 +103,8 @@ impl Registry {
     }
 
     /// The full standard set: all ten figures, the WER extension, the
-    /// explorer, the fault simulator, and the Monte-Carlo dynamics.
+    /// explorer, the fault simulator, the Monte-Carlo dynamics, and
+    /// the array write campaign.
     #[must_use]
     pub fn standard() -> Self {
         let mut registry = Self::new();
@@ -118,6 +123,7 @@ impl Registry {
         registry.register(Arc::new(FaultsScenario));
         registry.register(Arc::new(WerMcScenario));
         registry.register(Arc::new(SwitchTrajScenario));
+        registry.register(Arc::new(ArrayWerScenario));
         registry
     }
 
@@ -675,7 +681,7 @@ impl Scenario for FaultsScenario {
             ParamSpec::new("temperature_k", "temperature (K)", 300.0),
             ParamSpec::new(
                 "pattern",
-                "initial data: zeros | checkerboard",
+                "initial data: zeros | ones | checkerboard",
                 "checkerboard",
             ),
         ];
@@ -696,17 +702,9 @@ impl Scenario for FaultsScenario {
             pulse: Nanosecond::new(params.number("pulse_ns")?),
             temperature: Kelvin::new(params.number("temperature_k")?),
         };
-        let initial = match params.text("pattern")? {
-            "zeros" => CellArray::filled(rows, cols, MtjState::Parallel),
-            "checkerboard" => CellArray::checkerboard(rows, cols),
-            other => {
-                return Err(EngineError::InvalidParameter {
-                    name: "pattern".into(),
-                    message: format!("expected `zeros` or `checkerboard`, got `{other}`"),
-                })
-            }
-        }
-        .map_err(|e| model_err("faults", e))?;
+        let initial = DataPattern::parse(params.text("pattern")?)
+            .and_then(|p| p.build(rows, cols))
+            .map_err(|e| model_err("faults", e))?;
 
         let mut march_table = Table::new(
             "faults: March test outcomes",
@@ -1086,16 +1084,150 @@ impl Scenario for SwitchTrajScenario {
     }
 }
 
+/// Array-scale Monte-Carlo write campaign: per-cell WER fault maps.
+struct ArrayWerScenario;
+
+impl Scenario for ArrayWerScenario {
+    fn id(&self) -> &'static str {
+        "array-wer"
+    }
+
+    fn summary(&self) -> &'static str {
+        "array write campaign: per-cell s-LLGS Monte-Carlo WER fault map under a data pattern"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        let mut specs = vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new(
+                "pitch",
+                "array pitch (nm), sweep it for WER-vs-density",
+                70.0,
+            ),
+            ParamSpec::new("rows", "array rows", 8.0),
+            ParamSpec::new("cols", "array columns", 8.0),
+            ParamSpec::new(
+                "pattern",
+                "array data: zeros | ones | checkerboard",
+                "checkerboard",
+            ),
+            ParamSpec::new("voltage_v", "write pulse amplitude (V)", 0.9),
+            ParamSpec::new("pulse_ns", "write pulse width (ns)", 8.0),
+            ParamSpec::new("temperature_k", "temperature (K)", 300.0),
+            ParamSpec::new("trajectories", "Monte-Carlo replicas per cell", 64.0),
+            ParamSpec::new("seed", "campaign base seed", 7.0),
+            ParamSpec::new("dt_ps", "integrator time step (ps)", 2.0),
+            ParamSpec::new(
+                "thermal",
+                "1: thermal fluctuation field active during the pulse",
+                1.0,
+            ),
+            ParamSpec::new("wer_budget", "per-cell WER fault threshold", 0.01),
+        ];
+        specs.extend(field_model_specs());
+        specs
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let (segments, exact) = field_model_of(params)?;
+        let device =
+            presets::imec_like_with(Nanometer::new(params.number("ecd")?), segments, exact)
+                .map_err(|e| model_err("array-wer", e))?;
+        let pitch = Nanometer::new(params.number("pitch")?);
+        let rows = params.count("rows")?;
+        let cols = params.count("cols")?;
+        let data = DataPattern::parse(params.text("pattern")?)
+            .and_then(|p| p.build(rows, cols))
+            .map_err(|e| model_err("array-wer", e))?;
+        let config = ArrayWerConfig {
+            voltage: Volt::new(params.number("voltage_v")?),
+            pulse: Nanosecond::new(params.number("pulse_ns")?),
+            temperature: Kelvin::new(params.number("temperature_k")?),
+            trajectories: params.count("trajectories")?,
+            seed: seed_of(params, "seed")?,
+            dt: params.number("dt_ps")? * 1e-12,
+            thermal: params.count("thermal")? != 0,
+            wer_budget: params.number("wer_budget")?,
+        };
+        let pool = WorkerPool::new(crate::scenario_workers());
+        let report = array_wer_campaign(&device, pitch, &data, &config, &pool)
+            .map_err(|e| model_err("array-wer", e))?;
+
+        let worst_analytic = report.cells.iter().map(|c| c.analytic).fold(0.0, f64::max);
+        let mut summary = Table::new("array-wer: campaign summary", &["quantity", "value"]);
+        summary.push_row(&["array", &format!("{rows}x{cols}")]);
+        summary.push_row(&["pattern", params.text("pattern")?]);
+        summary.push_row(&["pitch (nm)", &format!("{:.1}", pitch.value())]);
+        summary.push_row(&[
+            "density (bits/um^2)",
+            &format!("{:.2}", report.density_bits_per_um2),
+        ]);
+        summary.push_row(&["trajectories/cell", &config.trajectories.to_string()]);
+        summary.push_row(&["WER budget", &format!("{:.1e}", report.wer_budget)]);
+        summary.push_row(&["faulty cells", &report.faulty_cells().to_string()]);
+        summary.push_row(&["worst cell WER (MC)", &format!("{:.5}", report.worst_wer())]);
+        summary.push_row(&["mean cell WER (MC)", &format!("{:.5}", report.mean_wer())]);
+        summary.push_row(&["worst cell WER (analytic)", &format!("{worst_analytic:.5}")]);
+        summary.push_row(&["faulty classes", &report.faults().len().to_string()]);
+
+        let mut map = Table::new(
+            "array-wer: per-cell fault map",
+            &[
+                "row",
+                "col",
+                "stored",
+                "direction",
+                "np",
+                "hz_oe",
+                "drive_ua",
+                "ic_ua",
+                "failures",
+                "wer_mc",
+                "wer_analytic",
+                "faulty",
+            ],
+        );
+        for cell in &report.cells {
+            map.push_row(&[
+                cell.row.to_string(),
+                cell.col.to_string(),
+                cell.stored.to_string(),
+                cell.direction.to_string(),
+                cell.np.bits().to_string(),
+                format!("{:.2}", cell.hz_stray.value()),
+                format!("{:.2}", cell.drive_ua),
+                format!("{:.2}", cell.ic_ua),
+                cell.mc.failures.to_string(),
+                format!("{:.6}", cell.mc.wer),
+                format!("{:.6}", cell.analytic),
+                u8::from(cell.faulty).to_string(),
+            ]);
+        }
+
+        Ok(ScenarioOutput::from_table(summary)
+            .with_table(map)
+            .with_chart(report.fault_map())
+            .with_scalar("cells", report.cells.len() as f64)
+            .with_scalar("faulty_cells", report.faulty_cells() as f64)
+            .with_scalar("worst_wer_mc", report.worst_wer())
+            .with_scalar("mean_wer_mc", report.mean_wer())
+            .with_scalar("worst_wer_analytic", worst_analytic)
+            .with_scalar("density_bits_per_um2", report.density_bits_per_um2)
+            .with_scalar("faulty_classes", report.faults().len() as f64))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn standard_registry_lists_fifteen_scenarios() {
+    fn standard_registry_lists_sixteen_scenarios() {
         let registry = Registry::standard();
-        assert_eq!(registry.len(), 15);
+        assert_eq!(registry.len(), 16);
         let ids: Vec<&str> = registry.ids().collect();
         for id in [
+            "array-wer",
             "ext_wer",
             "explore",
             "faults",
@@ -1155,13 +1287,21 @@ mod tests {
     }
 
     #[test]
-    fn faults_scenario_rejects_unknown_patterns() {
+    fn faults_scenario_shares_the_array_wer_pattern_vocabulary() {
         let scenario = FaultsScenario;
         let params = ParamSet::defaults(&scenario.params()).with("pattern", "stripes");
         assert!(matches!(
             scenario.run(&params),
-            Err(EngineError::InvalidParameter { .. })
+            Err(EngineError::Scenario { .. })
         ));
+        // `ones` parses for both scenarios since both go through
+        // `DataPattern::parse` (regression: the faults scenario had its
+        // own two-name parser).
+        let ones = ParamSet::defaults(&scenario.params())
+            .with("pattern", "ones")
+            .with("rows", 3.0)
+            .with("cols", 3.0);
+        assert!(scenario.run(&ones).is_ok());
     }
 
     #[test]
@@ -1252,6 +1392,60 @@ mod tests {
             mean > 0.4 * sun && mean < 2.5 * sun,
             "mean {mean} vs Sun {sun}"
         );
+    }
+
+    #[test]
+    fn array_wer_is_deterministic_and_campaign_params_are_cache_keys() {
+        let scenario = ArrayWerScenario;
+        let base = ParamSet::defaults(&scenario.params())
+            .with("rows", 3.0)
+            .with("cols", 3.0)
+            .with("trajectories", 32.0)
+            .with("pulse_ns", 4.0);
+        let a = scenario.run(&base).unwrap();
+        let b = scenario.run(&base).unwrap();
+        assert_eq!(a, b, "seeded campaign must reproduce bit-for-bit");
+        // The campaign knobs are all part of the content address.
+        for (name, value) in [
+            ("rows", 4.0),
+            ("cols", 4.0),
+            ("trajectories", 64.0),
+            ("seed", 8.0),
+            ("pitch", 80.0),
+        ] {
+            assert_ne!(
+                base.fingerprint(),
+                base.clone().with(name, value).fingerprint(),
+                "{name} must change the cache key"
+            );
+        }
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with("pattern", "zeros").fingerprint(),
+            "pattern must change the cache key"
+        );
+    }
+
+    #[test]
+    fn array_wer_rejects_bad_patterns_and_dimensions() {
+        let scenario = ArrayWerScenario;
+        for (name, value) in [("pattern", "stripes"), ("pattern", "")] {
+            let params = ParamSet::defaults(&scenario.params()).with(name, value);
+            assert!(matches!(
+                scenario.run(&params),
+                Err(EngineError::InvalidParameter { .. }) | Err(EngineError::Scenario { .. })
+            ));
+        }
+        let empty = ParamSet::defaults(&scenario.params()).with("rows", 0.0);
+        assert!(scenario.run(&empty).is_err(), "0-row array must not panic");
+        // 1x1 is the degenerate-but-valid isolated victim.
+        let single = ParamSet::defaults(&scenario.params())
+            .with("rows", 1.0)
+            .with("cols", 1.0)
+            .with("trajectories", 16.0)
+            .with("pulse_ns", 4.0);
+        let out = scenario.run(&single).unwrap();
+        assert_eq!(out.scalar("cells"), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Cross-process determinism of the Monte-Carlo scenarios: identical
+//! parameters must produce byte-identical cache keys and byte-identical
+//! CSV output for `wer-mc` and `array-wer`, whether the run happens in
+//! this process or in independent `mramsim` child processes. This is
+//! the property that makes seeded Monte-Carlo results safe to serve
+//! from a content-addressed cache.
+
+use mramsim_engine::cache::ResultCache;
+use mramsim_engine::{Engine, ParamSet};
+use std::process::Command;
+
+/// Runs the real `mramsim` binary and returns its stdout.
+fn mramsim(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_mramsim"))
+        .args(args)
+        .output()
+        .expect("mramsim binary runs");
+    assert!(
+        out.status.success(),
+        "mramsim {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("CSV output is UTF-8")
+}
+
+const WER_MC_ARGS: [&str; 8] = [
+    "run",
+    "wer-mc",
+    "--trajectories",
+    "96",
+    "--seed",
+    "7",
+    "--format",
+    "csv",
+];
+const ARRAY_WER_ARGS: [&str; 14] = [
+    "run",
+    "array-wer",
+    "--rows",
+    "4",
+    "--cols",
+    "4",
+    "--trajectories",
+    "24",
+    "--pulse_ns",
+    "3",
+    "--seed",
+    "7",
+    "--format",
+    "csv",
+];
+
+#[test]
+fn monte_carlo_csv_output_is_byte_identical_across_processes() {
+    for args in [&WER_MC_ARGS[..], &ARRAY_WER_ARGS[..]] {
+        let first = mramsim(args);
+        let second = mramsim(args);
+        assert!(first.contains(','), "{args:?} produced no CSV:\n{first}");
+        assert_eq!(
+            first, second,
+            "{args:?} diverged between independent processes"
+        );
+    }
+}
+
+#[test]
+fn in_process_runs_match_the_child_process_byte_for_byte() {
+    // The engine API and the CLI are the same computation: the cache
+    // may be filled by either and served to the other.
+    let engine = Engine::standard();
+    let wer_mc = engine
+        .run(
+            "wer-mc",
+            &ParamSet::new().with("trajectories", 96.0).with("seed", 7.0),
+        )
+        .unwrap();
+    assert_eq!(wer_mc.output.to_csv(), mramsim(&WER_MC_ARGS));
+
+    let array_wer = engine
+        .run(
+            "array-wer",
+            &ParamSet::new()
+                .with("rows", 4.0)
+                .with("cols", 4.0)
+                .with("trajectories", 24.0)
+                .with("pulse_ns", 3.0)
+                .with("seed", 7.0),
+        )
+        .unwrap();
+    assert_eq!(array_wer.output.to_csv(), mramsim(&ARRAY_WER_ARGS));
+}
+
+#[test]
+fn cache_keys_are_reproducible_and_parameter_sensitive() {
+    // Two independently constructed engines resolve the same overrides
+    // to the same canonical fingerprint, hence the same 64-bit content
+    // address — the invariant a future persistent (cross-process) cache
+    // relies on.
+    for (id, overrides) in [
+        ("wer-mc", ParamSet::new().with("trajectories", 96.0)),
+        (
+            "array-wer",
+            ParamSet::new().with("rows", 4.0).with("pattern", "zeros"),
+        ),
+    ] {
+        let a = Engine::standard().resolve(id, &overrides).unwrap();
+        let b = Engine::standard().resolve(id, &overrides).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "{id}");
+        assert_eq!(
+            ResultCache::key(id, &a.fingerprint()),
+            ResultCache::key(id, &b.fingerprint()),
+            "{id}"
+        );
+        // Every campaign knob moves the key.
+        let c = Engine::standard()
+            .resolve(id, &overrides.clone().with("seed", 8.0))
+            .unwrap();
+        assert_ne!(
+            ResultCache::key(id, &a.fingerprint()),
+            ResultCache::key(id, &c.fingerprint()),
+            "{id}: seed must move the content address"
+        );
+    }
+}

@@ -8,7 +8,7 @@ use mramsim_engine::{Engine, ParamSet, SweepPlan};
 fn every_registered_scenario_runs_end_to_end_and_caches() {
     let engine = Engine::standard();
     let ids: Vec<&str> = engine.registry().ids().collect();
-    assert_eq!(ids.len(), 15, "the standard registry shrank: {ids:?}");
+    assert_eq!(ids.len(), 16, "the standard registry shrank: {ids:?}");
 
     for id in &ids {
         let cold = engine
@@ -126,6 +126,49 @@ fn wer_mc_is_deterministic_cached_and_sweepable_over_pulse_width() {
         analytic.windows(2).all(|w| w[1] <= w[0]),
         "longer pulses must not raise the analytic WER: {analytic:?}"
     );
+}
+
+#[test]
+fn array_wer_checkerboard_sweeps_two_densities_worker_invariantly() {
+    // The acceptance-criteria path at test scale: an 8x8 checkerboard
+    // campaign swept over two pitches (two densities), with per-cell
+    // Monte-Carlo results bit-identical across worker counts.
+    let plan = SweepPlan::new("array-wer")
+        .fix("rows", 8.0)
+        .fix("cols", 8.0)
+        .fix("pattern", "checkerboard")
+        .fix("trajectories", 16.0)
+        .fix("pulse_ns", 4.0)
+        .fix("seed", 7.0)
+        .axis("pitch", vec![60.0, 90.0]);
+    let narrow = Engine::standard().with_workers(1).sweep(&plan).unwrap();
+    let wide = Engine::standard().with_workers(4).sweep(&plan).unwrap();
+    assert_eq!(narrow.errors, 0, "{:?}", narrow.jobs[0].result);
+    assert_eq!(narrow.jobs.len(), 2);
+    for (a, b) in narrow.jobs.iter().zip(&wide.jobs) {
+        assert_eq!(
+            a.result.as_ref().unwrap().to_csv(),
+            b.result.as_ref().unwrap().to_csv(),
+            "per-cell MC results must not depend on the worker count"
+        );
+    }
+    // The WER-vs-pitch curve: density falls with pitch, and the tighter
+    // pitch must not have a better analytic worst case.
+    let scalar = |job: &mramsim_engine::SweepJob, name: &str| {
+        job.result.as_ref().unwrap().scalar(name).unwrap()
+    };
+    assert!(
+        scalar(&narrow.jobs[0], "density_bits_per_um2")
+            > scalar(&narrow.jobs[1], "density_bits_per_um2")
+    );
+    assert!(
+        scalar(&narrow.jobs[0], "worst_wer_analytic")
+            >= scalar(&narrow.jobs[1], "worst_wer_analytic")
+    );
+    // The fault-map table carries one row per cell.
+    let out = narrow.jobs[0].result.as_ref().unwrap();
+    assert_eq!(out.tables[1].row_count(), 64);
+    assert!(out.chart.as_deref().unwrap().lines().count() == 8);
 }
 
 #[test]

@@ -6,11 +6,6 @@ use core::fmt;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum FaultsError {
-    /// An array dimension or address was out of range.
-    InvalidAddress {
-        /// Human-readable description.
-        message: String,
-    },
     /// A simulation parameter was invalid.
     InvalidParameter {
         /// Parameter name.
@@ -22,17 +17,19 @@ pub enum FaultsError {
     Device(mramsim_mtj::MtjError),
     /// The underlying array analysis failed.
     Array(mramsim_array::ArrayError),
+    /// The underlying time-domain dynamics failed.
+    Dynamics(mramsim_dynamics::DynamicsError),
 }
 
 impl fmt::Display for FaultsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::InvalidAddress { message } => write!(f, "invalid address: {message}"),
             Self::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter {name}: {message}")
             }
             Self::Device(e) => write!(f, "device model failed: {e}"),
             Self::Array(e) => write!(f, "array analysis failed: {e}"),
+            Self::Dynamics(e) => write!(f, "dynamics failed: {e}"),
         }
     }
 }
@@ -42,6 +39,7 @@ impl std::error::Error for FaultsError {
         match self {
             Self::Device(e) => Some(e),
             Self::Array(e) => Some(e),
+            Self::Dynamics(e) => Some(e),
             _ => None,
         }
     }
@@ -56,6 +54,12 @@ impl From<mramsim_mtj::MtjError> for FaultsError {
 impl From<mramsim_array::ArrayError> for FaultsError {
     fn from(e: mramsim_array::ArrayError) -> Self {
         Self::Array(e)
+    }
+}
+
+impl From<mramsim_dynamics::DynamicsError> for FaultsError {
+    fn from(e: mramsim_dynamics::DynamicsError) -> Self {
+        Self::Dynamics(e)
     }
 }
 

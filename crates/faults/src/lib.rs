@@ -6,12 +6,15 @@
 //! This crate closes that loop on top of the coupling engine:
 //!
 //! * [`CellArray`] — an N×M array of MTJ states with neighbourhood
-//!   extraction,
+//!   extraction (lives in `mramsim-array`, re-exported here),
 //! * [`ArraySimulator`] — write/read operations whose success depends on
 //!   the *actual data pattern around the victim* (write fails when the
 //!   pattern-dependent switching time exceeds the pulse, Fig. 5 logic),
 //! * [`classify_write_faults`] — per-transition classification of which
 //!   neighbourhood patterns break a write at a given design point,
+//! * [`mc`] — the Monte-Carlo write campaign: per-cell s-LLGS WER
+//!   ensembles under the pattern's stray fields, aggregated into fault
+//!   maps and per-class reports alongside the analytic path,
 //! * [`march`] — a March test engine (MATS+, March C−) that detects the
 //!   resulting pattern-sensitive faults.
 //!
@@ -42,13 +45,14 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-mod cell_array;
 mod classify;
 mod error;
 pub mod march;
+pub mod mc;
 mod simulator;
 
-pub use cell_array::CellArray;
 pub use classify::{classify_write_faults, WriteFault, WriteFaultReport};
 pub use error::FaultsError;
+pub use mc::{array_wer_campaign, ArrayWerConfig, ArrayWerReport, CellWer, ClassWer};
+pub use mramsim_array::CellArray;
 pub use simulator::{ArraySimulator, OpResult, WriteConditions};

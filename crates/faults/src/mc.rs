@@ -1,0 +1,488 @@
+//! Monte-Carlo write campaigns: the time-domain counterpart of
+//! [`crate::classify_write_faults`].
+//!
+//! The analytic classifier asks "does Sun's switching time fit the
+//! pulse?" per neighbourhood class. This module instead *simulates* the
+//! write of every cell of an N×M array under its actual pattern-derived
+//! stray field: per-cell s-LLGS trajectory ensembles
+//! ([`mramsim_dynamics::wer_campaign`]) estimate each cell's write
+//! error rate, which aggregates into a fault map and per-class report —
+//! the paper's §IV–§V coupling × density × pattern → fault-rate
+//! scenario at array scale, with both models side by side.
+
+use crate::{FaultsError, WriteFault};
+use mramsim_array::{
+    array_density_bits_per_um2, cell_field_map, CellArray, NeighborhoodPattern, PatternClass,
+};
+use mramsim_dynamics::{wer_campaign, CellDrive, EnsemblePlan, MacrospinParams, WerEstimate};
+use mramsim_mtj::wer::write_error_rate_saturating;
+use mramsim_mtj::{MtjDevice, MtjState, SwitchDirection};
+use mramsim_numerics::pool::WorkerPool;
+use mramsim_units::{Kelvin, Nanometer, Nanosecond, Oersted, Volt};
+use std::collections::BTreeMap;
+
+/// Write conditions and Monte-Carlo budget of one campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayWerConfig {
+    /// Write pulse amplitude.
+    pub voltage: Volt,
+    /// Write pulse width.
+    pub pulse: Nanosecond,
+    /// Operating temperature.
+    pub temperature: Kelvin,
+    /// Monte-Carlo replicas per cell.
+    pub trajectories: usize,
+    /// Campaign base seed (cell `c` runs on
+    /// [`mramsim_dynamics::cell_seed`]`(seed, c)`).
+    pub seed: u64,
+    /// Integrator time step \[s\].
+    pub dt: f64,
+    /// Whether the thermal bath acts during the pulse.
+    pub thermal: bool,
+    /// A cell whose Monte-Carlo WER exceeds this budget is a fault.
+    pub wer_budget: f64,
+}
+
+impl Default for ArrayWerConfig {
+    fn default() -> Self {
+        Self {
+            voltage: Volt::new(0.9),
+            pulse: Nanosecond::new(10.0),
+            temperature: Kelvin::new(300.0),
+            trajectories: 256,
+            seed: 7,
+            dt: 2e-12,
+            thermal: true,
+            wer_budget: 0.01,
+        }
+    }
+}
+
+/// The Monte-Carlo write result of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellWer {
+    /// Cell row.
+    pub row: usize,
+    /// Cell column.
+    pub col: usize,
+    /// The state stored in the pattern (the write targets its
+    /// complement — the hardest realistic operation per cell).
+    pub stored: MtjState,
+    /// The simulated transition.
+    pub direction: SwitchDirection,
+    /// The cell's neighbourhood pattern under the campaign data.
+    pub np: NeighborhoodPattern,
+    /// Total stray field at the cell's FL (intra + inter).
+    pub hz_stray: Oersted,
+    /// Drive current through the cell \[µA\].
+    pub drive_ua: f64,
+    /// The cell's pattern-shifted critical current \[µA\].
+    pub ic_ua: f64,
+    /// The Monte-Carlo estimate.
+    pub mc: WerEstimate,
+    /// The analytic (Butler, saturating below threshold) WER at the
+    /// identical operating point.
+    pub analytic: f64,
+    /// Whether the Monte-Carlo WER exceeds the configured budget.
+    pub faulty: bool,
+}
+
+/// Per-class aggregation of a campaign: the Monte-Carlo counterpart of
+/// the analytic classifier's `(direction, class)` verdicts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassWer {
+    /// The write transition.
+    pub direction: SwitchDirection,
+    /// The neighbourhood class.
+    pub class: PatternClass,
+    /// Cells of this (direction, class) in the campaign.
+    pub cells: usize,
+    /// The worst Monte-Carlo WER observed in the class.
+    pub worst_wer: f64,
+    /// Whether any cell of the class broke the budget.
+    pub faulty: bool,
+}
+
+impl ClassWer {
+    /// Renders the class as the analytic classifier's fault record
+    /// (`required_ns = None`: the MC path measures error rate, not a
+    /// required pulse).
+    #[must_use]
+    pub fn as_write_fault(&self) -> WriteFault {
+        WriteFault {
+            direction: self.direction,
+            class: self.class,
+            required_ns: None,
+        }
+    }
+}
+
+/// The outcome of one array write campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayWerReport {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Array pitch.
+    pub pitch: Nanometer,
+    /// The density this pitch realises \[bits/µm²\].
+    pub density_bits_per_um2: f64,
+    /// The WER budget cells were judged against.
+    pub wer_budget: f64,
+    /// Per-cell results, row-major.
+    pub cells: Vec<CellWer>,
+    /// Per-(direction, class) aggregation, direction-major.
+    pub classes: Vec<ClassWer>,
+}
+
+impl ArrayWerReport {
+    /// Number of cells over the WER budget.
+    #[must_use]
+    pub fn faulty_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.faulty).count()
+    }
+
+    /// The worst per-cell Monte-Carlo WER.
+    #[must_use]
+    pub fn worst_wer(&self) -> f64 {
+        self.cells.iter().map(|c| c.mc.wer).fold(0.0, f64::max)
+    }
+
+    /// The mean per-cell Monte-Carlo WER.
+    #[must_use]
+    pub fn mean_wer(&self) -> f64 {
+        let n = self.cells.len().max(1) as f64;
+        self.cells.iter().map(|c| c.mc.wer).sum::<f64>() / n
+    }
+
+    /// The classes that broke the budget, as analytic-style fault
+    /// records (feeds the same reporting as
+    /// [`crate::classify_write_faults`]).
+    #[must_use]
+    pub fn faults(&self) -> Vec<WriteFault> {
+        self.classes
+            .iter()
+            .filter(|c| c.faulty)
+            .map(ClassWer::as_write_fault)
+            .collect()
+    }
+
+    /// An ASCII fault map: `.` within budget, `#` over it, row-major.
+    #[must_use]
+    pub fn fault_map(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for row in self.cells.chunks(self.cols) {
+            for cell in row {
+                out.push(if cell.faulty { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The transition a campaign write performs on a cell storing `stored`:
+/// always to the complement — the single place the stored-state →
+/// direction mapping lives.
+fn write_direction(stored: MtjState) -> SwitchDirection {
+    match stored {
+        MtjState::AntiParallel => SwitchDirection::ApToP,
+        MtjState::Parallel => SwitchDirection::PToAp,
+    }
+}
+
+/// Runs one Monte-Carlo write campaign: every cell of `data` is written
+/// to the complement of its stored state under the stray field of its
+/// actual neighbourhood, via a per-cell s-LLGS WER ensemble.
+///
+/// Each write is evaluated against the static background pattern (like
+/// the analytic classifier) — writes do not mutate `data`.
+///
+/// # Errors
+///
+/// * [`FaultsError::InvalidParameter`] for a non-positive pulse or
+///   voltage, or a WER budget outside `(0, 1]`.
+/// * Propagated device / array / dynamics failures (a sub-critical
+///   drive is a *finding* — WER saturates at 1 — not an error).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_faults::{array_wer_campaign, ArrayWerConfig, CellArray};
+/// use mramsim_mtj::presets;
+/// use mramsim_numerics::pool::WorkerPool;
+/// use mramsim_units::{Nanometer, Nanosecond, Volt};
+///
+/// let device = presets::imec_like(Nanometer::new(35.0))?;
+/// let data = CellArray::checkerboard(4, 4)?;
+/// let config = ArrayWerConfig {
+///     voltage: Volt::new(1.0),
+///     pulse: Nanosecond::new(18.0),
+///     trajectories: 24,
+///     ..ArrayWerConfig::default()
+/// };
+/// let report = array_wer_campaign(
+///     &device, Nanometer::new(70.0), &data, &config, &WorkerPool::new(2))?;
+/// assert_eq!(report.cells.len(), 16);
+/// // A healthy corner: the generous pulse writes every cell.
+/// assert_eq!(report.faulty_cells(), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn array_wer_campaign(
+    device: &MtjDevice,
+    pitch: Nanometer,
+    data: &CellArray,
+    config: &ArrayWerConfig,
+    pool: &WorkerPool,
+) -> Result<ArrayWerReport, FaultsError> {
+    if !(config.pulse.value() > 0.0) || !config.pulse.value().is_finite() {
+        return Err(FaultsError::InvalidParameter {
+            name: "pulse",
+            message: format!("must be positive and finite, got {:?}", config.pulse),
+        });
+    }
+    if !(config.voltage.value() > 0.0) || !config.voltage.value().is_finite() {
+        return Err(FaultsError::InvalidParameter {
+            name: "voltage",
+            message: format!("must be positive and finite, got {:?}", config.voltage),
+        });
+    }
+    if !(config.wer_budget > 0.0 && config.wer_budget <= 1.0) {
+        return Err(FaultsError::InvalidParameter {
+            name: "wer_budget",
+            message: format!("must be in (0, 1], got {}", config.wer_budget),
+        });
+    }
+
+    // One calibrated base operating point and one drive per direction;
+    // per-cell points differ only by the applied stray field.
+    let point = |direction: SwitchDirection| -> Result<(MacrospinParams, f64), FaultsError> {
+        let base = MacrospinParams::from_device(device, direction, config.temperature)?;
+        let drive = device
+            .electrical()
+            .current(direction.initial_state(), config.voltage, device.area())
+            .value();
+        Ok((base, drive))
+    };
+    let (base_ap2p, drive_ap2p) = point(SwitchDirection::ApToP)?;
+    let (base_p2ap, drive_p2ap) = point(SwitchDirection::PToAp)?;
+
+    // The kernel-to-cell adapter: one stray field per cell, all served
+    // from the shared kernel cache.
+    let fields = cell_field_map(device, pitch, data)?;
+    let drives: Vec<CellDrive> = fields
+        .iter()
+        .map(|f| {
+            let (base, drive) = match write_direction(f.state) {
+                SwitchDirection::ApToP => (&base_ap2p, drive_ap2p),
+                SwitchDirection::PToAp => (&base_p2ap, drive_p2ap),
+            };
+            CellDrive {
+                params: base.clone().with_applied_hz(f.hz_oe()),
+                current: drive,
+            }
+        })
+        .collect();
+
+    let plan = EnsemblePlan::new(config.trajectories, config.seed, config.dt)?
+        .with_thermal(config.thermal);
+    let estimates = wer_campaign(&drives, config.pulse.to_second().value(), &plan, pool);
+
+    let mut cells = Vec::with_capacity(fields.len());
+    for ((field, drive), mc) in fields.iter().zip(&drives).zip(estimates) {
+        let direction = write_direction(field.state);
+        let analytic = write_error_rate_saturating(
+            device,
+            direction,
+            config.voltage,
+            field.hz_oe(),
+            config.temperature,
+            config.pulse,
+        )?;
+        cells.push(CellWer {
+            row: field.row,
+            col: field.col,
+            stored: field.state,
+            direction,
+            np: field.np,
+            hz_stray: field.hz_oe(),
+            drive_ua: 1e6 * drive.current,
+            ic_ua: 1e6 * drive.params.critical_current(),
+            mc,
+            analytic,
+            faulty: mc.wer > config.wer_budget,
+        });
+    }
+
+    let mut by_class: BTreeMap<(u8, PatternClass), ClassWer> = BTreeMap::new();
+    for cell in &cells {
+        let dir_key = u8::from(cell.direction == SwitchDirection::PToAp);
+        let entry = by_class
+            .entry((dir_key, cell.np.class()))
+            .or_insert(ClassWer {
+                direction: cell.direction,
+                class: cell.np.class(),
+                cells: 0,
+                worst_wer: 0.0,
+                faulty: false,
+            });
+        entry.cells += 1;
+        entry.worst_wer = entry.worst_wer.max(cell.mc.wer);
+        entry.faulty |= cell.faulty;
+    }
+
+    Ok(ArrayWerReport {
+        rows: data.rows(),
+        cols: data.cols(),
+        pitch,
+        density_bits_per_um2: array_density_bits_per_um2(pitch),
+        wer_budget: config.wer_budget,
+        cells,
+        classes: by_class.into_values().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramsim_mtj::presets;
+
+    fn device() -> MtjDevice {
+        presets::imec_like(Nanometer::new(35.0)).unwrap()
+    }
+
+    fn config(voltage: f64, pulse: f64, trajectories: usize) -> ArrayWerConfig {
+        ArrayWerConfig {
+            voltage: Volt::new(voltage),
+            pulse: Nanosecond::new(pulse),
+            trajectories,
+            ..ArrayWerConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_worker_count_invariant() {
+        let dev = device();
+        let data = CellArray::checkerboard(4, 4).unwrap();
+        let cfg = config(0.95, 8.0, 48);
+        let one = array_wer_campaign(&dev, Nanometer::new(70.0), &data, &cfg, &WorkerPool::new(1))
+            .unwrap();
+        let many = array_wer_campaign(&dev, Nanometer::new(70.0), &data, &cfg, &WorkerPool::new(8))
+            .unwrap();
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn healthy_corner_is_fault_free_and_aggressive_corner_is_not() {
+        let dev = device();
+        let data = CellArray::checkerboard(4, 4).unwrap();
+        let pool = WorkerPool::new(4);
+        let healthy = array_wer_campaign(
+            &dev,
+            Nanometer::new(70.0),
+            &data,
+            &config(1.0, 20.0, 32),
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(healthy.faulty_cells(), 0);
+        assert!(healthy.fault_map().chars().all(|c| c != '#'));
+        // Sub-critical drive: every transition write fails — a finding,
+        // not a panic (the analytic path saturates at WER = 1 too).
+        let broken = array_wer_campaign(
+            &dev,
+            Nanometer::new(70.0),
+            &data,
+            &config(0.3, 20.0, 16),
+            &pool,
+        )
+        .unwrap();
+        assert!(broken.faulty_cells() > 0);
+        for cell in broken
+            .cells
+            .iter()
+            .filter(|c| c.direction == SwitchDirection::ApToP)
+        {
+            assert_eq!(cell.analytic, 1.0, "sub-critical analytic WER saturates");
+            assert_eq!(cell.mc.wer, 1.0, "sub-critical MC WER saturates");
+        }
+    }
+
+    #[test]
+    fn denser_arrays_have_no_better_worst_case() {
+        let dev = device();
+        let data = CellArray::checkerboard(4, 4).unwrap();
+        let pool = WorkerPool::new(4);
+        let cfg = config(0.9, 8.0, 32);
+        let sparse = array_wer_campaign(&dev, Nanometer::new(105.0), &data, &cfg, &pool).unwrap();
+        let dense = array_wer_campaign(&dev, Nanometer::new(52.5), &data, &cfg, &pool).unwrap();
+        assert!(dense.density_bits_per_um2 > sparse.density_bits_per_um2);
+        // The paper's density claim, time-domain edition: tighter pitch
+        // must not improve the analytic worst case.
+        let worst = |r: &ArrayWerReport| r.cells.iter().map(|c| c.analytic).fold(0.0, f64::max);
+        assert!(worst(&dense) >= worst(&sparse));
+    }
+
+    #[test]
+    fn single_cell_and_report_bookkeeping() {
+        let dev = device();
+        let data = CellArray::filled(1, 1, MtjState::Parallel).unwrap();
+        let report = array_wer_campaign(
+            &dev,
+            Nanometer::new(70.0),
+            &data,
+            &config(1.0, 20.0, 16),
+            &WorkerPool::new(2),
+        )
+        .unwrap();
+        assert_eq!((report.rows, report.cols, report.cells.len()), (1, 1, 1));
+        assert_eq!(report.cells[0].direction, SwitchDirection::PToAp);
+        assert_eq!(report.classes.len(), 1);
+        assert_eq!(report.classes[0].cells, 1);
+        assert_eq!(report.fault_map().lines().count(), 1);
+        assert!(report.worst_wer() >= report.mean_wer());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let dev = device();
+        let data = CellArray::checkerboard(2, 2).unwrap();
+        let pool = WorkerPool::new(1);
+        for bad in [
+            config(0.0, 10.0, 8),
+            config(1.0, 0.0, 8),
+            config(1.0, f64::NAN, 8),
+        ] {
+            assert!(array_wer_campaign(&dev, Nanometer::new(70.0), &data, &bad, &pool).is_err());
+        }
+        let bad_budget = ArrayWerConfig {
+            wer_budget: 0.0,
+            ..config(1.0, 10.0, 8)
+        };
+        assert!(array_wer_campaign(&dev, Nanometer::new(70.0), &data, &bad_budget, &pool).is_err());
+        // Zero trajectories surfaces the EnsemblePlan error, not a panic.
+        let no_mc = config(1.0, 10.0, 0);
+        assert!(array_wer_campaign(&dev, Nanometer::new(70.0), &data, &no_mc, &pool).is_err());
+    }
+
+    #[test]
+    fn class_report_covers_every_cell_once() {
+        let dev = device();
+        let data = CellArray::checkerboard(4, 4).unwrap();
+        let report = array_wer_campaign(
+            &dev,
+            Nanometer::new(70.0),
+            &data,
+            &config(0.95, 10.0, 16),
+            &WorkerPool::new(2),
+        )
+        .unwrap();
+        let total: usize = report.classes.iter().map(|c| c.cells).sum();
+        assert_eq!(total, 16);
+        assert_eq!(
+            report.faults().len(),
+            report.classes.iter().filter(|c| c.faulty).count()
+        );
+    }
+}

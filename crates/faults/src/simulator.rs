@@ -139,7 +139,9 @@ impl ArraySimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultsError::InvalidAddress`] for bad addresses.
+    /// Returns [`FaultsError::Array`] (carrying
+    /// [`mramsim_array::ArrayError::InvalidAddress`]) for bad
+    /// addresses.
     pub fn write_would_succeed(
         &self,
         row: usize,
@@ -173,7 +175,9 @@ impl ArraySimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultsError::InvalidAddress`] for bad addresses.
+    /// Returns [`FaultsError::Array`] (carrying
+    /// [`mramsim_array::ArrayError::InvalidAddress`]) for bad
+    /// addresses.
     pub fn write(
         &mut self,
         row: usize,
@@ -192,9 +196,11 @@ impl ArraySimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultsError::InvalidAddress`] for bad addresses.
+    /// Returns [`FaultsError::Array`] (carrying
+    /// [`mramsim_array::ArrayError::InvalidAddress`]) for bad
+    /// addresses.
     pub fn read(&self, row: usize, col: usize) -> Result<MtjState, FaultsError> {
-        self.array.get(row, col)
+        Ok(self.array.get(row, col)?)
     }
 
     /// Whether *every* cell could complete *both* write transitions

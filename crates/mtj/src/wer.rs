@@ -370,6 +370,34 @@ mod tests {
     }
 
     #[test]
+    fn saturating_wer_is_finite_under_extreme_stray_fields() {
+        // The array campaign feeds per-cell stray fields straight into
+        // this API; fields past ±Hk (a destroyed or deepened well) and
+        // drives pinned exactly at threshold must yield a probability,
+        // never a panic or a NaN.
+        let dev = device();
+        for direction in [SwitchDirection::ApToP, SwitchDirection::PToAp] {
+            for hz in [-9000.0, -4646.8, -366.0, 0.0, 366.0, 4646.8, 9000.0] {
+                for v in [0.02, 0.3, 1.0] {
+                    let wer = write_error_rate_saturating(
+                        &dev,
+                        direction,
+                        Volt::new(v),
+                        Oersted::new(hz),
+                        T300,
+                        Nanosecond::new(10.0),
+                    )
+                    .unwrap();
+                    assert!(
+                        wer.is_finite() && (0.0..=1.0).contains(&wer),
+                        "{direction} hz={hz} v={v}: wer={wer}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn invalid_target_rejected() {
         let dev = device();
         for bad in [0.0, 1.0, -0.5, 2.0] {

@@ -130,6 +130,13 @@ impl RhLoopTester {
         self.dwell
     }
 
+    /// Resistance read-out voltage (the bias the extracted `RP` refers
+    /// to).
+    #[must_use]
+    pub fn read_voltage(&self) -> Volt {
+        self.read_voltage
+    }
+
     /// Number of field points over the full sweep.
     #[must_use]
     pub fn field_points(&self) -> usize {

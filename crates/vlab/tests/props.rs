@@ -1,0 +1,99 @@
+//! The measure → extract round trip as a property: whatever the
+//! process variation plants in a fabricated device, the virtual lab's
+//! testers and fits must recover it — `Hz_s_intra` and `RP` from
+//! averaged R-H loops, `(Hk, Δ0)` from switching-probability fits —
+//! within the known measurement noise.
+
+use mramsim_mtj::presets;
+use mramsim_units::{Nanometer, Oersted};
+use mramsim_vlab::{
+    analyze_loop, fit_sharrock_from_probe, ProcessVariation, RhLoopTester, SwitchingProbe, Wafer,
+    WaferSpec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// `Wafer` → `RhLoopTester`/`SwitchingProbe` → extraction recovers
+    /// the planted `Hk`, `Δ0`, `Hz_s_intra`, and `RP` across randomized
+    /// process variation.
+    #[test]
+    fn wafer_round_trip_recovers_planted_parameters(
+        seed in 0u64..10_000,
+        ecd_rel in 0.0f64..0.03,
+        hk_rel in 0.0f64..0.02,
+        delta0_rel in 0.0f64..0.04,
+        ra_rel in 0.0f64..0.03,
+    ) {
+        let nominal = presets::imec_like(Nanometer::new(35.0)).unwrap();
+        let spec = WaferSpec {
+            sizes: vec![Nanometer::new(35.0)],
+            devices_per_size: 2,
+            variation: ProcessVariation { ecd_rel, hk_rel, delta0_rel, ra_rel },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wafer = Wafer::fabricate(&nominal, &spec, &mut rng).unwrap();
+
+        let tester = RhLoopTester::paper_setup();
+        let probe = SwitchingProbe::paper_setup();
+        for dut in wafer.devices() {
+            let device = dut.device();
+            let truth_stray = device.intra_hz_at_fl_center().unwrap();
+            let truth_rp = device
+                .electrical()
+                .resistance(mramsim_mtj::MtjState::Parallel, tester.read_voltage(), device.area());
+
+            // Hz_s_intra and RP from R-H loops. A single loop carries
+            // ~90 Oe of thermal switching noise; averaging 8 loops
+            // brings the standard error under ~35 Oe.
+            let mut stray = Vec::new();
+            let mut rps = Vec::new();
+            for _ in 0..8 {
+                let rh = tester.run(device, &mut rng).unwrap();
+                let x = analyze_loop(&rh, device.electrical().ra()).unwrap();
+                stray.push(x.hz_s_intra.value());
+                rps.push(x.rp.value());
+            }
+            let stray_mean = mramsim_numerics::stats::mean(&stray).unwrap();
+            let rp_mean = mramsim_numerics::stats::mean(&rps).unwrap();
+            prop_assert!(
+                (stray_mean - truth_stray.value()).abs() < 120.0,
+                "planted Hz_s_intra {truth_stray:?}, extracted {stray_mean}"
+            );
+            prop_assert!(
+                (rp_mean / truth_rp.value() - 1.0).abs() < 0.02,
+                "planted RP {truth_rp:?}, extracted {rp_mean}"
+            );
+
+            // (Hk, Δ0) from the switching-probability fit, fields
+            // corrected by the *planted* offset exactly as §V-A
+            // corrects by the measured one.
+            let truth_hk = device.switching().hk().value();
+            let truth_delta0 = device.switching().delta0();
+            let fields: Vec<Oersted> = (0..60)
+                .map(|i| Oersted::new(0.45 * truth_hk + 0.004 * truth_hk * f64::from(i)))
+                .collect();
+            let points = probe.measure_ap_to_p(device, &fields, &mut rng).unwrap();
+            let fit = fit_sharrock_from_probe(
+                &points,
+                truth_stray,
+                probe.dwell(),
+                (Oersted::new(0.9 * truth_hk), 0.9 * truth_delta0),
+            )
+            .unwrap();
+            prop_assert!(
+                (fit.hk.value() / truth_hk - 1.0).abs() < 0.06,
+                "planted Hk {truth_hk}, fitted {:?}",
+                fit.hk
+            );
+            prop_assert!(
+                (fit.delta0 - truth_delta0).abs() < 4.0,
+                "planted delta0 {truth_delta0}, fitted {}",
+                fit.delta0
+            );
+        }
+    }
+}
