@@ -73,9 +73,54 @@ fn bench_single_run_hit_path(c: &mut Criterion) {
     });
 }
 
+/// The persistent tier: serving the 100-point grid from disk (fresh
+/// engine, warm directory) and the single-entry disk-hit path.
+fn bench_disk_store(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("mramsim-bench-store-{}", std::process::id()));
+    let open = || {
+        Engine::standard()
+            .with_disk_cache(&dir)
+            .expect("disk cache opens")
+    };
+    // Prefill the directory once; artifact: disk-warm vs cold sweep.
+    let t0 = std::time::Instant::now();
+    open().sweep(&grid()).expect("prefill sweep");
+    let cold = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let outcome = open().sweep(&grid()).expect("disk-warm sweep");
+    let disk_warm = t0.elapsed();
+    assert_eq!(
+        outcome.disk_hits, 100,
+        "prefilled grid must serve from disk"
+    );
+    print_artifact(
+        "engine: 100-point grid served from the persistent cache",
+        &format!(
+            "cold (compute + persist): {cold:>10.1?}\ndisk-warm (fresh engine): {disk_warm:>10.1?}\ncross-process speedup: {:.0}x",
+            cold.as_secs_f64() / disk_warm.as_secs_f64().max(1e-12),
+        ),
+    );
+
+    let mut group = c.benchmark_group("engine_disk_store");
+    group.bench_function("sweep_100pt_disk_warm", |b| {
+        b.iter(|| open().sweep(&grid()).expect("sweep"))
+    });
+    let engine = open();
+    engine.run("fig4a", &ParamSet::new()).expect("prefill");
+    group.bench_function("run_fig4a_disk_hit", |b| {
+        b.iter(|| {
+            // Dropping the memory tier forces the disk path every time.
+            engine.clear_cache();
+            engine.run("fig4a", &ParamSet::new()).expect("run")
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group! {
     name = engine;
     config = config();
-    targets = bench_sweep_cold_vs_warm, bench_single_run_hit_path
+    targets = bench_sweep_cold_vs_warm, bench_single_run_hit_path, bench_disk_store
 }
 criterion_main!(engine);

@@ -45,6 +45,18 @@ impl Table {
         &self.title
     }
 
+    /// The column headers.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows (each the same arity as [`Table::columns`]).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     #[must_use]
     pub fn row_count(&self) -> usize {

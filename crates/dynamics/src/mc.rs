@@ -95,16 +95,20 @@ pub struct SwitchingTimes {
     pub histogram: Histogram,
     /// Replicas simulated.
     pub trajectories: usize,
-    /// Replicas that crossed within the simulated span.
+    /// Replicas that crossed within the simulated span. When this is
+    /// zero the summary statistics below are all `None` — callers see
+    /// a typed no-switching-events outcome instead of a `NaN` that
+    /// would leak into CSV output, cache entries, and `PartialEq`
+    /// comparisons (where `NaN != NaN` breaks golden checks).
     pub switched: usize,
-    /// Mean crossing time (ns) of the switched replicas (`NaN` if none
-    /// switched).
-    pub mean_ns: f64,
-    /// Standard deviation (ns) of the crossing times (`NaN` if fewer
+    /// Mean crossing time (ns) of the switched replicas (`None` if
+    /// none switched).
+    pub mean_ns: Option<f64>,
+    /// Standard deviation (ns) of the crossing times (`None` if fewer
     /// than two switched).
-    pub std_ns: f64,
-    /// Median crossing time (ns) (`NaN` if none switched).
-    pub median_ns: f64,
+    pub std_ns: Option<f64>,
+    /// Median crossing time (ns) (`None` if none switched).
+    pub median_ns: Option<f64>,
 }
 
 /// Simulates `duration` seconds of constant drive and histograms the
@@ -150,9 +154,9 @@ pub fn switching_time_distribution(
         .map(|t| t * 1e9)
         .collect();
     histogram.extend(times_ns.iter().copied());
-    let mean_ns = stats::mean(&times_ns).unwrap_or(f64::NAN);
-    let std_ns = stats::std_dev(&times_ns).unwrap_or(f64::NAN);
-    let median_ns = stats::median(&times_ns).unwrap_or(f64::NAN);
+    let mean_ns = stats::mean(&times_ns).ok();
+    let std_ns = stats::std_dev(&times_ns).ok();
+    let median_ns = stats::median(&times_ns).ok();
     Ok(SwitchingTimes {
         histogram,
         trajectories: outcomes.len(),
@@ -221,13 +225,31 @@ mod tests {
             * 1e9
             * (mramsim_units::constants::EULER_GAMMA
                 + (core::f64::consts::PI.powi(2) * delta / 4.0).ln());
+        let mean_ns = dist.mean_ns.expect("ensemble switched");
         assert!(
-            dist.mean_ns > 0.5 * t_mean_ns && dist.mean_ns < 2.0 * t_mean_ns,
-            "mean {} vs analytic {}",
-            dist.mean_ns,
-            t_mean_ns
+            mean_ns > 0.5 * t_mean_ns && mean_ns < 2.0 * t_mean_ns,
+            "mean {mean_ns} vs analytic {t_mean_ns}"
         );
         assert_eq!(dist.histogram.total() as usize, dist.switched);
+    }
+
+    #[test]
+    fn zero_switching_events_yield_typed_absence_not_nan() {
+        // Deterministic sub-critical drive with the thermal field off:
+        // no replica can cross, so the summary statistics must be a
+        // typed `None` (regression: `unwrap_or(f64::NAN)` sent NaN
+        // into CSV output and `PartialEq`-compared cache entries).
+        let p = params();
+        let plan = EnsemblePlan::new(16, 5, 2e-12).unwrap().with_thermal(false);
+        let drive = 0.1 * p.critical_current();
+        let dist =
+            switching_time_distribution(&p, drive, 1e-9, &plan, 8, &WorkerPool::new(2)).unwrap();
+        assert_eq!(dist.switched, 0);
+        assert_eq!(dist.mean_ns, None);
+        assert_eq!(dist.std_ns, None);
+        assert_eq!(dist.median_ns, None);
+        // The typed absence restores reflexive equality for cache use.
+        assert_eq!(dist, dist.clone());
     }
 
     #[test]

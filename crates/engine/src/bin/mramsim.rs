@@ -15,7 +15,12 @@
 
 #![deny(unsafe_code)]
 
-use mramsim_engine::{parse_value, Engine, EngineError, ParamSet, ParamValue, Registry, SweepPlan};
+use mramsim_engine::store::DiskStore;
+use mramsim_engine::{
+    parse_value, Engine, EngineError, JobEvent, ParamSet, ParamValue, Registry, SweepJournal,
+    SweepOptions, SweepPlan,
+};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,6 +42,28 @@ OPTIONS:
                          in `sweep`, lists/ranges become grid axes
     --format <md|csv|chart>   output format (default md)
     --workers <n>             sweep worker threads (default: all cores)
+    --cache-dir <path|off>    persistent result cache directory
+                              (default: $MRAMSIM_CACHE_DIR, else
+                              ~/.cache/mramsim; `off` disables disk —
+                              MRAMSIM_CACHE_DIR=off does too)
+    --cache-cap <n>           in-memory cache capacity in entries
+    --limit <n>               sweep: compute at most n new points,
+                              journal them, and stop (resume later)
+    --resume <run>            sweep: continue a journaled run; the plan
+                              is reloaded from the journal, finished
+                              points are served from the disk cache
+
+PERSISTENT CACHE & RESUMABLE SWEEPS:
+    Results are content-addressed by (scenario, full parameter
+    fingerprint) plus a schema version and persisted under
+    --cache-dir, so a re-run in a new process is served from disk
+    with zero recomputation. Every sweep also writes a checkpoint
+    journal named after its run id (printed on stderr); an
+    interrupted campaign continues with
+
+        mramsim sweep --resume <run-id>
+
+    and produces output byte-identical to an uninterrupted run.
 
 EXAMPLES:
     mramsim run explore --ecd 35 --temperature_c 85
@@ -108,25 +135,38 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parsed `--name value` options, with `format` and `workers` split
+/// Parsed `--name value` options, with the engine/runtime flags split
 /// off from scenario parameters.
 struct Options {
-    scenario: String,
+    scenario: Option<String>,
     params: Vec<(String, ParamValue)>,
     format: String,
     workers: Option<usize>,
+    /// Raw `--cache-dir` value (`off` disables the disk tier).
+    cache_dir: Option<String>,
+    cache_cap: Option<usize>,
+    limit: Option<usize>,
+    resume: Option<String>,
 }
 
-fn parse_options(args: &[String], command: &str) -> Result<Options, String> {
-    let scenario = args
-        .first()
-        .filter(|a| !a.starts_with("--"))
-        .ok_or_else(|| format!("`{command}` needs a scenario id"))?
-        .clone();
-    let mut params = Vec::new();
-    let mut format = "md".to_owned();
-    let mut workers = None;
-    let mut rest = &args[1..];
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let scenario = args.first().filter(|a| !a.starts_with("--")).cloned();
+    let mut options = Options {
+        scenario,
+        params: Vec::new(),
+        format: "md".to_owned(),
+        workers: None,
+        cache_dir: None,
+        cache_cap: None,
+        limit: None,
+        resume: None,
+    };
+    let mut rest = &args[usize::from(options.scenario.is_some())..];
+    let integer = |name: &str, value: &str| {
+        value
+            .parse::<usize>()
+            .map_err(|_| format!("`--{name}` needs an integer, got `{value}`"))
+    };
     while let Some(flag) = rest.first() {
         let name = flag
             .strip_prefix("--")
@@ -141,34 +181,69 @@ fn parse_options(args: &[String], command: &str) -> Result<Options, String> {
                         "`--format` must be md, csv, or chart, got `{value}`"
                     ));
                 }
-                value.clone_into(&mut format);
+                value.clone_into(&mut options.format);
             }
-            "workers" => {
-                workers = Some(
-                    value
-                        .parse::<usize>()
-                        .map_err(|_| format!("`--workers` needs an integer, got `{value}`"))?,
-                );
-            }
+            "workers" => options.workers = Some(integer(name, value)?),
+            "cache-dir" => options.cache_dir = Some(value.clone()),
+            "cache-cap" => options.cache_cap = Some(integer(name, value)?),
+            "limit" => options.limit = Some(integer(name, value)?),
+            "resume" => options.resume = Some(value.clone()),
             _ => {
                 let parsed = parse_value(name, value).map_err(|e| e.to_string())?;
-                params.push((name.to_owned(), parsed));
+                options.params.push((name.to_owned(), parsed));
             }
         }
         rest = &rest[2..];
     }
-    Ok(Options {
-        scenario,
-        params,
-        format,
-        workers,
-    })
+    Ok(options)
 }
 
-fn build_engine(workers: Option<usize>) -> Engine {
-    match workers {
-        Some(n) => Engine::standard().with_workers(n),
-        None => Engine::standard(),
+/// The default disk-cache location for commands that did not pass
+/// `--cache-dir`. `MRAMSIM_CACHE_DIR=off` disables persistence
+/// globally — the only opt-out `report` has, since it takes no flags.
+fn default_cache_dir() -> Option<PathBuf> {
+    match std::env::var("MRAMSIM_CACHE_DIR") {
+        Ok(v) if v == "off" => None,
+        _ => Some(DiskStore::default_dir()),
+    }
+}
+
+/// The disk-cache directory to use: the `--cache-dir` value, `None`
+/// for `off`, or the default location.
+fn resolve_cache_dir(options: &Options) -> Option<PathBuf> {
+    match options.cache_dir.as_deref() {
+        Some("off") => None,
+        Some(dir) => Some(PathBuf::from(dir)),
+        None => default_cache_dir(),
+    }
+}
+
+fn base_engine(options: &Options) -> Engine {
+    let mut engine = Engine::standard();
+    if let Some(n) = options.workers {
+        engine = engine.with_workers(n);
+    }
+    if let Some(cap) = options.cache_cap {
+        engine = engine.with_cache_capacity(cap);
+    }
+    engine
+}
+
+fn build_engine(options: &Options, cache_dir: Option<&Path>) -> Result<Engine, String> {
+    let Some(dir) = cache_dir else {
+        return Ok(base_engine(options));
+    };
+    match base_engine(options).with_disk_cache(dir) {
+        Ok(engine) => Ok(engine),
+        // An unusable *default* directory (read-only $HOME, sandbox)
+        // degrades to memory-only with a warning — persistence is an
+        // optimisation there. An explicitly requested directory that
+        // cannot be used is an error the user needs to hear about.
+        Err(e) if options.cache_dir.is_none() => {
+            eprintln!("warning: persistent cache disabled: {e}");
+            Ok(base_engine(options))
+        }
+        Err(e) => Err(e.to_string()),
     }
 }
 
@@ -192,14 +267,22 @@ fn cmd_list() -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let options = parse_options(args, "run")?;
-    let engine = build_engine(options.workers);
+    let options = parse_options(args)?;
+    if options.resume.is_some() || options.limit.is_some() {
+        return Err("`--resume`/`--limit` only apply to `sweep`".into());
+    }
+    let scenario = options
+        .scenario
+        .clone()
+        .ok_or("`run` needs a scenario id")?;
+    let cache_dir = resolve_cache_dir(&options);
+    let engine = build_engine(&options, cache_dir.as_deref())?;
     let mut overrides = ParamSet::new();
     for (name, value) in options.params {
         overrides.insert(&name, value);
     }
     let outcome = engine
-        .run(&options.scenario, &overrides)
+        .run(&scenario, &overrides)
         .map_err(|e: EngineError| e.to_string())?;
     match options.format.as_str() {
         "csv" => emit(&outcome.output.to_csv()),
@@ -210,10 +293,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         _ => emit(&outcome.output.to_markdown()),
     }
     eprintln!(
-        "ran `{}` in {:.1?}{}",
-        options.scenario,
+        "ran `{scenario}` in {:.1?}{}",
         outcome.duration,
-        if outcome.cache_hit {
+        if outcome.disk_hit {
+            " (disk-cache hit)"
+        } else if outcome.cache_hit {
             " (cache hit)"
         } else {
             ""
@@ -223,38 +307,143 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let options = parse_options(args, "sweep")?;
-    let engine = build_engine(options.workers);
-    let mut plan = SweepPlan::new(&options.scenario);
-    for (name, value) in options.params {
-        plan = match value {
-            ParamValue::List(values) if values.len() > 1 => plan.axis(&name, values),
-            // A degenerate one-point range/list fixes a scalar; list
-            // parameters coerce a Number back via `ParamSet::list`.
-            ParamValue::List(values) if values.len() == 1 => plan.fix(&name, values[0]),
-            other => plan.fix(&name, other),
+    let options = parse_options(args)?;
+    let cache_dir = resolve_cache_dir(&options);
+    let engine = build_engine(&options, cache_dir.as_deref())?;
+
+    let (plan, journal) = if let Some(run_id) = &options.resume {
+        if options.scenario.is_some() || !options.params.is_empty() {
+            return Err(
+                "`--resume` reloads the journaled plan; do not pass a scenario or parameters"
+                    .into(),
+            );
+        }
+        // `store()` is None for `--cache-dir off` *and* when the
+        // default directory was unusable — resuming cannot work
+        // without the persisted results either way.
+        if engine.store().is_none() {
+            return Err(
+                "`--resume` needs a usable disk cache (do not pass `--cache-dir off`)".into(),
+            );
+        }
+        let dir = cache_dir.as_ref().expect("store implies a cache dir");
+        let (journal, state) =
+            SweepJournal::resume(SweepJournal::path_for(dir, run_id)).map_err(|e| e.to_string())?;
+        eprintln!(
+            "resuming `{run_id}`: {}/{} point(s) already journaled",
+            state.done.len(),
+            state.plan.len(),
+        );
+        (state.plan, Some(journal))
+    } else {
+        let scenario = options
+            .scenario
+            .clone()
+            .ok_or("`sweep` needs a scenario id (or `--resume <run>`)")?;
+        let mut plan = SweepPlan::new(&scenario);
+        for (name, value) in options.params {
+            plan = match value {
+                ParamValue::List(values) if values.len() > 1 => plan.axis(&name, values),
+                // A degenerate one-point range/list fixes a scalar; list
+                // parameters coerce a Number back via `ParamSet::list`.
+                ParamValue::List(values) if values.len() == 1 => plan.fix(&name, values[0]),
+                other => plan.fix(&name, other),
+            };
+        }
+        if plan.axes().is_empty() {
+            return Err("`sweep` needs at least one multi-valued axis \
+                        (e.g. `--pitch 60..240:20`)"
+                .into());
+        }
+        // `--limit` exists to slice a resumable campaign; without a
+        // store the computed slice would die with the process and the
+        // "resume to continue" advice would be unfollowable.
+        if options.limit.is_some() && engine.store().is_none() {
+            return Err(
+                "`--limit` slices a resumable campaign, which needs a usable disk cache \
+                 (do not pass `--cache-dir off`)"
+                    .into(),
+            );
+        }
+        // Validate the plan before touching the journal, so a typo'd
+        // scenario or parameter does not leave resumable-looking
+        // debris under runs/.
+        let specs = engine
+            .registry()
+            .get(&scenario)
+            .map_err(|e| e.to_string())?
+            .params();
+        for name in plan
+            .axes()
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .chain(plan.fixed().iter().map(|(name, _)| name))
+        {
+            if !specs.iter().any(|s| s.name == name) {
+                return Err(format!("scenario `{scenario}` has no parameter `{name}`"));
+            }
+        }
+        // With the disk cache on, every sweep is checkpointed: the
+        // journal captures the plan and streams finished points. No
+        // store (disabled, or default dir unusable) ⇒ no journal —
+        // there would be nothing on disk to resume from anyway.
+        let journal = match (&cache_dir, engine.store().is_some()) {
+            (Some(dir), true) => {
+                let path = SweepJournal::path_for(dir, &SweepJournal::run_id(&plan));
+                Some(SweepJournal::create(path, &plan).map_err(|e| e.to_string())?)
+            }
+            _ => None,
         };
-    }
-    if plan.axes().is_empty() {
-        return Err("`sweep` needs at least one multi-valued axis \
-                    (e.g. `--pitch 60..240:20`)"
-            .into());
-    }
-    let outcome = engine.sweep(&plan).map_err(|e| e.to_string())?;
+        (plan, journal)
+    };
+
+    let record = |event: &JobEvent<'_>| {
+        if event.ok {
+            if let Some(journal) = &journal {
+                journal.record(event.index, event.key);
+            }
+        }
+    };
+    let sweep_options = SweepOptions {
+        limit: options.limit,
+        on_done: Some(&record),
+    };
+    let outcome = engine
+        .sweep_with(&plan, &sweep_options)
+        .map_err(|e| e.to_string())?;
     let summary = outcome.summary_table();
     match options.format.as_str() {
         "csv" => emit(&summary.to_csv()),
         _ => emit(&summary.to_markdown()),
     }
+    let skipped = if outcome.skipped > 0 {
+        format!(", {} skipped (job limit)", outcome.skipped)
+    } else {
+        String::new()
+    };
+    let evictions = engine.cache_stats().evictions;
+    let pressure = if evictions > 0 {
+        format!(", {evictions} memory eviction(s)")
+    } else {
+        String::new()
+    };
     eprintln!(
-        "swept `{}`: {} point(s) on {} worker(s) in {:.1?} — {} cache hit(s), {} error(s)",
+        "swept `{}`: {} point(s) on {} worker(s) in {:.1?} — {} cache hit(s) ({} from disk), {} error(s){skipped}{pressure}",
         outcome.scenario,
         outcome.jobs.len(),
         engine.workers(),
         outcome.duration,
         outcome.cache_hits,
+        outcome.disk_hits,
         outcome.errors,
     );
+    if let Some(journal) = &journal {
+        let run_id = SweepJournal::run_id(&plan);
+        eprintln!(
+            "run `{run_id}` journaled at {} — continue with `mramsim sweep --resume {run_id}`",
+            journal.path().display()
+        );
+    }
     Ok(())
 }
 
@@ -262,7 +451,19 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
         return Err(format!("`report` takes scenario ids only, got `{flag}`"));
     }
-    let engine = Engine::standard();
+    // Reports also read and feed the persistent cache (falling back
+    // to memory-only, with a warning, when the default directory is
+    // unusable — the same degradation run/sweep announce).
+    let engine = match default_cache_dir() {
+        Some(dir) => match Engine::standard().with_disk_cache(dir) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("warning: persistent cache disabled: {e}");
+                Engine::standard()
+            }
+        },
+        None => Engine::standard(),
+    };
     let ids: Vec<&str> = args.iter().map(String::as_str).collect();
     for id in &ids {
         engine.registry().get(id).map_err(|e| e.to_string())?;

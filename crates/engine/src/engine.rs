@@ -1,11 +1,22 @@
-//! The [`Engine`]: cache-aware scenario execution and parallel sweeps.
+//! The [`Engine`]: cache-aware scenario execution and parallel sweeps,
+//! with an optional persistent disk tier and checkpointed (resumable)
+//! sweep execution.
 
 use crate::cache::{CacheStats, ResultCache};
+use crate::store::{DiskStats, DiskStore};
 use crate::{EngineError, ParamSet, Registry, ScenarioOutput, SweepPlan};
 use mramsim_core::report::Table;
 use mramsim_numerics::pool::WorkerPool;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Default capacity of the in-memory result cache: large enough that
+/// every realistic interactive session is fully served, small enough
+/// that an unbounded campaign cannot grow the map without limit (the
+/// disk tier, when enabled, still serves evicted points).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 thread_local! {
     /// Inner-parallelism budget the sweep executor hands to scenarios
@@ -30,8 +41,11 @@ pub fn scenario_workers() -> usize {
 pub struct RunOutcome {
     /// The scenario output (shared with the cache).
     pub output: Arc<ScenarioOutput>,
-    /// Whether the result came from the cache.
+    /// Whether the result came from a cache tier (memory or disk).
     pub cache_hit: bool,
+    /// Whether the serving tier was the on-disk store (implies
+    /// `cache_hit`; the entry was promoted into memory on the way).
+    pub disk_hit: bool,
     /// Wall-clock time of this call (≈0 for hits).
     pub duration: Duration,
 }
@@ -45,8 +59,14 @@ pub struct SweepJob {
     pub params: ParamSet,
     /// The result, or the rendered error.
     pub result: Result<Arc<ScenarioOutput>, String>,
-    /// Whether this job was served from the cache.
+    /// Whether this job was served from a cache tier.
     pub cache_hit: bool,
+    /// Whether this job was served from the on-disk store.
+    pub disk_hit: bool,
+    /// Whether this job was not attempted because the sweep's job
+    /// budget ([`SweepOptions::limit`]) was exhausted; its `result`
+    /// carries a descriptive error and resuming will run it.
+    pub skipped: bool,
 }
 
 /// The outcome of one [`Engine::sweep`].
@@ -56,12 +76,60 @@ pub struct SweepOutcome {
     pub scenario: String,
     /// One entry per grid point, in deterministic expansion order.
     pub jobs: Vec<SweepJob>,
-    /// Jobs served from the cache.
+    /// Jobs served from a cache tier.
     pub cache_hits: usize,
-    /// Jobs that failed.
+    /// Jobs served from the on-disk store (subset of `cache_hits`).
+    pub disk_hits: usize,
+    /// Jobs that failed (excluding budget-skipped jobs).
     pub errors: usize,
+    /// Jobs not attempted because the job budget ran out.
+    pub skipped: usize,
     /// Wall-clock time of the whole sweep.
     pub duration: Duration,
+}
+
+/// A completed (or skipped) sweep job, as seen by
+/// [`SweepOptions::on_done`] the moment it finishes — the hook that
+/// lets a journal checkpoint progress while the sweep is still
+/// running.
+#[derive(Debug, Clone, Copy)]
+pub struct JobEvent<'a> {
+    /// The job's index in deterministic expansion order.
+    pub index: usize,
+    /// The job's content address (`ResultCache::key`).
+    pub key: u64,
+    /// The fully resolved parameters.
+    pub params: &'a ParamSet,
+    /// Whether the job succeeded (skipped jobs are not successes).
+    pub ok: bool,
+    /// Whether a cache tier served it.
+    pub cache_hit: bool,
+    /// Whether the disk tier served it.
+    pub disk_hit: bool,
+    /// Whether the job-budget skip path took it.
+    pub skipped: bool,
+}
+
+/// Execution knobs of [`Engine::sweep_with`].
+#[derive(Default)]
+pub struct SweepOptions<'a> {
+    /// Run at most this many jobs that would actually *compute*
+    /// (cache-served jobs are free and never count). Jobs beyond the
+    /// budget are marked [`SweepJob::skipped`]; a later run — or
+    /// `--resume` — picks them up. `None` = unlimited.
+    pub limit: Option<usize>,
+    /// Called for every finished job, from the worker threads, as soon
+    /// as the job completes (not in expansion order).
+    pub on_done: Option<&'a (dyn Fn(&JobEvent<'_>) + Sync)>,
+}
+
+impl std::fmt::Debug for SweepOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("limit", &self.limit)
+            .field("on_done", &self.on_done.map(|_| "…"))
+            .finish()
+    }
 }
 
 impl SweepOutcome {
@@ -76,13 +144,25 @@ impl SweepOutcome {
             .first()
             .map(|j| j.point.iter().map(|(n, _)| n.as_str()).collect())
             .unwrap_or_default();
-        let scalar_names: Vec<&str> = self
-            .jobs
-            .iter()
-            .find_map(|j| j.result.as_ref().ok())
-            .map(|out| out.scalars.iter().map(|(n, _)| n.as_str()).collect())
-            .unwrap_or_default();
-        let with_status = self.errors > 0 || (axis_names.is_empty() && scalar_names.is_empty());
+        // The scalar columns are the first-seen-ordered union over
+        // *every* successful job, not just the first one: a scenario
+        // may legitimately omit a scalar at some grid points (e.g.
+        // switch-traj's mean_ns when nothing switched), and the
+        // summary must still carry the column for the points that
+        // have it — absent values render as "-".
+        let mut scalar_names: Vec<&str> = Vec::new();
+        for job in &self.jobs {
+            if let Ok(out) = &job.result {
+                for (name, _) in &out.scalars {
+                    if !scalar_names.contains(&name.as_str()) {
+                        scalar_names.push(name);
+                    }
+                }
+            }
+        }
+        let with_status = self.errors > 0
+            || self.skipped > 0
+            || (axis_names.is_empty() && scalar_names.is_empty());
         let mut columns: Vec<&str> = axis_names.clone();
         columns.extend(&scalar_names);
         if with_status {
@@ -105,6 +185,7 @@ impl SweepOutcome {
             if with_status {
                 row.push(match &job.result {
                     Ok(_) => "ok".to_owned(),
+                    Err(_) if job.skipped => "skipped".to_owned(),
                     Err(e) => format!("error: {e}"),
                 });
             }
@@ -135,6 +216,7 @@ impl SweepOutcome {
 pub struct Engine {
     registry: Registry,
     cache: ResultCache,
+    store: Option<DiskStore>,
     pool: WorkerPool,
     base_seed: u64,
 }
@@ -146,12 +228,14 @@ impl Engine {
         Self::new(Registry::standard())
     }
 
-    /// An engine over a custom registry.
+    /// An engine over a custom registry, with a memory-only cache
+    /// bounded at [`DEFAULT_CACHE_CAPACITY`] entries and no disk tier.
     #[must_use]
     pub fn new(registry: Registry) -> Self {
         Self {
             registry,
-            cache: ResultCache::new(),
+            cache: ResultCache::with_capacity(DEFAULT_CACHE_CAPACITY),
+            store: None,
             pool: WorkerPool::with_default_parallelism(),
             base_seed: 2020,
         }
@@ -162,6 +246,41 @@ impl Engine {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.pool = WorkerPool::new(workers);
         self
+    }
+
+    /// Overrides the in-memory cache capacity (entries). The existing
+    /// cache is replaced, so call this before running anything.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, limit: usize) -> Self {
+        self.cache = ResultCache::with_capacity(limit);
+        self
+    }
+
+    /// Layers the persistent on-disk result store at `dir` under the
+    /// in-memory cache (read-through / write-through): lookups fall
+    /// back to disk before computing, and every computed result is
+    /// persisted, so a second process over the same directory is
+    /// served without recomputation.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Persistence`] when the directory cannot be
+    /// created.
+    pub fn with_disk_cache(mut self, dir: impl AsRef<Path>) -> Result<Self, EngineError> {
+        self.store = Some(DiskStore::open(dir)?);
+        Ok(self)
+    }
+
+    /// The on-disk store, when one is attached.
+    #[must_use]
+    pub fn store(&self) -> Option<&DiskStore> {
+        self.store.as_ref()
+    }
+
+    /// Disk-tier counters, when a store is attached.
+    #[must_use]
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.store.as_ref().map(DiskStore::stats)
     }
 
     /// Overrides the base seed folded into derived per-job seeds.
@@ -226,23 +345,61 @@ impl Engine {
     }
 
     fn run_resolved(&self, id: &str, params: &ParamSet) -> Result<RunOutcome, EngineError> {
+        let outcome = self.run_budgeted(id, params, None)?;
+        Ok(outcome.expect("without a budget every job runs"))
+    }
+
+    /// [`Engine::run_resolved`] under an optional compute budget:
+    /// `Ok(None)` means both cache tiers declined *and* the budget was
+    /// already exhausted, so the job was not computed. The slot is
+    /// claimed at the actual compute step — a corrupt disk entry that
+    /// falls through to recompute still pays for its computation.
+    fn run_budgeted(
+        &self,
+        id: &str,
+        params: &ParamSet,
+        budget: Option<(&AtomicUsize, usize)>,
+    ) -> Result<Option<RunOutcome>, EngineError> {
         let scenario = self.registry.get(id)?;
         let key = ResultCache::key(id, &params.fingerprint());
         let start = Instant::now();
         if let Some(output) = self.cache.get(key) {
-            return Ok(RunOutcome {
+            return Ok(Some(RunOutcome {
                 output,
                 cache_hit: true,
+                disk_hit: false,
                 duration: start.elapsed(),
-            });
+            }));
+        }
+        if let Some(store) = &self.store {
+            if let Some(output) = store.load(key) {
+                // Promote into the memory tier; repeats are then free.
+                let output = Arc::new(output);
+                self.cache.insert(key, Arc::clone(&output));
+                return Ok(Some(RunOutcome {
+                    output,
+                    cache_hit: true,
+                    disk_hit: true,
+                    duration: start.elapsed(),
+                }));
+            }
+        }
+        if let Some((claimed, limit)) = budget {
+            if claimed.fetch_add(1, Ordering::Relaxed) >= limit {
+                return Ok(None);
+            }
         }
         let output = Arc::new(scenario.run(params)?);
         self.cache.insert(key, Arc::clone(&output));
-        Ok(RunOutcome {
+        if let Some(store) = &self.store {
+            store.save(key, &output);
+        }
+        Ok(Some(RunOutcome {
             output,
             cache_hit: false,
+            disk_hit: false,
             duration: start.elapsed(),
-        })
+        }))
     }
 
     /// Expands a [`SweepPlan`] and executes every grid point on the
@@ -256,6 +413,21 @@ impl Engine {
     /// Plan-level problems only: unknown scenario, unknown or
     /// duplicated parameters, an empty axis.
     pub fn sweep(&self, plan: &SweepPlan) -> Result<SweepOutcome, EngineError> {
+        self.sweep_with(plan, &SweepOptions::default())
+    }
+
+    /// [`Engine::sweep`] with execution knobs: a compute-job budget
+    /// (for checkpointed partial runs) and a per-job completion hook
+    /// (for streaming journals). See [`SweepOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Plan-level problems only, as for [`Engine::sweep`].
+    pub fn sweep_with(
+        &self,
+        plan: &SweepPlan,
+        options: &SweepOptions<'_>,
+    ) -> Result<SweepOutcome, EngineError> {
         let id = plan.scenario().to_owned();
         let scenario = self.registry.get(&id)?;
         let specs = scenario.params();
@@ -300,32 +472,83 @@ impl Engine {
         // does not multiply thread counts (7 jobs × 8 inner workers).
         let inner_workers =
             (WorkerPool::with_default_parallelism().workers() / self.pool.workers().max(1)).max(1);
-        let results: Vec<(bool, Result<Arc<ScenarioOutput>, String>)> =
-            self.pool.scoped_map(&jobs, |_, (_, params)| {
-                SCENARIO_WORKERS.set(Some(inner_workers));
-                match self.run_resolved(&id, params) {
-                    Ok(outcome) => (outcome.cache_hit, Ok(outcome.output)),
-                    Err(e) => (false, Err(e.to_string())),
-                }
-            });
+        // Every job that reaches the compute step claims one budget
+        // slot (inside `run_budgeted`, after both cache tiers have
+        // declined — so cache-served jobs are free and a corrupt disk
+        // entry cannot sneak an unbudgeted computation through).
+        let computed = AtomicUsize::new(0);
+        let budget = options.limit.map(|limit| (&computed, limit));
+        struct JobResult {
+            cache_hit: bool,
+            disk_hit: bool,
+            skipped: bool,
+            result: Result<Arc<ScenarioOutput>, String>,
+        }
+        let results: Vec<JobResult> = self.pool.scoped_map(&jobs, |index, (_, params)| {
+            SCENARIO_WORKERS.set(Some(inner_workers));
+            let key = ResultCache::key(&id, &params.fingerprint());
+            let (cache_hit, disk_hit, skipped, result) =
+                match self.run_budgeted(&id, params, budget) {
+                    Ok(Some(outcome)) => (
+                        outcome.cache_hit,
+                        outcome.disk_hit,
+                        false,
+                        Ok(outcome.output),
+                    ),
+                    Ok(None) => (
+                        false,
+                        false,
+                        true,
+                        Err("not run: sweep job budget exhausted (resume to continue)".to_owned()),
+                    ),
+                    Err(e) => (false, false, false, Err(e.to_string())),
+                };
+            let event = JobEvent {
+                index,
+                key,
+                params,
+                ok: result.is_ok(),
+                cache_hit,
+                disk_hit,
+                skipped,
+            };
+            if let Some(on_done) = options.on_done {
+                on_done(&event);
+            }
+            JobResult {
+                cache_hit,
+                disk_hit,
+                skipped,
+                result,
+            }
+        });
 
         let jobs: Vec<SweepJob> = jobs
             .into_iter()
             .zip(results)
-            .map(|((point, params), (cache_hit, result))| SweepJob {
+            .map(|((point, params), r)| SweepJob {
                 point,
                 params,
-                result,
-                cache_hit,
+                result: r.result,
+                cache_hit: r.cache_hit,
+                disk_hit: r.disk_hit,
+                skipped: r.skipped,
             })
             .collect();
         let cache_hits = jobs.iter().filter(|j| j.cache_hit).count();
-        let errors = jobs.iter().filter(|j| j.result.is_err()).count();
+        let disk_hits = jobs.iter().filter(|j| j.disk_hit).count();
+        let skipped = jobs.iter().filter(|j| j.skipped).count();
+        let errors = jobs
+            .iter()
+            .filter(|j| j.result.is_err() && !j.skipped)
+            .count();
         Ok(SweepOutcome {
             scenario: id,
             jobs,
             cache_hits,
+            disk_hits,
             errors,
+            skipped,
             duration: start.elapsed(),
         })
     }
@@ -471,6 +694,38 @@ mod tests {
         for job in &pinned.jobs {
             assert_eq!(job.params.number("seed").unwrap(), 7.0);
         }
+    }
+
+    #[test]
+    fn sweep_summary_carries_scalars_missing_from_early_jobs() {
+        // switch-traj omits mean/median/std when nothing switched; a
+        // sub-critical deterministic first point must not erase those
+        // columns for the whole sweep (regression: columns came from
+        // the first successful job only).
+        let engine = Engine::standard();
+        let plan = SweepPlan::new("switch-traj")
+            .fix("trajectories", 8.0)
+            .fix("thermal", 0.0)
+            .fix("span_ns", 4.0)
+            .axis("overdrive", vec![0.2, 3.0]);
+        let outcome = engine.sweep(&plan).unwrap();
+        assert_eq!(outcome.errors, 0);
+        let first = outcome.jobs[0].result.as_ref().unwrap();
+        assert_eq!(
+            first.scalar("switched"),
+            Some(0.0),
+            "sub-critical drive without thermal noise must not switch"
+        );
+        assert_eq!(first.scalar("mean_ns"), None);
+        let csv = outcome.summary_table().to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(
+            header.contains("mean_ns") && header.contains("std_ns"),
+            "columns present on any job must survive: {header}"
+        );
+        // The none-switched row renders "-" for the absent stats.
+        let first_row = csv.lines().nth(1).unwrap();
+        assert!(first_row.contains(",-"), "{first_row}");
     }
 
     #[test]

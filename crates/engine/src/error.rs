@@ -32,6 +32,17 @@ pub enum EngineError {
         /// The rendered model error.
         message: String,
     },
+    /// The persistence layer (disk cache or sweep journal) failed in a
+    /// way that cannot be papered over by recomputing — e.g. the cache
+    /// directory cannot be created, or a journal named by `--resume`
+    /// does not exist or belongs to a different sweep. (Corrupt cache
+    /// *entries* never surface here; they fall back to recompute.)
+    Persistence {
+        /// The file or directory involved.
+        path: String,
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -46,6 +57,9 @@ impl fmt::Display for EngineError {
             }
             Self::Scenario { scenario, message } => {
                 write!(f, "scenario `{scenario}` failed: {message}")
+            }
+            Self::Persistence { path, message } => {
+                write!(f, "persistence failure at `{path}`: {message}")
             }
         }
     }

@@ -13,8 +13,14 @@
 //!   and per-job seeding,
 //! * [`Engine`] — cache-aware execution on a shared work-stealing
 //!   worker pool ([`pool`], re-exported from `mramsim-numerics`),
-//! * a content-addressed in-memory result [`cache`] so repeated grid
-//!   points are served without recomputation,
+//! * a content-addressed, capacity-bounded in-memory result [`cache`]
+//!   so repeated grid points are served without recomputation,
+//! * a persistent on-disk result [`store`] (schema-versioned, atomic,
+//!   corruption-tolerant) layered under the memory tier, so repeats
+//!   are served across *processes* too,
+//! * checkpointed sweeps via the [`journal`] module: every finished
+//!   grid point is durably logged, and an interrupted campaign resumes
+//!   with byte-identical output,
 //! * the `mramsim` CLI binary (`list`, `run`, `sweep`, `report`).
 //!
 //! # Quickstart
@@ -44,16 +50,23 @@
 pub mod cache;
 mod engine;
 mod error;
+pub mod journal;
 mod params;
 mod registry;
 mod scenario;
+pub mod store;
 mod sweep;
 
-pub use engine::{scenario_workers, Engine, RunOutcome, SweepJob, SweepOutcome};
+pub use engine::{
+    scenario_workers, Engine, JobEvent, RunOutcome, SweepJob, SweepOptions, SweepOutcome,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use error::EngineError;
+pub use journal::{JournalState, SweepJournal};
 pub use params::{parse_value, ParamSet, ParamSpec, ParamValue};
 pub use registry::Registry;
 pub use scenario::{Scenario, ScenarioOutput};
+pub use store::{DiskStats, DiskStore};
 pub use sweep::SweepPlan;
 
 /// The engine's worker pool, shared with `mramsim-array`'s sweeps.

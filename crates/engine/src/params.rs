@@ -300,15 +300,42 @@ pub fn parse_value(name: &str, spec: &str) -> Result<ParamValue, EngineError> {
             let lo = parse(lo, "start")?;
             let hi = parse(hi, "end")?;
             let step = parse(step, "step")?;
-            if !(step > 0.0) || hi < lo {
+            if !(step > 0.0) || !(hi >= lo) || !lo.is_finite() || !hi.is_finite() {
                 return Err(EngineError::InvalidParameter {
                     name: name.to_owned(),
-                    message: format!("range `{spec}` needs end >= start and step > 0"),
+                    message: format!("range `{spec}` needs finite end >= start and step > 0"),
                 });
             }
-            let n = ((hi - lo) / step).round() as usize;
+            let span_steps = (hi - lo) / step;
+            if span_steps > 1e6 {
+                return Err(EngineError::InvalidParameter {
+                    name: name.to_owned(),
+                    message: format!(
+                        "range `{spec}` expands to {:.0} points (limit 1e6); use a larger step",
+                        span_steps + 1.0
+                    ),
+                });
+            }
+            // The grid is every `lo + i*step` that does not overshoot
+            // `hi`; the endpoint is then handled explicitly — `hi` is
+            // always included when it sits within half a step of the
+            // last grid point, and nothing ever exceeds `hi`
+            // (regression: `0..1:0.4` rounded to n=3, generated 1.2,
+            // dropped it, and silently excluded the endpoint 1.0).
+            let tol = 1e-9 * step;
+            let n = (span_steps + 1e-9).floor() as usize;
             let mut xs: Vec<f64> = (0..=n).map(|i| lo + step * i as f64).collect();
-            xs.retain(|x| *x <= hi + 1e-9 * step);
+            let last = *xs.last().expect("0..=n is never empty");
+            // Snapping is strictly a float-noise repair (so `60..240:20`
+            // ends at exactly 240.0); it must stay well below the span,
+            // or a step many orders larger than the range would rewrite
+            // the lone grid point `lo` into `hi` instead of appending.
+            let snap = tol.min(0.5 * (hi - lo));
+            if hi - last <= snap {
+                *xs.last_mut().expect("non-empty") = hi;
+            } else if hi - last <= 0.5 * step + tol {
+                xs.push(hi);
+            }
             return Ok(ParamValue::List(xs));
         }
     }
@@ -384,14 +411,73 @@ mod tests {
         assert!(parse_value("p", "0..10:0").is_err());
     }
 
+    fn range(spec: &str) -> Vec<f64> {
+        let ParamValue::List(xs) = parse_value("p", spec).unwrap() else {
+            panic!("`{spec}` did not parse to a list");
+        };
+        xs
+    }
+
     #[test]
     fn range_endpoint_is_inclusive_without_overshoot() {
-        let ParamValue::List(xs) = parse_value("p", "60..240:20").unwrap() else {
-            panic!("expected a list");
-        };
+        let xs = range("60..240:20");
         assert_eq!(xs.len(), 10);
         assert_eq!(xs[0], 60.0);
         assert_eq!(*xs.last().unwrap(), 240.0);
+    }
+
+    #[test]
+    fn range_includes_hi_when_within_half_a_step() {
+        // Regression: `0..1:0.4` rounded to n=3, generated 1.2, dropped
+        // it in the retain, and silently excluded the endpoint.
+        assert_eq!(range("0..1:0.4"), vec![0.0, 0.4, 0.8, 1.0]);
+        // hi exactly half a step past the grid is still included …
+        assert_eq!(range("0..10:4"), vec![0.0, 4.0, 8.0, 10.0]);
+        // … but more than half a step away it is not.
+        assert_eq!(range("0..1:0.6"), vec![0.0, 0.6]);
+        // Nothing ever overshoots hi.
+        for spec in ["0..1:0.4", "0..1:0.3", "0..0.3:0.1", "5..7:0.7"] {
+            let xs = range(spec);
+            assert!(
+                xs.iter().all(|&x| x <= xs.last().copied().unwrap()),
+                "{spec}: {xs:?} not sorted to its max"
+            );
+            assert!(
+                *xs.last().unwrap()
+                    <= spec
+                        .split("..")
+                        .nth(1)
+                        .unwrap()
+                        .split(':')
+                        .next()
+                        .unwrap()
+                        .parse::<f64>()
+                        .unwrap(),
+                "{spec} overshot: {xs:?}"
+            );
+        }
+        // Accumulated float error still snaps the endpoint exactly.
+        assert_eq!(*range("0..0.3:0.1").last().unwrap(), 0.3);
+    }
+
+    #[test]
+    fn degenerate_and_abusive_ranges() {
+        // hi == lo is one point.
+        assert_eq!(range("7..7:2"), vec![7.0]);
+        // A step larger than the span keeps lo and picks up hi only if
+        // it is within half a step.
+        assert_eq!(range("0..1:10"), vec![0.0, 1.0]);
+        assert_eq!(range("0..1:3"), vec![0.0, 1.0]);
+        // … even a step so large that the snap tolerance (1e-9·step)
+        // exceeds the whole span (regression: the endpoint snap
+        // rewrote the lone grid point `lo` into `hi`).
+        assert_eq!(range("0..1:1e9"), vec![0.0, 1.0]);
+        assert_eq!(range("5..5.5:1e12"), vec![5.0, 5.5]);
+        // A tiny step on a huge span is rejected before allocating.
+        let err = parse_value("p", "0..1:1e-9").unwrap_err();
+        assert!(err.to_string().contains("limit 1e6"), "{err}");
+        assert!(parse_value("p", "0..inf:1").is_err());
+        assert!(parse_value("p", "0..NaN:1").is_err());
     }
 
     #[test]

@@ -1062,22 +1062,36 @@ impl Scenario for SwitchTrajScenario {
             ]);
         }
         let switched_fraction = dist.switched as f64 / dist.trajectories as f64;
+        // `None` marks "no switching events": the row says so in words
+        // and the scalar is omitted, so NaN never reaches the CSV, the
+        // sweep summary, or `PartialEq`-compared cache entries.
+        let fmt_opt = |v: Option<f64>| {
+            v.map_or_else(|| "n/a (none switched)".to_owned(), |v| format!("{v:.3}"))
+        };
         let mut summary = Table::new("switch-traj: summary", &["quantity", "value"]);
         summary.push_row(&["direction", &point.direction.to_string()]);
         summary.push_row(&["drive (µA)", &format!("{:.1}", 1e6 * point.drive)]);
         summary.push_row(&["trajectories", &dist.trajectories.to_string()]);
         summary.push_row(&["switched", &dist.switched.to_string()]);
-        summary.push_row(&["mean (ns)", &format!("{:.3}", dist.mean_ns)]);
-        summary.push_row(&["median (ns)", &format!("{:.3}", dist.median_ns)]);
-        summary.push_row(&["std dev (ns)", &format!("{:.3}", dist.std_ns)]);
+        summary.push_row(&["mean (ns)", &fmt_opt(dist.mean_ns)]);
+        summary.push_row(&["median (ns)", &fmt_opt(dist.median_ns)]);
+        summary.push_row(&["std dev (ns)", &fmt_opt(dist.std_ns)]);
         summary.push_row(&["Sun Eq. 3 mean (ns)", &format!("{sun_tw_ns:.3}")]);
 
-        Ok(ScenarioOutput::from_table(summary)
+        let mut out = ScenarioOutput::from_table(summary)
             .with_table(histogram)
             .with_scalar("switched_fraction", switched_fraction)
-            .with_scalar("mean_ns", dist.mean_ns)
-            .with_scalar("median_ns", dist.median_ns)
-            .with_scalar("std_ns", dist.std_ns)
+            .with_scalar("switched", dist.switched as f64);
+        for (name, value) in [
+            ("mean_ns", dist.mean_ns),
+            ("median_ns", dist.median_ns),
+            ("std_ns", dist.std_ns),
+        ] {
+            if let Some(value) = value {
+                out = out.with_scalar(name, value);
+            }
+        }
+        Ok(out
             .with_scalar("sun_tw_ns", sun_tw_ns)
             .with_scalar("tau_d_ns", 1e9 * tau_d)
             .with_scalar("drive_ua", 1e6 * point.drive))

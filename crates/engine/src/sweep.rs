@@ -61,6 +61,12 @@ impl SweepPlan {
         self
     }
 
+    /// The fixed overrides applied to every job.
+    #[must_use]
+    pub fn fixed(&self) -> &ParamSet {
+        &self.fixed
+    }
+
     /// The axes in declaration order.
     #[must_use]
     pub fn axes(&self) -> &[(String, Vec<f64>)] {

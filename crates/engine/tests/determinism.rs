@@ -9,9 +9,26 @@ use mramsim_engine::cache::ResultCache;
 use mramsim_engine::{Engine, ParamSet};
 use std::process::Command;
 
-/// Runs the real `mramsim` binary and returns its stdout.
+/// Runs the real `mramsim` binary and returns its stdout. The
+/// persistent cache is pointed at a scratch directory unique to this
+/// test-process *invocation* (via the env var the CLI honours), so
+/// runs are hermetic: nothing leaks in from the user's real cache or
+/// from a previous `cargo test` whose PID happened to recur.
 fn mramsim(args: &[&str]) -> String {
+    use std::sync::OnceLock;
+    static CACHE_DIR: OnceLock<std::path::PathBuf> = OnceLock::new();
+    let cache_dir = CACHE_DIR.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos();
+        std::env::temp_dir().join(format!(
+            "mramsim-determinism-cache-{}-{nanos}",
+            std::process::id()
+        ))
+    });
     let out = Command::new(env!("CARGO_BIN_EXE_mramsim"))
+        .env("MRAMSIM_CACHE_DIR", cache_dir)
         .args(args)
         .output()
         .expect("mramsim binary runs");
@@ -53,8 +70,12 @@ const ARRAY_WER_ARGS: [&str; 14] = [
 #[test]
 fn monte_carlo_csv_output_is_byte_identical_across_processes() {
     for args in [&WER_MC_ARGS[..], &ARRAY_WER_ARGS[..]] {
-        let first = mramsim(args);
-        let second = mramsim(args);
+        // `--cache-dir off` forces both processes to *recompute*: this
+        // is the seeded-MC determinism property, not the (separately
+        // tested) disk round-trip property.
+        let args: Vec<&str> = args.iter().copied().chain(["--cache-dir", "off"]).collect();
+        let first = mramsim(&args);
+        let second = mramsim(&args);
         assert!(first.contains(','), "{args:?} produced no CSV:\n{first}");
         assert_eq!(
             first, second,

@@ -1,0 +1,492 @@
+//! The persistence layer end to end: cross-process disk-cache serving,
+//! corruption fallback, bounded-memory eviction backed by disk, and
+//! interrupted-then-resumed sweeps whose output is byte-identical to
+//! an uninterrupted run.
+
+use mramsim_engine::{Engine, SweepJournal, SweepOptions, SweepPlan};
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A unique scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mramsim-persistence-{label}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The workhorse 9-point grid: Ψ point mode, cheap enough for debug
+/// tests, expensive enough that a recompute would be detectable.
+fn nine_point_plan() -> SweepPlan {
+    SweepPlan::new("fig4b").fix("ecd", 35.0).axis(
+        "pitch",
+        (0..9).map(|i| 60.0 + 20.0 * f64::from(i)).collect(),
+    )
+}
+
+fn sweep_csv(engine: &Engine, plan: &SweepPlan) -> String {
+    engine.sweep(plan).unwrap().summary_table().to_csv()
+}
+
+#[test]
+fn a_fresh_engine_is_served_entirely_from_disk() {
+    let dir = TempDir::new("cross-engine");
+    let plan = nine_point_plan();
+
+    // "Process" A computes and persists.
+    let a = Engine::standard().with_disk_cache(&dir.0).unwrap();
+    let cold = a.sweep(&plan).unwrap();
+    assert_eq!((cold.errors, cold.cache_hits), (0, 0));
+    assert_eq!(a.disk_stats().unwrap().writes, 9);
+
+    // "Process" B (a fresh engine: empty memory tier) is served with
+    // zero recomputation, and byte-identically.
+    let b = Engine::standard().with_disk_cache(&dir.0).unwrap();
+    let warm = b.sweep(&plan).unwrap();
+    assert_eq!(
+        warm.cache_hits, 9,
+        "every point must come from a cache tier"
+    );
+    assert_eq!(warm.disk_hits, 9, "every point must come from *disk*");
+    assert_eq!(
+        warm.summary_table().to_csv(),
+        cold.summary_table().to_csv(),
+        "disk round-trip must be byte-exact"
+    );
+
+    // Memory promotion: the same engine re-sweeping no longer touches
+    // disk.
+    let hot = b.sweep(&plan).unwrap();
+    assert_eq!((hot.cache_hits, hot.disk_hits), (9, 0));
+}
+
+#[test]
+fn corrupt_disk_entries_fall_back_to_recompute() {
+    let dir = TempDir::new("corrupt");
+    let plan = nine_point_plan();
+    let reference = {
+        let engine = Engine::standard().with_disk_cache(&dir.0).unwrap();
+        sweep_csv(&engine, &plan)
+    };
+
+    // Vandalise two entries: one truncated, one pure garbage.
+    let entries: Vec<PathBuf> = fs::read_dir(dir.0.join("v1"))
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "mse"))
+        .collect();
+    assert_eq!(entries.len(), 9);
+    let text = fs::read_to_string(&entries[0]).unwrap();
+    fs::write(&entries[0], &text[..text.len() / 2]).unwrap();
+    fs::write(&entries[1], "total garbage\n").unwrap();
+
+    let engine = Engine::standard().with_disk_cache(&dir.0).unwrap();
+    let outcome = engine.sweep(&plan).unwrap();
+    assert_eq!(
+        outcome.errors, 0,
+        "corruption must never surface as an error"
+    );
+    assert_eq!(outcome.disk_hits, 7, "intact entries still serve");
+    let stats = engine.disk_stats().unwrap();
+    assert_eq!(stats.corrupt, 2, "both vandalised entries detected");
+    assert_eq!(stats.writes, 2, "recomputed results re-persisted");
+    assert_eq!(
+        outcome.summary_table().to_csv(),
+        reference,
+        "recomputed grid must match the original byte-for-byte"
+    );
+
+    // The store healed itself: a fresh engine now gets all 9 from disk.
+    let healed = Engine::standard().with_disk_cache(&dir.0).unwrap();
+    assert_eq!(healed.sweep(&plan).unwrap().disk_hits, 9);
+}
+
+#[test]
+fn corrupt_entries_still_pay_the_job_budget() {
+    // A corrupt disk entry falls through to recompute — that compute
+    // must claim a budget slot like any other (regression: the
+    // existence-only pre-check let it through unbudgeted).
+    let dir = TempDir::new("budget-corrupt");
+    let plan = nine_point_plan();
+    Engine::standard()
+        .with_disk_cache(&dir.0)
+        .unwrap()
+        .sweep(&plan)
+        .unwrap();
+    let entries: Vec<PathBuf> = fs::read_dir(dir.0.join("v1"))
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    for path in entries.iter().take(3) {
+        fs::write(path, "garbage\n").unwrap();
+    }
+    let engine = Engine::standard().with_disk_cache(&dir.0).unwrap();
+    let outcome = engine
+        .sweep_with(
+            &plan,
+            &SweepOptions {
+                limit: Some(2),
+                on_done: None,
+            },
+        )
+        .unwrap();
+    assert_eq!(outcome.disk_hits, 6, "intact entries are budget-free");
+    assert_eq!(
+        outcome.skipped, 1,
+        "the third corrupt entry exceeds the budget"
+    );
+    assert_eq!(outcome.errors, 0);
+    assert_eq!(
+        engine.disk_stats().unwrap().writes,
+        2,
+        "exactly the budgeted recomputes were persisted"
+    );
+}
+
+#[test]
+fn bounded_memory_tier_reports_pressure_and_leans_on_disk() {
+    let dir = TempDir::new("eviction");
+    let plan = nine_point_plan();
+    let engine = Engine::standard()
+        .with_cache_capacity(3)
+        .with_disk_cache(&dir.0)
+        .unwrap();
+    let cold = engine.sweep(&plan).unwrap();
+    assert_eq!(cold.errors, 0);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 3, "memory tier stays within its bound");
+    assert_eq!(stats.capacity, Some(3));
+    assert!(
+        stats.evictions >= 6,
+        "9 inserts into 3 slots must evict: {stats:?}"
+    );
+    // Despite the evictions, the warm re-run recomputes nothing: the
+    // evicted points come back from the disk tier.
+    let warm = engine.sweep(&plan).unwrap();
+    assert_eq!(warm.cache_hits, 9);
+    assert!(warm.disk_hits >= 6, "evicted points served from disk");
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_a_byte_identical_csv() {
+    let interrupted_dir = TempDir::new("resume");
+    let plan = nine_point_plan();
+    let journal_path = SweepJournal::path_for(&interrupted_dir.0, &SweepJournal::run_id(&plan));
+
+    // "Process" A: journaled sweep killed after 4 of 9 jobs (the job
+    // budget stands in for the kill — completed work is on disk and in
+    // the journal, the rest never ran).
+    {
+        let engine = Engine::standard()
+            .with_disk_cache(&interrupted_dir.0)
+            .unwrap();
+        let journal = SweepJournal::create(&journal_path, &plan).unwrap();
+        let record = |e: &mramsim_engine::JobEvent<'_>| {
+            if e.ok {
+                journal.record(e.index, e.key);
+            }
+        };
+        let partial = engine
+            .sweep_with(
+                &plan,
+                &SweepOptions {
+                    limit: Some(4),
+                    on_done: Some(&record),
+                },
+            )
+            .unwrap();
+        assert_eq!(partial.skipped, 5, "the budget must stop the sweep");
+        assert_eq!(partial.errors, 0);
+        let table = partial.summary_table();
+        assert!(
+            table.to_csv().contains("skipped"),
+            "partial output must mark unrun points"
+        );
+    }
+
+    // "Process" B: resume from the journal alone — plan reconstructed,
+    // finished points served from disk, the rest computed now.
+    let resumed_csv = {
+        let (journal, state) = SweepJournal::resume(&journal_path).unwrap();
+        assert_eq!(state.plan, plan, "journal must reconstruct the plan");
+        assert_eq!(state.done.len(), 4);
+        let engine = Engine::standard()
+            .with_disk_cache(&interrupted_dir.0)
+            .unwrap();
+        let record = |e: &mramsim_engine::JobEvent<'_>| {
+            if e.ok {
+                journal.record(e.index, e.key);
+            }
+        };
+        let outcome = engine
+            .sweep_with(
+                &state.plan,
+                &SweepOptions {
+                    limit: None,
+                    on_done: Some(&record),
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.errors + outcome.skipped, 0);
+        assert_eq!(outcome.disk_hits, 4, "the interrupted work is reused");
+        outcome.summary_table().to_csv()
+    };
+
+    // "Process" C: the same sweep, uninterrupted, in a pristine cache.
+    let uninterrupted_dir = TempDir::new("uninterrupted");
+    let uninterrupted_csv = {
+        let engine = Engine::standard()
+            .with_disk_cache(&uninterrupted_dir.0)
+            .unwrap();
+        sweep_csv(&engine, &plan)
+    };
+
+    assert_eq!(
+        resumed_csv, uninterrupted_csv,
+        "resumed sweep must be byte-identical to an uninterrupted run"
+    );
+
+    // The journal now logs all nine points.
+    let (_, state) = SweepJournal::resume(&journal_path).unwrap();
+    assert_eq!(state.done.len(), 9);
+}
+
+// ---------------------------------------------------------------------
+// CLI-level: the same properties through the real binary, in genuinely
+// separate processes.
+// ---------------------------------------------------------------------
+
+/// Runs the binary, asserting success; returns (stdout, stderr).
+fn mramsim(args: &[&str]) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mramsim"))
+        .args(args)
+        .output()
+        .expect("mramsim binary runs");
+    assert!(
+        out.status.success(),
+        "mramsim {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        String::from_utf8(out.stderr).expect("stderr is UTF-8"),
+    )
+}
+
+#[test]
+fn cli_second_process_is_all_disk_hits() {
+    let dir = TempDir::new("cli-disk");
+    let dir_str = dir.0.to_str().unwrap();
+    let args = [
+        "sweep",
+        "fig4b",
+        "--ecd",
+        "35",
+        "--pitch",
+        "60..220:20",
+        "--format",
+        "csv",
+        "--cache-dir",
+        dir_str,
+    ];
+    let (first_csv, first_err) = mramsim(&args);
+    assert!(first_err.contains("9 point(s)"), "{first_err}");
+    assert!(
+        first_err.contains("0 cache hit(s) (0 from disk)"),
+        "{first_err}"
+    );
+    let (second_csv, second_err) = mramsim(&args);
+    assert!(
+        second_err.contains("9 cache hit(s) (9 from disk)"),
+        "second process must be 100% disk hits: {second_err}"
+    );
+    assert_eq!(
+        first_csv, second_csv,
+        "disk-served CSV must be byte-identical"
+    );
+}
+
+#[test]
+fn cli_interrupted_sweep_resumes_byte_identically() {
+    let dir = TempDir::new("cli-resume");
+    let dir_str = dir.0.to_str().unwrap();
+    let sweep_args = [
+        "sweep",
+        "fig4b",
+        "--ecd",
+        "35",
+        "--pitch",
+        "60..220:20",
+        "--format",
+        "csv",
+        "--cache-dir",
+        dir_str,
+    ];
+
+    // Interrupted: only 4 of the 9 points run before the (simulated)
+    // kill; the run id is announced on stderr.
+    let limited: Vec<&str> = sweep_args.iter().copied().chain(["--limit", "4"]).collect();
+    let (partial_csv, partial_err) = mramsim(&limited);
+    assert!(partial_csv.contains("skipped"), "{partial_csv}");
+    assert!(partial_err.contains("5 skipped"), "{partial_err}");
+    let run_id = partial_err
+        .lines()
+        .find_map(|l| l.strip_prefix("run `"))
+        .and_then(|l| l.split('`').next())
+        .expect("stderr announces the run id")
+        .to_owned();
+    assert!(run_id.starts_with("fig4b-"), "{run_id}");
+
+    // Resumed in a new process, from the run id alone.
+    let (resumed_csv, resumed_err) = mramsim(&[
+        "sweep",
+        "--resume",
+        &run_id,
+        "--format",
+        "csv",
+        "--cache-dir",
+        dir_str,
+    ]);
+    assert!(
+        resumed_err.contains("resuming") && resumed_err.contains("4/9"),
+        "{resumed_err}"
+    );
+    assert!(resumed_err.contains("(4 from disk)"), "{resumed_err}");
+
+    // Uninterrupted, in a pristine cache directory, separate process.
+    let fresh = TempDir::new("cli-uninterrupted");
+    let fresh_args: Vec<&str> = sweep_args[..sweep_args.len() - 1]
+        .iter()
+        .copied()
+        .chain([fresh.0.to_str().unwrap()])
+        .collect();
+    let (uninterrupted_csv, _) = mramsim(&fresh_args);
+
+    assert_eq!(
+        resumed_csv, uninterrupted_csv,
+        "resumed CSV must be byte-identical to an uninterrupted run"
+    );
+
+    // Resuming a finished run is a no-op served entirely from disk.
+    let (rerun_csv, rerun_err) = mramsim(&[
+        "sweep",
+        "--resume",
+        &run_id,
+        "--format",
+        "csv",
+        "--cache-dir",
+        dir_str,
+    ]);
+    assert!(
+        rerun_err.contains("9 cache hit(s) (9 from disk)"),
+        "{rerun_err}"
+    );
+    assert_eq!(rerun_csv, uninterrupted_csv);
+}
+
+#[test]
+fn cli_degrades_to_memory_only_when_the_default_cache_dir_is_unusable() {
+    // An unusable *default* directory (read-only HOME, sandbox) must
+    // not break `run`/`sweep` — persistence is an optimisation there.
+    let dir = TempDir::new("cli-unusable");
+    let blocker = dir.0.join("blocker");
+    fs::write(&blocker, "a file, not a directory").unwrap();
+    let bad_default = blocker.join("nested"); // create_dir_all must fail
+    let out = Command::new(env!("CARGO_BIN_EXE_mramsim"))
+        .env("MRAMSIM_CACHE_DIR", &bad_default)
+        .args(["run", "fig4a", "--format", "csv"])
+        .output()
+        .expect("mramsim binary runs");
+    assert!(
+        out.status.success(),
+        "run must degrade gracefully: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("persistent cache disabled"),
+        "degradation must be announced: {stderr}"
+    );
+    // The same directory passed *explicitly* is a hard error.
+    let out = Command::new(env!("CARGO_BIN_EXE_mramsim"))
+        .args(["run", "fig4a", "--cache-dir", bad_default.to_str().unwrap()])
+        .output()
+        .expect("mramsim binary runs");
+    assert!(
+        !out.status.success(),
+        "an explicit unusable --cache-dir must fail loudly"
+    );
+}
+
+#[test]
+fn cli_rejects_misuse_of_resume() {
+    let dir = TempDir::new("cli-misuse");
+    let dir_str = dir.0.to_str().unwrap().to_owned();
+    for args in [
+        // Unknown run id.
+        vec!["sweep", "--resume", "no-such-run", "--cache-dir", &dir_str],
+        // Scenario/params alongside --resume.
+        vec!["sweep", "fig4b", "--resume", "x", "--cache-dir", &dir_str],
+        // --resume without a disk cache.
+        vec!["sweep", "--resume", "x", "--cache-dir", "off"],
+        // --resume on `run`.
+        vec!["run", "fig4a", "--resume", "x"],
+        // --limit without a store would waste the computed slice.
+        vec![
+            "sweep",
+            "fig4b",
+            "--pitch",
+            "60,90",
+            "--limit",
+            "1",
+            "--cache-dir",
+            "off",
+        ],
+        // Typo'd scenario and unknown parameter fail before journaling.
+        vec![
+            "sweep",
+            "fig4x",
+            "--pitch",
+            "60,90",
+            "--cache-dir",
+            &dir_str,
+        ],
+        vec![
+            "sweep",
+            "fig4b",
+            "--pitchx",
+            "60,90",
+            "--cache-dir",
+            &dir_str,
+        ],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_mramsim"))
+            .args(&args)
+            .output()
+            .expect("mramsim binary runs");
+        assert!(!out.status.success(), "{args:?} should have failed");
+    }
+    // The failed sweeps above must not leave resumable-looking journal
+    // debris behind.
+    let runs = dir.0.join("runs");
+    assert!(
+        !runs.exists() || fs::read_dir(&runs).unwrap().next().is_none(),
+        "invalid sweeps must not create journals"
+    );
+}

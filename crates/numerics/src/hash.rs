@@ -89,6 +89,42 @@ impl Default for Fnv1a {
     }
 }
 
+/// Renders a 64-bit content address as the canonical fixed-width
+/// lower-case hex form shared by the on-disk cache filenames and the
+/// sweep journals (16 characters, zero-padded).
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_numerics::hash::{key_hex, parse_key_hex};
+///
+/// assert_eq!(key_hex(0xcbf2_9ce4_8422_2325), "cbf29ce484222325");
+/// assert_eq!(parse_key_hex("000000000000002a"), Some(42));
+/// assert_eq!(parse_key_hex("not-a-key"), None);
+/// ```
+#[must_use]
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Parses the canonical 16-character hex form back into a key.
+///
+/// Returns `None` for anything that is not exactly the [`key_hex`]
+/// rendering (wrong width, upper case, stray characters), so corrupted
+/// journal lines and foreign files in a cache directory are rejected
+/// instead of aliasing onto a valid address.
+#[must_use]
+pub fn parse_key_hex(text: &str) -> Option<u64> {
+    if text.len() != 16
+        || !text
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +147,22 @@ mod tests {
         let mut c = Fnv1a::new();
         c.f64(0.3);
         assert_eq!(b.finish(), c.finish());
+    }
+
+    #[test]
+    fn key_hex_round_trips_and_rejects_noise() {
+        for key in [0u64, 1, 42, u64::MAX, fnv1a(b"fig4b")] {
+            assert_eq!(parse_key_hex(&key_hex(key)), Some(key));
+        }
+        for bad in [
+            "",
+            "2a",
+            "000000000000002A",
+            "g000000000000000",
+            "0000000000000042x",
+        ] {
+            assert_eq!(parse_key_hex(bad), None, "{bad:?} must not parse");
+        }
     }
 
     #[test]
