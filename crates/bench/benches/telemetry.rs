@@ -1,0 +1,98 @@
+//! Telemetry overhead benches: the contract is that *disabled*
+//! telemetry is free. The artifact compares warm-sweep throughput with
+//! the recorder installed vs absent, and times the raw disabled-path
+//! counter/span operations that sit on every hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mramsim_bench::print_artifact;
+use mramsim_engine::{Engine, SweepPlan};
+use mramsim_telemetry as telemetry;
+use mramsim_telemetry::MetricsRecorder;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn grid() -> SweepPlan {
+    SweepPlan::new("fig4b")
+        .axis("ecd", vec![20.0, 30.0, 35.0, 55.0])
+        .axis(
+            "pitch",
+            (0..25).map(|i| 85.0 + 4.0 * f64::from(i)).collect(),
+        )
+}
+
+/// The acceptance gate: a telemetry-off warm sweep must be within a few
+/// percent of the seed's throughput, and installing a recorder must not
+/// wreck the warm path either. Medians over several runs keep the
+/// artifact stable against scheduler noise.
+fn bench_warm_sweep_overhead(c: &mut Criterion) {
+    let engine = Engine::standard();
+    engine.sweep(&grid()).expect("prefill");
+    let median_warm = || {
+        let mut times: Vec<Duration> = (0..9)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let outcome = engine.sweep(&grid()).expect("sweep");
+                assert_eq!(outcome.cache_hits, 100);
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        times[times.len() / 2]
+    };
+    let disabled = median_warm();
+    let guard = telemetry::install(Arc::new(MetricsRecorder::new()));
+    let enabled = median_warm();
+    drop(guard);
+    print_artifact(
+        "telemetry: warm 100-point sweep, recorder absent vs installed",
+        &format!(
+            "disabled: {disabled:>10.1?}\nenabled:  {enabled:>10.1?}\nenabled/disabled: {:.2}x",
+            enabled.as_secs_f64() / disabled.as_secs_f64().max(1e-12),
+        ),
+    );
+
+    let mut group = c.benchmark_group("telemetry_warm_sweep");
+    group.bench_function("disabled", |b| {
+        b.iter(|| engine.sweep(&grid()).expect("sweep"))
+    });
+    group.bench_function("enabled", |b| {
+        let _guard = telemetry::install(Arc::new(MetricsRecorder::new()));
+        b.iter(|| engine.sweep(&grid()).expect("sweep"))
+    });
+    group.finish();
+}
+
+/// The primitive ops as the hot paths see them: one relaxed atomic load
+/// when disabled, a sharded atomic bump when a recorder is live.
+fn bench_primitive_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_ops");
+    group.bench_function("counter_add_disabled", |b| {
+        b.iter(|| telemetry::counter_add("bench.counter", 1))
+    });
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| telemetry::span("bench.span_s"))
+    });
+    group.bench_function("counter_add_enabled", |b| {
+        let _guard = telemetry::install(Arc::new(MetricsRecorder::new()));
+        b.iter(|| telemetry::counter_add("bench.counter", 1))
+    });
+    group.bench_function("observe_enabled", |b| {
+        let _guard = telemetry::install(Arc::new(MetricsRecorder::new()));
+        b.iter(|| telemetry::observe("bench.latency_s", 1.5e-4))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = telemetry_bench;
+    config = config();
+    targets = bench_warm_sweep_overhead, bench_primitive_ops
+}
+criterion_main!(telemetry_bench);

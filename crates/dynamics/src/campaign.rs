@@ -23,6 +23,7 @@ use crate::llgs::MacrospinParams;
 use crate::mc::WerEstimate;
 use mramsim_numerics::hash::Fnv1a;
 use mramsim_numerics::pool::WorkerPool;
+use mramsim_telemetry as telemetry;
 
 /// One cell's operating point in a campaign: its calibrated macrospin
 /// coefficients (with the cell's total stray field already applied)
@@ -137,6 +138,16 @@ pub fn wer_campaign(
     for (cell, live, failed) in summaries {
         trajectories[cell] += live;
         failures[cell] += failed;
+    }
+    // The campaign is the batch producer of WER estimates — count them
+    // here so `llgs.wer_estimates` / `llgs.trajectories` cover both the
+    // per-cell and the standalone Monte-Carlo entry points.
+    if telemetry::enabled() {
+        telemetry::counter_add("llgs.wer_estimates", cells.len() as u64);
+        telemetry::counter_add(
+            "llgs.trajectories",
+            (cells.len() * plan.trajectories) as u64,
+        );
     }
     trajectories
         .into_iter()

@@ -21,6 +21,7 @@ use crate::llgs::{heun_step, replica_rng, thermal_field, MacrospinParams};
 use crate::DynamicsError;
 use mramsim_numerics::pool::WorkerPool;
 use mramsim_numerics::Vec3;
+use mramsim_telemetry as telemetry;
 
 /// Replicas stepped together in one structure-of-arrays block.
 pub const LANES: usize = 16;
@@ -154,6 +155,7 @@ pub(crate) fn run_block(
     plan: &EnsemblePlan,
     first: u64,
 ) -> [ReplicaOutcome; LANES] {
+    let block_span = telemetry::span("llgs.block_s");
     let steps = plan.steps_for(duration);
     let aj = params.aj_of(current);
     let sigma = if plan.thermal {
@@ -214,6 +216,17 @@ pub(crate) fn run_block(
         }
     }
 
+    // One emit per block, not per step: the hot loop itself is never
+    // touched by telemetry.
+    if telemetry::enabled() {
+        let lane_steps = (steps * LANES) as u64;
+        telemetry::counter_add("llgs.steps", lane_steps);
+        if plan.thermal {
+            telemetry::counter_add("llgs.thermal_draws", lane_steps);
+        }
+    }
+    block_span.finish();
+
     core::array::from_fn(|l| ReplicaOutcome {
         final_m: Vec3::new(mx[l], my[l], mz[l]),
         switched: mz[l] * dest > 0.0,
@@ -251,6 +264,10 @@ pub fn run_ensemble(
     plan: &EnsemblePlan,
     pool: &WorkerPool,
 ) -> Vec<ReplicaOutcome> {
+    if telemetry::enabled() {
+        telemetry::counter_add("llgs.ensembles", 1);
+        telemetry::counter_add("llgs.trajectories", plan.trajectories as u64);
+    }
     let blocks: Vec<u64> = (0..plan.trajectories as u64).step_by(LANES).collect();
     let mut out: Vec<ReplicaOutcome> = pool
         .scoped_map(&blocks, |_, &first| {

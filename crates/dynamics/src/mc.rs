@@ -7,6 +7,7 @@ use crate::DynamicsError;
 use mramsim_numerics::histogram::Histogram;
 use mramsim_numerics::pool::WorkerPool;
 use mramsim_numerics::stats;
+use mramsim_telemetry as telemetry;
 
 /// A Monte-Carlo write-error-rate estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +85,7 @@ pub fn wer_monte_carlo(
 ) -> WerEstimate {
     let outcomes = run_ensemble(params, current, pulse, plan, pool);
     let failures = outcomes.iter().filter(|o| !o.switched).count();
+    telemetry::counter_add("llgs.wer_estimates", 1);
     WerEstimate::from_counts(outcomes.len(), failures)
 }
 
@@ -154,6 +156,7 @@ pub fn switching_time_distribution(
         .map(|t| t * 1e9)
         .collect();
     histogram.extend(times_ns.iter().copied());
+    telemetry::counter_add("llgs.switch_distributions", 1);
     let mean_ns = stats::mean(&times_ns).ok();
     let std_ns = stats::std_dev(&times_ns).ok();
     let median_ns = stats::median(&times_ns).ok();

@@ -20,8 +20,14 @@ use mramsim_engine::{
     parse_value, Engine, EngineError, JobEvent, ParamSet, ParamValue, Registry, SweepJournal,
     SweepOptions, SweepPlan,
 };
+use mramsim_telemetry as telemetry;
+use mramsim_telemetry::{report, Clock, Fanout, JsonlRecorder, MetricsRecorder, TelemetryLog};
+use std::io::IsTerminal as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 mramsim — unified scenario-execution engine for the STT-MRAM
@@ -32,6 +38,7 @@ USAGE:
     mramsim run <scenario> [OPTIONS]     run one scenario
     mramsim sweep <scenario> [OPTIONS]   run a parameter grid in parallel
     mramsim report [scenario...]         Markdown report (default: all)
+    mramsim stats <run-id|path>          post-run telemetry report
     mramsim help                         this text
 
 OPTIONS:
@@ -52,6 +59,13 @@ OPTIONS:
     --resume <run>            sweep: continue a journaled run; the plan
                               is reloaded from the journal, finished
                               points are served from the disk cache
+    --telemetry <on|off>      sweep: record metrics/events to
+                              <cache-dir>/runs/<run-id>.telemetry
+                              (default on; results are byte-identical
+                              either way)
+    --progress <auto|on|off>  sweep: live progress line on stderr
+                              (default auto: only when stderr is a
+                              terminal)
 
 PERSISTENT CACHE & RESUMABLE SWEEPS:
     Results are content-addressed by (scenario, full parameter
@@ -64,6 +78,19 @@ PERSISTENT CACHE & RESUMABLE SWEEPS:
         mramsim sweep --resume <run-id>
 
     and produces output byte-identical to an uninterrupted run.
+
+OBSERVABILITY:
+    Every sweep (unless --telemetry off) streams a JSONL event log —
+    job completions with durations and cache tiers, pool and solver
+    counters, latency histograms — to
+    <cache-dir>/runs/<run-id>.telemetry, and
+
+        mramsim stats <run-id>
+
+    renders the post-run report: wall clock, jobs/s, pool
+    utilization, a phase-by-phase time breakdown, the slowest jobs,
+    and every histogram/counter. Telemetry is write-only: cache keys
+    and CSV output are byte-identical with it on or off.
 
 EXAMPLES:
     mramsim run explore --ecd 35 --temperature_c 85
@@ -131,6 +158,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -147,6 +175,10 @@ struct Options {
     cache_cap: Option<usize>,
     limit: Option<usize>,
     resume: Option<String>,
+    /// Whether sweeps record telemetry (default on).
+    telemetry: bool,
+    /// Live progress line: `auto` (TTY only), `on`, or `off`.
+    progress: String,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -160,6 +192,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache_cap: None,
         limit: None,
         resume: None,
+        telemetry: true,
+        progress: "auto".to_owned(),
     };
     let mut rest = &args[usize::from(options.scenario.is_some())..];
     let integer = |name: &str, value: &str| {
@@ -188,6 +222,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "cache-cap" => options.cache_cap = Some(integer(name, value)?),
             "limit" => options.limit = Some(integer(name, value)?),
             "resume" => options.resume = Some(value.clone()),
+            "telemetry" => {
+                options.telemetry = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("`--telemetry` must be on or off, got `{other}`")),
+                };
+            }
+            "progress" => {
+                if !matches!(value.as_str(), "auto" | "on" | "off") {
+                    return Err(format!(
+                        "`--progress` must be auto, on, or off, got `{value}`"
+                    ));
+                }
+                value.clone_into(&mut options.progress);
+            }
             _ => {
                 let parsed = parse_value(name, value).map_err(|e| e.to_string())?;
                 options.params.push((name.to_owned(), parsed));
@@ -306,6 +355,92 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The throttled live progress line a sweep renders on stderr.
+///
+/// Fed from [`JobEvent`]s on the worker threads; never consulted by
+/// anything that produces results, so it cannot move a golden number.
+struct Progress {
+    total: usize,
+    workers: usize,
+    start: Instant,
+    done: AtomicUsize,
+    hits: AtomicUsize,
+    busy_ns: AtomicU64,
+    last: Mutex<Instant>,
+}
+
+impl Progress {
+    fn new(total: usize, workers: usize) -> Self {
+        let now = Instant::now();
+        Self {
+            total,
+            workers,
+            start: now,
+            done: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            busy_ns: AtomicU64::new(0),
+            // Pre-aged so the very first job renders immediately.
+            last: Mutex::new(now.checked_sub(Duration::from_secs(1)).unwrap_or(now)),
+        }
+    }
+
+    fn on_job(&self, event: &JobEvent<'_>) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if event.cache_hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.busy_ns
+            .fetch_add(event.duration.as_nanos() as u64, Ordering::Relaxed);
+        // Throttle to ~10 Hz, but always render the final job so the
+        // line ends at 100%.
+        {
+            let mut last = self.last.lock().expect("progress poisoned");
+            if done < self.total && last.elapsed() < Duration::from_millis(100) {
+                return;
+            }
+            *last = Instant::now();
+        }
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = (self.total.saturating_sub(done)) as f64 / rate.max(1e-9);
+        let hit_pct = 100.0 * self.hits.load(Ordering::Relaxed) as f64 / done as f64;
+        let busy = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let util = 100.0 * busy / (elapsed * self.workers as f64);
+        eprint!(
+            "\r\x1b[K  {done}/{} jobs · {rate:.1} jobs/s · ETA {} · cache {hit_pct:.0}% · pool {util:.0}%",
+            self.total,
+            report::format_secs(eta),
+        );
+    }
+
+    /// Erases the progress line so the summary starts on a clean line.
+    fn clear(&self) {
+        eprint!("\r\x1b[K");
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    let run = options
+        .scenario
+        .clone()
+        .ok_or("`stats` needs a run id (printed by `sweep`) or a path to a .telemetry file")?;
+    if !options.params.is_empty() {
+        return Err("`stats` takes a run id and optionally `--cache-dir` only".into());
+    }
+    let direct = PathBuf::from(&run);
+    let path = if direct.is_file() {
+        direct
+    } else {
+        let dir = resolve_cache_dir(&options)
+            .ok_or("`stats` needs a cache directory (do not pass `--cache-dir off`)")?;
+        JsonlRecorder::path_for(&dir, &run)
+    };
+    let log = TelemetryLog::load(path)?;
+    emit(&report::render_stats(&log));
+    Ok(())
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let options = parse_options(args)?;
     let cache_dir = resolve_cache_dir(&options);
@@ -397,11 +532,42 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         (plan, journal)
     };
 
+    let run_id = SweepJournal::run_id(&plan);
+    // Telemetry: metrics aggregate in-process; events stream to the
+    // run's JSONL log when a cache directory exists to hold it. All of
+    // it is write-only with respect to results.
+    let metrics = Arc::new(MetricsRecorder::new());
+    let mut jsonl: Option<Arc<JsonlRecorder>> = None;
+    let telemetry_guard = if options.telemetry {
+        if let Some(dir) = &cache_dir {
+            match JsonlRecorder::create(JsonlRecorder::path_for(dir, &run_id), Clock::system()) {
+                Ok(sink) => jsonl = Some(Arc::new(sink)),
+                Err(e) => eprintln!("warning: telemetry log disabled: {e}"),
+            }
+        }
+        let mut sinks: Vec<Arc<dyn telemetry::Recorder>> = vec![metrics.clone()];
+        if let Some(sink) = &jsonl {
+            sinks.push(sink.clone());
+        }
+        Some(telemetry::install(Arc::new(Fanout(sinks))))
+    } else {
+        None
+    };
+    let show_progress = match options.progress.as_str() {
+        "on" => true,
+        "off" => false,
+        _ => std::io::stderr().is_terminal(),
+    };
+    let progress = Progress::new(plan.len(), engine.workers());
+
     let record = |event: &JobEvent<'_>| {
         if event.ok {
             if let Some(journal) = &journal {
                 journal.record(event.index, event.key);
             }
+        }
+        if show_progress {
+            progress.on_job(event);
         }
     };
     let sweep_options = SweepOptions {
@@ -411,6 +577,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let outcome = engine
         .sweep_with(&plan, &sweep_options)
         .map_err(|e| e.to_string())?;
+    if show_progress {
+        progress.clear();
+    }
+    // Seal the log: one final metrics snapshot, then uninstall.
+    if let Some(sink) = &jsonl {
+        sink.write_snapshot(&metrics.snapshot());
+    }
+    drop(telemetry_guard);
     let summary = outcome.summary_table();
     match options.format.as_str() {
         "csv" => emit(&summary.to_csv()),
@@ -421,14 +595,29 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     } else {
         String::new()
     };
-    let evictions = engine.cache_stats().evictions;
+    // Warm-hit and eviction counts come from the telemetry metrics
+    // when they were recorded (the counters see exactly this sweep's
+    // cache traffic); without telemetry they fall back to the sweep
+    // outcome and the engine-lifetime cache stats.
+    let (warm_hits, evictions) = if options.telemetry {
+        let snapshot = metrics.snapshot();
+        (
+            snapshot.counter("cache.memory_hits"),
+            snapshot.counter("cache.evictions"),
+        )
+    } else {
+        (
+            outcome.cache_hits.saturating_sub(outcome.disk_hits) as u64,
+            engine.cache_stats().evictions,
+        )
+    };
     let pressure = if evictions > 0 {
         format!(", {evictions} memory eviction(s)")
     } else {
         String::new()
     };
     eprintln!(
-        "swept `{}`: {} point(s) on {} worker(s) in {:.1?} — {} cache hit(s) ({} from disk), {} error(s){skipped}{pressure}",
+        "swept `{}`: {} point(s) on {} worker(s) in {:.1?} — {} cache hit(s) ({warm_hits} warm, {} from disk), {} error(s){skipped}{pressure}",
         outcome.scenario,
         outcome.jobs.len(),
         engine.workers(),
@@ -438,10 +627,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         outcome.errors,
     );
     if let Some(journal) = &journal {
-        let run_id = SweepJournal::run_id(&plan);
         eprintln!(
             "run `{run_id}` journaled at {} — continue with `mramsim sweep --resume {run_id}`",
             journal.path().display()
+        );
+    }
+    if let Some(sink) = &jsonl {
+        eprintln!(
+            "telemetry at {} — inspect with `mramsim stats {run_id}`",
+            sink.path().display()
         );
     }
     Ok(())

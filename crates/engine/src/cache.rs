@@ -17,6 +17,7 @@
 //! can show cache pressure.
 
 use crate::ScenarioOutput;
+use mramsim_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -157,9 +158,15 @@ impl ResultCache {
         });
         drop(inner);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("cache.memory_hits", 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("cache.memory_misses", 1);
+            }
+        }
         found
     }
 
@@ -203,6 +210,7 @@ impl ResultCache {
                     .expect("len > limit >= 0 means non-empty");
                 inner.map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("cache.evictions", 1);
             }
         }
     }

@@ -7,10 +7,12 @@ use crate::store::{DiskStats, DiskStore};
 use crate::{EngineError, ParamSet, Registry, ScenarioOutput, SweepPlan};
 use mramsim_core::report::Table;
 use mramsim_numerics::pool::WorkerPool;
+use mramsim_telemetry as telemetry;
+use mramsim_telemetry::{Clock, Value};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Default capacity of the in-memory result cache: large enough that
 /// every realistic interactive session is fully served, small enough
@@ -108,6 +110,9 @@ pub struct JobEvent<'a> {
     pub disk_hit: bool,
     /// Whether the job-budget skip path took it.
     pub skipped: bool,
+    /// Wall-clock time of this job, measured on the engine's
+    /// [`Clock`] (≈0 for cache hits and skips).
+    pub duration: Duration,
 }
 
 /// Execution knobs of [`Engine::sweep_with`].
@@ -219,6 +224,7 @@ pub struct Engine {
     store: Option<DiskStore>,
     pool: WorkerPool,
     base_seed: u64,
+    clock: Clock,
 }
 
 impl Engine {
@@ -238,7 +244,19 @@ impl Engine {
             store: None,
             pool: WorkerPool::with_default_parallelism(),
             base_seed: 2020,
+            clock: Clock::system(),
         }
+    }
+
+    /// Overrides the clock behind every reported wall-clock duration
+    /// ([`RunOutcome::duration`], [`JobEvent::duration`],
+    /// [`SweepOutcome::duration`]). Tests install a
+    /// [`mramsim_telemetry::TestClock`] to make timing assertions
+    /// deterministic; results themselves never depend on the clock.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Overrides the sweep worker count.
@@ -362,13 +380,15 @@ impl Engine {
     ) -> Result<Option<RunOutcome>, EngineError> {
         let scenario = self.registry.get(id)?;
         let key = ResultCache::key(id, &params.fingerprint());
-        let start = Instant::now();
+        let start = self.clock.now_nanos();
         if let Some(output) = self.cache.get(key) {
+            let duration = self.clock.elapsed(start);
+            telemetry::observe("engine.warm_lookup_s", duration.as_secs_f64());
             return Ok(Some(RunOutcome {
                 output,
                 cache_hit: true,
                 disk_hit: false,
-                duration: start.elapsed(),
+                duration,
             }));
         }
         if let Some(store) = &self.store {
@@ -376,11 +396,13 @@ impl Engine {
                 // Promote into the memory tier; repeats are then free.
                 let output = Arc::new(output);
                 self.cache.insert(key, Arc::clone(&output));
+                let duration = self.clock.elapsed(start);
+                telemetry::observe("engine.disk_load_s", duration.as_secs_f64());
                 return Ok(Some(RunOutcome {
                     output,
                     cache_hit: true,
                     disk_hit: true,
-                    duration: start.elapsed(),
+                    duration,
                 }));
             }
         }
@@ -394,11 +416,13 @@ impl Engine {
         if let Some(store) = &self.store {
             store.save(key, &output);
         }
+        let duration = self.clock.elapsed(start);
+        telemetry::observe("engine.compute_s", duration.as_secs_f64());
         Ok(Some(RunOutcome {
             output,
             cache_hit: false,
             disk_hit: false,
-            duration: start.elapsed(),
+            duration,
         }))
     }
 
@@ -466,7 +490,17 @@ impl Engine {
             })
             .collect::<Result<_, EngineError>>()?;
 
-        let start = Instant::now();
+        let start = self.clock.now_nanos();
+        if telemetry::enabled() {
+            telemetry::event(
+                "sweep.start",
+                &[
+                    ("scenario", Value::Text(id.clone())),
+                    ("jobs", Value::U64(jobs.len() as u64)),
+                    ("workers", Value::U64(self.pool.workers() as u64)),
+                ],
+            );
+        }
         // Scenarios with internal parallelism (the Monte-Carlo dynamics)
         // get the cores the sweep itself leaves idle, so a wide sweep
         // does not multiply thread counts (7 jobs × 8 inner workers).
@@ -484,9 +518,11 @@ impl Engine {
             skipped: bool,
             result: Result<Arc<ScenarioOutput>, String>,
         }
+        let busy_ns = AtomicU64::new(0);
         let results: Vec<JobResult> = self.pool.scoped_map(&jobs, |index, (_, params)| {
             SCENARIO_WORKERS.set(Some(inner_workers));
             let key = ResultCache::key(&id, &params.fingerprint());
+            let job_start = self.clock.now_nanos();
             let (cache_hit, disk_hit, skipped, result) =
                 match self.run_budgeted(&id, params, budget) {
                     Ok(Some(outcome)) => (
@@ -503,6 +539,33 @@ impl Engine {
                     ),
                     Err(e) => (false, false, false, Err(e.to_string())),
                 };
+            let duration = self.clock.elapsed(job_start);
+            if !skipped {
+                busy_ns.fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+            }
+            if telemetry::enabled() {
+                let source = if skipped {
+                    "skipped"
+                } else if result.is_err() {
+                    "error"
+                } else if disk_hit {
+                    "disk"
+                } else if cache_hit {
+                    "warm"
+                } else {
+                    "computed"
+                };
+                telemetry::event(
+                    "job.done",
+                    &[
+                        ("index", Value::U64(index as u64)),
+                        ("source", Value::Text(source.to_owned())),
+                        ("duration_ns", Value::U64(duration.as_nanos() as u64)),
+                        ("ok", Value::Bool(result.is_ok())),
+                        ("scenario", Value::Text(id.clone())),
+                    ],
+                );
+            }
             let event = JobEvent {
                 index,
                 key,
@@ -511,6 +574,7 @@ impl Engine {
                 cache_hit,
                 disk_hit,
                 skipped,
+                duration,
             };
             if let Some(on_done) = options.on_done {
                 on_done(&event);
@@ -542,6 +606,21 @@ impl Engine {
             .iter()
             .filter(|j| j.result.is_err() && !j.skipped)
             .count();
+        let duration = self.clock.elapsed(start);
+        telemetry::counter_add("engine.busy_ns", busy_ns.load(Ordering::Relaxed));
+        telemetry::observe("engine.sweep_s", duration.as_secs_f64());
+        if telemetry::enabled() {
+            telemetry::event(
+                "sweep.end",
+                &[
+                    ("duration_ns", Value::U64(duration.as_nanos() as u64)),
+                    ("cache_hits", Value::U64(cache_hits as u64)),
+                    ("disk_hits", Value::U64(disk_hits as u64)),
+                    ("errors", Value::U64(errors as u64)),
+                    ("skipped", Value::U64(skipped as u64)),
+                ],
+            );
+        }
         Ok(SweepOutcome {
             scenario: id,
             jobs,
@@ -549,7 +628,7 @@ impl Engine {
             disk_hits,
             errors,
             skipped,
-            duration: start.elapsed(),
+            duration,
         })
     }
 

@@ -21,6 +21,7 @@
 use crate::store::{Wire, WireReader};
 use crate::{EngineError, ParamValue, SweepPlan};
 use mramsim_numerics::hash::{key_hex, parse_key_hex, Fnv1a};
+use mramsim_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
@@ -143,9 +144,13 @@ impl SweepJournal {
     /// full disk must not take down the sweep, it only costs
     /// resumability.
     pub fn record(&self, index: usize, key: u64) {
+        let span = telemetry::span("journal.flush_s");
         let line = format!("done {index} {}\n", key_hex(key));
         let mut file = self.file.lock().expect("journal poisoned");
         let _ = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+        drop(file);
+        span.finish();
+        telemetry::counter_add("journal.records", 1);
     }
 }
 

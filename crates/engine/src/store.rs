@@ -25,6 +25,7 @@
 use crate::{EngineError, ScenarioOutput};
 use mramsim_core::report::Table;
 use mramsim_numerics::hash::{fnv1a, key_hex, parse_key_hex};
+use mramsim_telemetry as telemetry;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -50,6 +51,10 @@ pub struct DiskStats {
     /// Writes that failed (out of space, permissions, …); the run
     /// continues, the result is just not persisted.
     pub write_errors: u64,
+    /// Bytes of entry text served from disk (hits only).
+    pub bytes_read: u64,
+    /// Bytes of entry text successfully persisted.
+    pub bytes_written: u64,
 }
 
 /// A content-addressed, schema-versioned, crash-safe on-disk result
@@ -80,6 +85,8 @@ pub struct DiskStore {
     writes: AtomicU64,
     corrupt: AtomicU64,
     write_errors: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 impl DiskStore {
@@ -104,6 +111,8 @@ impl DiskStore {
             writes: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
         })
     }
 
@@ -151,11 +160,16 @@ impl DiskStore {
         let path = self.entry_path(key);
         let Ok(text) = fs::read_to_string(&path) else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("cache.disk_misses", 1);
             return None;
         };
         match decode_entry(&text) {
             Some(output) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_read
+                    .fetch_add(text.len() as u64, Ordering::Relaxed);
+                telemetry::counter_add("cache.disk_hits", 1);
+                telemetry::counter_add("cache.disk_bytes_read", text.len() as u64);
                 Some(output)
             }
             None => {
@@ -164,6 +178,8 @@ impl DiskStore {
                 let _ = fs::remove_file(&path);
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("cache.disk_corrupt", 1);
+                telemetry::counter_add("cache.disk_misses", 1);
                 None
             }
         }
@@ -180,14 +196,20 @@ impl DiskStore {
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let written = fs::write(&tmp, encode_entry(output)).and_then(|()| fs::rename(&tmp, &path));
+        let body = encode_entry(output);
+        let bytes = body.len() as u64;
+        let written = fs::write(&tmp, body).and_then(|()| fs::rename(&tmp, &path));
         match written {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
+                self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+                telemetry::counter_add("cache.disk_writes", 1);
+                telemetry::counter_add("cache.disk_bytes_written", bytes);
             }
             Err(_) => {
                 let _ = fs::remove_file(&tmp);
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("cache.disk_write_errors", 1);
             }
         }
     }
@@ -201,6 +223,8 @@ impl DiskStore {
             writes: self.writes.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             write_errors: self.write_errors.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
     }
 }
@@ -484,6 +508,9 @@ mod tests {
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
         assert_eq!(stats.corrupt, 0);
+        // One save, one hit of the same entry: the byte counters agree.
+        assert!(stats.bytes_written > 0);
+        assert_eq!(stats.bytes_read, stats.bytes_written);
         // A second store over the same directory sees the entry: the
         // cross-process persistence property at module scale.
         let reopened = DiskStore::open(&dir.0).unwrap();

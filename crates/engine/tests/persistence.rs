@@ -308,12 +308,12 @@ fn cli_second_process_is_all_disk_hits() {
     let (first_csv, first_err) = mramsim(&args);
     assert!(first_err.contains("9 point(s)"), "{first_err}");
     assert!(
-        first_err.contains("0 cache hit(s) (0 from disk)"),
+        first_err.contains("0 cache hit(s) (0 warm, 0 from disk)"),
         "{first_err}"
     );
     let (second_csv, second_err) = mramsim(&args);
     assert!(
-        second_err.contains("9 cache hit(s) (9 from disk)"),
+        second_err.contains("9 cache hit(s) (0 warm, 9 from disk)"),
         "second process must be 100% disk hits: {second_err}"
     );
     assert_eq!(
@@ -367,7 +367,7 @@ fn cli_interrupted_sweep_resumes_byte_identically() {
         resumed_err.contains("resuming") && resumed_err.contains("4/9"),
         "{resumed_err}"
     );
-    assert!(resumed_err.contains("(4 from disk)"), "{resumed_err}");
+    assert!(resumed_err.contains("4 from disk"), "{resumed_err}");
 
     // Uninterrupted, in a pristine cache directory, separate process.
     let fresh = TempDir::new("cli-uninterrupted");
@@ -394,7 +394,7 @@ fn cli_interrupted_sweep_resumes_byte_identically() {
         dir_str,
     ]);
     assert!(
-        rerun_err.contains("9 cache hit(s) (9 from disk)"),
+        rerun_err.contains("9 cache hit(s) (0 warm, 9 from disk)"),
         "{rerun_err}"
     );
     assert_eq!(rerun_csv, uninterrupted_csv);

@@ -1,0 +1,204 @@
+//! Observability integration: the telemetry pipeline against *real*
+//! sweeps. Two properties matter — the JSONL run log round-trips with
+//! every line parseable and the per-job accounting consistent, and
+//! telemetry is strictly write-only: enabling it must not move a single
+//! byte of scientific output or a single cache key.
+
+use mramsim_engine::cache::ResultCache;
+use mramsim_engine::{Engine, ParamSet, SweepPlan};
+use mramsim_telemetry as telemetry;
+use mramsim_telemetry::{Clock, Fanout, JsonlRecorder, MetricsRecorder, TelemetryLog};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Tests in this file install the process-global recorder; they must
+/// not overlap with each other (the harness runs them on threads of
+/// one process).
+fn install_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    std::env::temp_dir().join(format!(
+        "mramsim-telemetry-{name}-{}-{nanos}",
+        std::process::id()
+    ))
+}
+
+fn array_wer_plan() -> SweepPlan {
+    SweepPlan::new("array-wer")
+        .fix("rows", 4.0)
+        .fix("cols", 4.0)
+        .fix("trajectories", 16.0)
+        .fix("pulse_ns", 3.0)
+        .axis("seed", vec![1.0, 2.0, 3.0, 4.0])
+}
+
+#[test]
+fn jsonl_log_of_a_real_array_wer_sweep_round_trips() {
+    let _serial = install_lock();
+    let path = scratch_path("roundtrip").with_extension("telemetry");
+    let metrics = Arc::new(MetricsRecorder::new());
+    let sink = Arc::new(JsonlRecorder::create(&path, Clock::system()).expect("create log"));
+    let guard = telemetry::install(Arc::new(Fanout(vec![
+        metrics.clone() as Arc<dyn telemetry::Recorder>,
+        sink.clone(),
+    ])));
+
+    let engine = Engine::standard().with_workers(2);
+    let plan = array_wer_plan();
+    let outcome = engine.sweep(&plan).expect("sweep runs");
+    sink.write_snapshot(&metrics.snapshot());
+    drop(guard);
+    assert_eq!(outcome.errors, 0, "array-wer jobs all succeed");
+
+    // Every line of the file must parse — `load` is Err on any interior
+    // malformation, so a successful load *is* the line-by-line check.
+    let log = TelemetryLog::load(&path).expect("log parses");
+    assert!(!log.truncated_tail, "file was closed cleanly");
+    let metrics_snapshot = log.metrics.as_ref().expect("snapshot line present");
+
+    let starts: Vec<_> = log
+        .events
+        .iter()
+        .filter(|e| e.name == "sweep.start")
+        .collect();
+    let jobs: Vec<_> = log.events.iter().filter(|e| e.name == "job.done").collect();
+    let ends: Vec<_> = log
+        .events
+        .iter()
+        .filter(|e| e.name == "sweep.end")
+        .collect();
+    assert_eq!(starts.len(), 1);
+    assert_eq!(ends.len(), 1);
+    assert_eq!(jobs.len(), plan.len(), "one job.done event per grid point");
+    assert_eq!(starts[0].text("scenario"), Some("array-wer"));
+    assert_eq!(starts[0].u64("jobs"), Some(plan.len() as u64));
+
+    // Per-job accounting: all four jobs computed fresh and their summed
+    // durations can never exceed the workers' aggregate wall budget.
+    let mut busy = Duration::ZERO;
+    for job in &jobs {
+        assert_eq!(job.text("source"), Some("computed"));
+        let d = job.u64("duration_ns").expect("duration recorded");
+        assert!(d > 0, "computed jobs take measurable time");
+        busy += Duration::from_nanos(d);
+    }
+    let budget = outcome.duration * engine.workers() as u32;
+    assert!(
+        busy <= budget + budget / 10,
+        "job durations {busy:?} exceed wall x workers {budget:?} by >10%"
+    );
+    // …and a compute-bound sweep keeps the pool meaningfully busy (a
+    // deliberately loose floor so a loaded CI machine cannot flake it).
+    assert!(
+        busy * 2 >= outcome.duration,
+        "jobs {busy:?} cover under half of one worker's wall {:?}",
+        outcome.duration
+    );
+
+    // The snapshot agrees with the event stream: one WER estimate per
+    // array cell (4×4) per job, 16 trajectories behind each.
+    let cells = 16 * plan.len() as u64;
+    assert_eq!(metrics_snapshot.counter("llgs.wer_estimates"), cells);
+    assert_eq!(metrics_snapshot.counter("llgs.trajectories"), 16 * cells);
+    assert!(metrics_snapshot.counter("llgs.steps") > 0);
+    assert_eq!(
+        metrics_snapshot.counter("cache.memory_misses"),
+        plan.len() as u64
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn outputs_and_cache_keys_are_identical_with_telemetry_on_and_off() {
+    // The determinism regression: for every worker count, the golden
+    // CSV and the content addresses must be byte-identical whether the
+    // run was profiled or not. Telemetry is write-only.
+    let plan = SweepPlan::new("fig4b")
+        .axis("pitch", vec![60.0, 90.0, 120.0])
+        .axis("ecd", vec![25.0, 45.0]);
+
+    let sweep_csv = |workers: usize, profiled: bool| {
+        let _serial = install_lock();
+        let guard = profiled.then(|| {
+            telemetry::install(Arc::new(MetricsRecorder::new()) as Arc<dyn telemetry::Recorder>)
+        });
+        let outcome = Engine::standard()
+            .with_workers(workers)
+            .sweep(&plan)
+            .expect("sweep runs");
+        drop(guard);
+        assert_eq!(outcome.errors, 0);
+        outcome.summary_table().to_csv()
+    };
+
+    let golden = sweep_csv(1, false);
+    for workers in [1, 3] {
+        for profiled in [false, true] {
+            assert_eq!(
+                sweep_csv(workers, profiled),
+                golden,
+                "CSV moved at workers={workers} profiled={profiled}"
+            );
+        }
+    }
+
+    // Cache keys: resolve under an installed recorder and without one.
+    let overrides = ParamSet::new().with("rows", 4.0).with("seed", 9.0);
+    let bare = Engine::standard().resolve("array-wer", &overrides).unwrap();
+    let profiled = {
+        let _serial = install_lock();
+        let _guard =
+            telemetry::install(Arc::new(MetricsRecorder::new()) as Arc<dyn telemetry::Recorder>);
+        Engine::standard().resolve("array-wer", &overrides).unwrap()
+    };
+    assert_eq!(bare.fingerprint(), profiled.fingerprint());
+    assert_eq!(
+        ResultCache::key("array-wer", &bare.fingerprint()),
+        ResultCache::key("array-wer", &profiled.fingerprint()),
+        "telemetry must never reach the content address"
+    );
+}
+
+#[test]
+fn disk_tier_metrics_follow_a_persisted_sweep() {
+    let _serial = install_lock();
+    let dir = scratch_path("disk");
+    let plan = SweepPlan::new("fig4b").axis("pitch", vec![70.0, 110.0]);
+
+    // First pass computes and persists; second (fresh engine, same
+    // store) must serve every job from disk and say so in the metrics.
+    let metrics = Arc::new(MetricsRecorder::new());
+    let guard = telemetry::install(metrics.clone());
+    Engine::standard()
+        .with_disk_cache(&dir)
+        .expect("store opens")
+        .sweep(&plan)
+        .expect("cold sweep");
+    let cold = metrics.snapshot();
+    assert_eq!(cold.counter("cache.disk_writes"), 2);
+    assert!(cold.counter("cache.disk_bytes_written") > 0);
+
+    let outcome = Engine::standard()
+        .with_disk_cache(&dir)
+        .expect("store reopens")
+        .sweep(&plan)
+        .expect("warm sweep");
+    drop(guard);
+    assert_eq!(outcome.disk_hits, 2);
+    let warm = metrics.snapshot();
+    assert_eq!(warm.counter("cache.disk_hits"), 2);
+    assert_eq!(
+        warm.counter("cache.disk_bytes_read"),
+        warm.counter("cache.disk_bytes_written"),
+        "round-trip reads exactly the bytes written"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

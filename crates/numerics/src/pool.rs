@@ -19,8 +19,10 @@
 //! assert_eq!(squares, vec![1.0, 4.0, 9.0]);
 //! ```
 
+use mramsim_telemetry as telemetry;
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A fixed-width scoped worker pool.
 ///
@@ -74,6 +76,18 @@ impl WorkerPool {
         }
         let workers = self.workers.min(items.len());
 
+        // Snapshot the telemetry gate once per dispatch so every worker
+        // agrees and the per-item path needs no further atomics when
+        // telemetry is off. Instrumentation stays local to this call —
+        // the pool itself remains a plain `Copy` value.
+        let record = telemetry::enabled();
+        if record {
+            telemetry::counter_add("pool.dispatches", 1);
+            telemetry::counter_add("pool.items", items.len() as u64);
+            telemetry::gauge_set("pool.queue_depth", items.len() as f64);
+            telemetry::gauge_set("pool.workers", workers as f64);
+        }
+
         // Deal item indices round-robin so contiguous expensive regions
         // spread across workers even before any stealing happens.
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
@@ -92,12 +106,25 @@ impl WorkerPool {
                     let queues = &queues;
                     let f = &f;
                     scope.spawn(move || {
+                        let worker_start = record.then(Instant::now);
+                        let mut busy = Duration::ZERO;
+                        let mut steals = 0u64;
+                        let run = |idx: usize, busy: &mut Duration| {
+                            if record {
+                                let t = Instant::now();
+                                let r = f(idx, &items[idx]);
+                                *busy += t.elapsed();
+                                (idx, r)
+                            } else {
+                                (idx, f(idx, &items[idx]))
+                            }
+                        };
                         let mut out: Vec<(usize, R)> = Vec::new();
                         loop {
                             // Own work first, front-to-back …
                             let own = queues[w].lock().expect("queue poisoned").pop_front();
                             if let Some(idx) = own {
-                                out.push((idx, f(idx, &items[idx])));
+                                out.push(run(idx, &mut busy));
                                 continue;
                             }
                             // … then steal from the back of the fullest
@@ -108,9 +135,19 @@ impl WorkerPool {
                             let stolen = victim
                                 .and_then(|v| queues[v].lock().expect("queue poisoned").pop_back());
                             match stolen {
-                                Some(idx) => out.push((idx, f(idx, &items[idx]))),
+                                Some(idx) => {
+                                    steals += 1;
+                                    out.push(run(idx, &mut busy));
+                                }
                                 None => break,
                             }
+                        }
+                        if let Some(start) = worker_start {
+                            let idle = start.elapsed().saturating_sub(busy);
+                            telemetry::observe("pool.worker_busy_s", busy.as_secs_f64());
+                            telemetry::observe("pool.worker_idle_s", idle.as_secs_f64());
+                            telemetry::counter_add("pool.busy_ns", busy.as_nanos() as u64);
+                            telemetry::counter_add("pool.steals", steals);
                         }
                         out
                     })
@@ -189,6 +226,23 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 100);
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn telemetry_counters_flow_from_pooled_workers() {
+        let metrics = std::sync::Arc::new(telemetry::MetricsRecorder::new());
+        let guard = telemetry::install(metrics.clone());
+        let items: Vec<u64> = (0..100).collect();
+        let out = WorkerPool::new(4).scoped_map(&items, |_, &x| x + 1);
+        drop(guard);
+        assert_eq!(out.len(), 100);
+        // Sibling tests may run concurrently and emit into the same
+        // recorder, so assert lower bounds, not exact equality.
+        let snap = metrics.snapshot();
+        assert!(snap.counter("pool.items") >= 100);
+        assert!(snap.counter("pool.dispatches") >= 1);
+        assert!(snap.histograms["pool.worker_busy_s"].count >= 4);
+        assert!(snap.histograms["pool.worker_idle_s"].count >= 4);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! The on-disk telemetry format: JSONL, one self-describing object per
+//! line, written next to the sweep journal as
+//! `<cache-dir>/runs/<run-id>.telemetry`.
+//!
+//! Two line kinds:
+//!
+//! * `{"kind":"event","t_ns":…,"name":…,"fields":{…}}` — streamed as
+//!   instrumented code emits them (job completions, sweep start/end,
+//!   checkpoints), flushed per line so a killed process keeps
+//!   everything it logged;
+//! * `{"kind":"metrics","t_ns":…,"counters":{…},"gauges":{…},
+//!   "histograms":{…}}` — a full [`MetricsSnapshot`], written once at
+//!   the end of the run (or whenever the caller asks).
+//!
+//! Telemetry output is strictly write-only with respect to results: no
+//! cache key, CSV cell, or scenario output ever reads from here, so
+//! enabling or disabling it cannot move any golden number.
+
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, HistogramSpec, MetricsSnapshot};
+use crate::recorder::{Field, Recorder, Value};
+use crate::Clock;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A streaming JSONL event sink.
+///
+/// Implements [`Recorder`] for the `event` channel only; counters,
+/// gauges, and histograms are aggregated in-process by a
+/// [`crate::MetricsRecorder`] (fan both out with [`crate::Fanout`])
+/// and land here as one snapshot line via
+/// [`JsonlRecorder::write_snapshot`].
+///
+/// Write failures are swallowed after the file is created: a full disk
+/// costs telemetry, never the run.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    path: PathBuf,
+    file: Mutex<BufWriter<fs::File>>,
+    clock: Clock,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) the log at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error when the file cannot be created.
+    pub fn create(path: impl Into<PathBuf>, clock: Clock) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = fs::File::create(&path)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(BufWriter::new(file)),
+            clock,
+        })
+    }
+
+    /// Where the log is being written.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The conventional log location for a run id, next to its journal.
+    #[must_use]
+    pub fn path_for(cache_dir: &Path, run_id: &str) -> PathBuf {
+        cache_dir.join("runs").join(format!("{run_id}.telemetry"))
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut file = self.file.lock().expect("telemetry log poisoned");
+        // Flushed per line: a killed process keeps everything logged.
+        let _ = file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.flush());
+    }
+
+    /// Appends one full metrics snapshot line.
+    pub fn write_snapshot(&self, snapshot: &MetricsSnapshot) {
+        let mut obj = BTreeMap::new();
+        obj.insert("kind".to_owned(), Json::Str("metrics".to_owned()));
+        obj.insert("t_ns".to_owned(), Json::Num(self.clock.now_nanos() as f64));
+        obj.insert(
+            "counters".to_owned(),
+            Json::Obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|(name, &v)| (name.clone(), Json::Num(v as f64)))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "gauges".to_owned(),
+            Json::Obj(
+                snapshot
+                    .gauges
+                    .iter()
+                    .map(|(name, &v)| (name.clone(), Json::Num(v)))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "histograms".to_owned(),
+            Json::Obj(
+                snapshot
+                    .histograms
+                    .iter()
+                    .map(|(name, h)| (name.clone(), histogram_to_json(h)))
+                    .collect(),
+            ),
+        );
+        self.write_line(&Json::Obj(obj).render());
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn event(&self, name: &'static str, fields: &[Field]) {
+        let mut map = BTreeMap::new();
+        for (key, value) in fields {
+            map.insert(
+                (*key).to_owned(),
+                match value {
+                    Value::U64(v) => Json::Num(*v as f64),
+                    Value::F64(v) => Json::Num(*v),
+                    Value::Text(v) => Json::Str(v.clone()),
+                    Value::Bool(v) => Json::Bool(*v),
+                },
+            );
+        }
+        let mut obj = BTreeMap::new();
+        obj.insert("kind".to_owned(), Json::Str("event".to_owned()));
+        obj.insert("t_ns".to_owned(), Json::Num(self.clock.now_nanos() as f64));
+        obj.insert("name".to_owned(), Json::Str(name.to_owned()));
+        obj.insert("fields".to_owned(), Json::Obj(map));
+        self.write_line(&Json::Obj(obj).render());
+    }
+}
+
+fn histogram_to_json(h: &HistogramSnapshot) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("lo".to_owned(), Json::Num(h.spec.lo));
+    obj.insert("ratio".to_owned(), Json::Num(h.spec.ratio));
+    obj.insert(
+        "counts".to_owned(),
+        Json::Arr(h.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+    );
+    obj.insert("count".to_owned(), Json::Num(h.count as f64));
+    obj.insert("sum".to_owned(), Json::Num(h.sum));
+    obj.insert("min".to_owned(), h.min.map_or(Json::Null, Json::Num));
+    obj.insert("max".to_owned(), h.max.map_or(Json::Null, Json::Num));
+    Json::Obj(obj)
+}
+
+fn histogram_from_json(json: &Json) -> Option<HistogramSnapshot> {
+    let counts: Vec<u64> = json
+        .get("counts")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<_>>()?;
+    let spec = HistogramSpec {
+        lo: json.get("lo")?.as_f64()?,
+        ratio: json.get("ratio")?.as_f64()?,
+        buckets: counts.len(),
+    };
+    Some(HistogramSnapshot {
+        spec,
+        counts,
+        count: json.get("count")?.as_u64()?,
+        sum: json.get("sum")?.as_f64()?,
+        min: json.get("min").and_then(Json::as_f64),
+        max: json.get("max").and_then(Json::as_f64),
+    })
+}
+
+/// One parsed event line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEvent {
+    /// Clock reading when the event was written, in nanoseconds.
+    pub t_ns: u64,
+    /// The event name (e.g. `job.done`, `sweep.start`).
+    pub name: String,
+    /// The structured fields, as parsed JSON.
+    pub fields: Json,
+}
+
+impl TelemetryEvent {
+    /// Field `key` as a string.
+    #[must_use]
+    pub fn text(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(Json::as_str)
+    }
+
+    /// Field `key` as an exact unsigned integer.
+    #[must_use]
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.fields.get(key).and_then(Json::as_u64)
+    }
+}
+
+/// A fully parsed telemetry log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryLog {
+    /// Every event line, in file order.
+    pub events: Vec<TelemetryEvent>,
+    /// The last metrics snapshot line, when one was written.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Whether the final line was truncated mid-write (killed process)
+    /// and discarded.
+    pub truncated_tail: bool,
+}
+
+impl TelemetryLog {
+    /// Parses a whole log.
+    ///
+    /// A malformed *final* line is tolerated (a killed process may
+    /// have died mid-append) and flagged in
+    /// [`TelemetryLog::truncated_tail`]; a malformed line anywhere
+    /// else is an error — silent partial parses would make
+    /// `mramsim stats` lie.
+    ///
+    /// # Errors
+    ///
+    /// A description naming the first malformed interior line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut log = TelemetryLog::default();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some(json) = Json::parse(line) else {
+                if i + 1 == lines.len() {
+                    log.truncated_tail = true;
+                    continue;
+                }
+                return Err(format!("malformed telemetry line {}", i + 1));
+            };
+            let t_ns = json.get("t_ns").and_then(Json::as_u64).unwrap_or(0);
+            match json.get("kind").and_then(Json::as_str) {
+                Some("event") => {
+                    let name = json
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("event without a name on line {}", i + 1))?
+                        .to_owned();
+                    let fields = json.get("fields").cloned().unwrap_or(Json::Null);
+                    log.events.push(TelemetryEvent { t_ns, name, fields });
+                }
+                Some("metrics") => {
+                    let mut snapshot = MetricsSnapshot::default();
+                    if let Some(counters) = json.get("counters").and_then(Json::as_obj) {
+                        for (name, v) in counters {
+                            snapshot
+                                .counters
+                                .insert(name.clone(), v.as_u64().unwrap_or(0));
+                        }
+                    }
+                    if let Some(gauges) = json.get("gauges").and_then(Json::as_obj) {
+                        for (name, v) in gauges {
+                            if let Some(v) = v.as_f64() {
+                                snapshot.gauges.insert(name.clone(), v);
+                            }
+                        }
+                    }
+                    if let Some(histograms) = json.get("histograms").and_then(Json::as_obj) {
+                        for (name, h) in histograms {
+                            if let Some(h) = histogram_from_json(h) {
+                                snapshot.histograms.insert(name.clone(), h);
+                            }
+                        }
+                    }
+                    log.metrics = Some(snapshot);
+                }
+                _ => return Err(format!("unknown telemetry line kind on line {}", i + 1)),
+            }
+        }
+        Ok(log)
+    }
+
+    /// Reads and parses the log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and interior malformed lines, rendered as text.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read telemetry log {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRecorder;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "mramsim-telemetry-{tag}-{}.telemetry",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn events_and_snapshot_round_trip_through_the_file() {
+        let path = temp_path("roundtrip");
+        let (clock, handle) = Clock::test();
+        let log = JsonlRecorder::create(&path, clock).unwrap();
+        handle.set_nanos(42);
+        log.event(
+            "job.done",
+            &[
+                ("index", Value::U64(3)),
+                ("source", Value::Text("computed".into())),
+                ("duration_ns", Value::U64(1_234_567)),
+                ("ok", Value::Bool(true)),
+            ],
+        );
+        let metrics = MetricsRecorder::new();
+        metrics.counter_add("engine.jobs", 9);
+        metrics.gauge_set("pool.queue_depth", 4.0);
+        metrics.observe("engine.compute_s", 0.25);
+        log.write_snapshot(&metrics.snapshot());
+
+        let parsed = TelemetryLog::load(&path).unwrap();
+        assert!(!parsed.truncated_tail);
+        assert_eq!(parsed.events.len(), 1);
+        let event = &parsed.events[0];
+        assert_eq!((event.name.as_str(), event.t_ns), ("job.done", 42));
+        assert_eq!(event.u64("index"), Some(3));
+        assert_eq!(event.text("source"), Some("computed"));
+        assert_eq!(event.u64("duration_ns"), Some(1_234_567));
+        let snap = parsed.metrics.unwrap();
+        assert_eq!(snap.counter("engine.jobs"), 9);
+        assert_eq!(snap.gauges["pool.queue_depth"], 4.0);
+        assert_eq!(snap.histograms["engine.compute_s"].count, 1);
+        assert_eq!(snap, metrics.snapshot(), "snapshot must round-trip exactly");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_interior_garbage_is_not() {
+        let good = r#"{"kind":"event","t_ns":1,"name":"a","fields":{}}"#;
+        let tail_cut = format!("{good}\n{{\"kind\":\"ev");
+        let parsed = TelemetryLog::parse(&tail_cut).unwrap();
+        assert_eq!(parsed.events.len(), 1);
+        assert!(parsed.truncated_tail);
+
+        let interior = format!("{{broken}}\n{good}");
+        assert!(TelemetryLog::parse(&interior).is_err());
+        let unknown_kind = r#"{"kind":"mystery","t_ns":1}"#;
+        assert!(TelemetryLog::parse(&format!("{unknown_kind}\n{good}")).is_err());
+    }
+
+    #[test]
+    fn empty_log_parses_to_empty() {
+        let log = TelemetryLog::parse("").unwrap();
+        assert!(log.events.is_empty());
+        assert!(log.metrics.is_none());
+    }
+}

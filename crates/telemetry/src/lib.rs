@@ -1,0 +1,269 @@
+//! # mramsim-telemetry
+//!
+//! Dependency-free observability for the `mramsim` workspace: a
+//! [`Recorder`] sink trait, a lock-cheap sharded [`MetricsRecorder`]
+//! (counters, gauges, fixed-bucket latency histograms), a swappable
+//! [`Clock`] with a deterministic test double, a streaming
+//! [`JsonlRecorder`] run log, and the [`report`] renderer behind
+//! `mramsim stats`.
+//!
+//! ## The process-wide recorder
+//!
+//! Instrumented hot paths — the worker pool, the result cache tiers,
+//! the sweep executor, the LLGS solver — emit through the free
+//! functions here ([`counter_add`], [`gauge_set`], [`observe`],
+//! [`event`], [`span`]). All of them check one relaxed atomic flag
+//! first and return immediately when no recorder is installed, so
+//! instrumentation costs roughly one predictable branch when telemetry
+//! is off (the `telemetry` bench group proves the warm-sweep overhead
+//! stays under the noise floor).
+//!
+//! Telemetry is strictly *write-only* with respect to results: nothing
+//! in any result path reads a metric, so cache keys, CSVs, and golden
+//! figures are byte-identical with telemetry on or off.
+//!
+//! ```
+//! use mramsim_telemetry as telemetry;
+//! use std::sync::Arc;
+//!
+//! // Disabled: every emit is a cheap no-op.
+//! telemetry::counter_add("jobs", 1);
+//!
+//! // Enabled: emits flow into the installed recorder until the guard
+//! // drops.
+//! let metrics = Arc::new(telemetry::MetricsRecorder::new());
+//! let guard = telemetry::install(metrics.clone());
+//! telemetry::counter_add("jobs", 2);
+//! {
+//!     let _span = telemetry::span("phase_s");
+//! } // records the elapsed time into histogram "phase_s"
+//! drop(guard);
+//! assert_eq!(metrics.snapshot().counter("jobs"), 2);
+//! assert_eq!(metrics.snapshot().histograms["phase_s"].count, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod clock;
+mod json;
+mod jsonl;
+mod metrics;
+mod recorder;
+pub mod report;
+
+pub use clock::{Clock, TestClock};
+pub use json::Json;
+pub use jsonl::{JsonlRecorder, TelemetryEvent, TelemetryLog};
+pub use metrics::{HistogramSnapshot, HistogramSpec, MetricsRecorder, MetricsSnapshot, SHARDS};
+pub use recorder::{Fanout, Field, NoopRecorder, Recorder, Value};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Fast-path gate: `true` only while a recorder is installed. Relaxed
+/// is enough — a racing emit at install/uninstall time may be dropped
+/// or delivered late, which telemetry tolerates by design.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed recorder. Only read when [`ENABLED`] says so, so the
+/// read-lock cost is paid exclusively by instrumented runs.
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Whether a recorder is currently installed. Hot paths use this to
+/// skip building event fields entirely when telemetry is off.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Uninstalls the recorder (and restores the previous one, if any)
+/// when dropped — scope telemetry to a run without global teardown
+/// order problems.
+#[must_use = "dropping the guard immediately uninstalls the recorder"]
+pub struct InstallGuard {
+    previous: Option<Arc<dyn Recorder>>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let mut slot = RECORDER.write().expect("telemetry recorder poisoned");
+        *slot = self.previous.take();
+        ENABLED.store(slot.is_some(), Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for InstallGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstallGuard").finish_non_exhaustive()
+    }
+}
+
+/// Installs `recorder` as the process-wide sink and enables emission.
+/// The returned guard restores the previously installed recorder on
+/// drop. Installations nest (inner guard restores the outer recorder)
+/// but are process-global: concurrent *tests* that install must
+/// serialize themselves.
+pub fn install(recorder: Arc<dyn Recorder>) -> InstallGuard {
+    let mut slot = RECORDER.write().expect("telemetry recorder poisoned");
+    let previous = slot.replace(recorder);
+    ENABLED.store(true, Ordering::Relaxed);
+    InstallGuard { previous }
+}
+
+/// Runs `f` against the installed recorder, if any.
+#[inline]
+fn dispatch(f: impl FnOnce(&dyn Recorder)) {
+    if let Ok(slot) = RECORDER.read() {
+        if let Some(recorder) = slot.as_ref() {
+            f(recorder.as_ref());
+        }
+    }
+}
+
+/// Adds `delta` to counter `name` on the installed recorder (no-op
+/// when telemetry is off).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if enabled() {
+        dispatch(|r| r.counter_add(name, delta));
+    }
+}
+
+/// Sets gauge `name` (no-op when telemetry is off).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if enabled() {
+        dispatch(|r| r.gauge_set(name, value));
+    }
+}
+
+/// Records one histogram observation — typically a duration in
+/// seconds, by the `*_s` naming convention (no-op when telemetry is
+/// off).
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if enabled() {
+        dispatch(|r| r.observe(name, value));
+    }
+}
+
+/// Emits one structured event (no-op when telemetry is off). Callers
+/// that allocate field values should guard on [`enabled`] first so the
+/// allocations are skipped too.
+#[inline]
+pub fn event(name: &'static str, fields: &[Field]) {
+    if enabled() {
+        dispatch(|r| r.event(name, fields));
+    }
+}
+
+/// A scope timer: records the elapsed wall time into histogram `name`
+/// when dropped. Created disabled (no clock read at all) when
+/// telemetry is off.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+
+    /// The elapsed time so far (`None` when telemetry was off at
+    /// creation).
+    #[must_use]
+    pub fn elapsed(&self) -> Option<std::time::Duration> {
+        self.start.map(|s| s.elapsed())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            observe(self.name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Starts a [`Span`] feeding histogram `name`.
+///
+/// Spans time real execution (worker busy time, flush latency), so
+/// they read the monotonic system clock directly; run-scoped
+/// *reported* durations go through the swappable [`Clock`] instead.
+#[inline]
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Installation is process-global; tests touching it serialize.
+    static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_emits_are_dropped_and_guard_restores() {
+        let _serial = INSTALL_LOCK.lock().unwrap();
+        assert!(!enabled());
+        counter_add("x", 1); // dropped silently
+
+        let outer = Arc::new(MetricsRecorder::new());
+        let outer_guard = install(outer.clone());
+        assert!(enabled());
+        counter_add("x", 2);
+        {
+            let inner = Arc::new(MetricsRecorder::new());
+            let _inner_guard = install(inner.clone());
+            counter_add("x", 10);
+            assert_eq!(inner.snapshot().counter("x"), 10);
+        }
+        // Inner guard dropped: the outer recorder is back.
+        counter_add("x", 3);
+        drop(outer_guard);
+        assert!(!enabled());
+        counter_add("x", 100); // dropped again
+        assert_eq!(outer.snapshot().counter("x"), 5);
+    }
+
+    #[test]
+    fn spans_record_into_histograms() {
+        let _serial = INSTALL_LOCK.lock().unwrap();
+        let metrics = Arc::new(MetricsRecorder::new());
+        let guard = install(metrics.clone());
+        {
+            let _span = span("unit_span_s");
+        }
+        span("unit_span_s").finish();
+        drop(guard);
+        // Spans created while disabled never record.
+        span("unit_span_s").finish();
+        assert_eq!(metrics.snapshot().histograms["unit_span_s"].count, 2);
+    }
+
+    #[test]
+    fn events_flow_through_fanout() {
+        let _serial = INSTALL_LOCK.lock().unwrap();
+        let a = Arc::new(MetricsRecorder::new());
+        let b = Arc::new(MetricsRecorder::new());
+        let guard = install(Arc::new(Fanout(vec![a.clone(), b.clone()])));
+        gauge_set("g", 4.5);
+        observe("h", 0.25);
+        event("e", &[("k", Value::U64(1))]);
+        drop(guard);
+        for m in [&a, &b] {
+            let snap = m.snapshot();
+            assert_eq!(snap.gauges["g"], 4.5);
+            assert_eq!(snap.histograms["h"].count, 1);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The aggregating in-process metrics sink: lock-cheap sharded
+//! counters and fixed-bucket latency histograms, plus gauges.
+//!
+//! Counters and histograms are sharded: each thread is assigned one of
+//! [`SHARDS`] shards on first use (round-robin) and only ever locks
+//! that shard's mutex, so pooled workers incrementing the same counter
+//! do not serialize on one lock. A [`MetricsRecorder::snapshot`]
+//! merges the shards into one consistent view.
+
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Counter/histogram shard count. 16 comfortably covers the worker
+/// counts the pool spawns; collisions only cost a little contention.
+pub const SHARDS: usize = 16;
+
+/// The shard this thread writes to, assigned round-robin on first use.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// The layout of a fixed-bucket histogram: geometric bucket edges
+/// `lo·ratio^k`, saturating at both ends.
+///
+/// Bucket 0 holds every value below `lo` (underflow); bucket `i ≥ 1`
+/// holds `lo·ratio^(i-1) ≤ v < lo·ratio^i`; the last bucket saturates,
+/// absorbing everything at or above the top edge. Edges are computed
+/// by repeated multiplication, so boundary semantics are exact and
+/// monotone (a value equal to an edge lands in the bucket above it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSpec {
+    /// The lower edge of bucket 1 (values below land in bucket 0).
+    pub lo: f64,
+    /// The geometric growth factor between consecutive edges (> 1).
+    pub ratio: f64,
+    /// Total bucket count, including the underflow and saturation
+    /// buckets (≥ 2).
+    pub buckets: usize,
+}
+
+impl HistogramSpec {
+    /// The default latency layout: 1 µs to ~1074 s in powers of two
+    /// (32 buckets). Everything the engine times — cache lookups to
+    /// multi-minute sweeps — fits without saturating.
+    #[must_use]
+    pub fn latency() -> Self {
+        Self {
+            lo: 1e-6,
+            ratio: 2.0,
+            buckets: 32,
+        }
+    }
+
+    /// The bucket index of `value`. Non-finite values (and anything
+    /// below `lo`) land in bucket 0; anything at or above the top edge
+    /// saturates into the last bucket.
+    #[must_use]
+    pub fn bucket_index(&self, value: f64) -> usize {
+        if !(value >= self.lo) {
+            return 0;
+        }
+        let mut edge = self.lo;
+        for i in 1..self.buckets {
+            edge *= self.ratio;
+            if value < edge {
+                return i;
+            }
+        }
+        self.buckets - 1
+    }
+
+    /// The upper edge of bucket `i` (the last bucket reports
+    /// `f64::INFINITY` — it saturates).
+    #[must_use]
+    pub fn upper_edge(&self, i: usize) -> f64 {
+        if i + 1 >= self.buckets {
+            return f64::INFINITY;
+        }
+        let mut edge = self.lo;
+        for _ in 0..i {
+            edge *= self.ratio;
+        }
+        edge
+    }
+}
+
+/// One histogram's cells (per shard; merged on snapshot).
+#[derive(Debug, Clone)]
+struct HistCells {
+    spec: HistogramSpec,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistCells {
+    fn new(spec: HistogramSpec) -> Self {
+        Self {
+            spec,
+            counts: vec![0; spec.buckets],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        self.counts[self.spec.bucket_index(value)] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+}
+
+/// A merged, immutable view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// The bucket layout.
+    pub spec: HistogramSpec,
+    /// Per-bucket observation counts (`spec.buckets` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all finite observations.
+    pub sum: f64,
+    /// Smallest finite observation (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest finite observation (`None` when empty).
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the finite observations (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The upper edge of the bucket containing the `q`-quantile
+    /// (`0 ≤ q ≤ 1`) — a bucket-resolution estimate, exact enough for
+    /// p50/p90/p99 reporting. `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let edge = self.spec.upper_edge(i);
+                // The saturation bucket has no finite edge; report the
+                // largest observation instead of infinity.
+                return Some(if edge.is_finite() {
+                    edge
+                } else {
+                    self.max.unwrap_or(edge)
+                });
+            }
+        }
+        self.max
+    }
+}
+
+/// A merged, immutable view of every metric a [`MetricsRecorder`] has
+/// aggregated. Maps are ordered so rendering is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Merged histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter `name`, zero when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// One shard: a counter map and a histogram map behind (mostly
+/// uncontended) mutexes. Thread-to-shard assignment makes the common
+/// case a lock nobody else wants.
+#[derive(Debug, Default)]
+struct Shard {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    histograms: Mutex<BTreeMap<&'static str, HistCells>>,
+}
+
+/// The aggregating metrics sink: sharded counters and histograms,
+/// last-write-wins gauges.
+///
+/// # Examples
+///
+/// ```
+/// use mramsim_telemetry::{MetricsRecorder, Recorder};
+///
+/// let metrics = MetricsRecorder::new();
+/// metrics.counter_add("jobs", 3);
+/// metrics.gauge_set("queue_depth", 7.0);
+/// metrics.observe("job_s", 0.125);
+/// let snap = metrics.snapshot();
+/// assert_eq!(snap.counter("jobs"), 3);
+/// assert_eq!(snap.gauges["queue_depth"], 7.0);
+/// assert_eq!(snap.histograms["job_s"].count, 1);
+/// ```
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    shards: Vec<Shard>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histogram_spec: HistogramSpec,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// A recorder whose histograms use the default latency layout.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_histogram_spec(HistogramSpec::latency())
+    }
+
+    /// A recorder whose histograms all use `spec`.
+    #[must_use]
+    pub fn with_histogram_spec(spec: HistogramSpec) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            gauges: Mutex::new(BTreeMap::new()),
+            histogram_spec: spec,
+        }
+    }
+
+    /// Merges every shard into one consistent snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, HistCells> = BTreeMap::new();
+        for shard in &self.shards {
+            for (&name, &value) in shard.counters.lock().expect("metrics poisoned").iter() {
+                *counters.entry(name.to_owned()).or_insert(0) += value;
+            }
+            for (&name, cells) in shard.histograms.lock().expect("metrics poisoned").iter() {
+                histograms
+                    .entry(name.to_owned())
+                    .and_modify(|merged| {
+                        for (m, c) in merged.counts.iter_mut().zip(&cells.counts) {
+                            *m += c;
+                        }
+                        merged.count += cells.count;
+                        merged.sum += cells.sum;
+                        merged.min = merged.min.min(cells.min);
+                        merged.max = merged.max.max(cells.max);
+                    })
+                    .or_insert_with(|| cells.clone());
+            }
+        }
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(&name, &value)| (name.to_owned(), value))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms: histograms
+                .into_iter()
+                .map(|(name, cells)| {
+                    (
+                        name,
+                        HistogramSnapshot {
+                            spec: cells.spec,
+                            counts: cells.counts,
+                            count: cells.count,
+                            sum: cells.sum,
+                            min: cells.min.is_finite().then_some(cells.min),
+                            max: cells.max.is_finite().then_some(cells.max),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let shard = &self.shards[shard_index()];
+        *shard
+            .counters
+            .lock()
+            .expect("metrics poisoned")
+            .entry(name)
+            .or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        self.gauges
+            .lock()
+            .expect("metrics poisoned")
+            .insert(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        let spec = self.histogram_spec;
+        let shard = &self.shards[shard_index()];
+        shard
+            .histograms
+            .lock()
+            .expect("metrics poisoned")
+            .entry(name)
+            .or_insert_with(|| HistCells::new(spec))
+            .record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        let spec = HistogramSpec {
+            lo: 1.0,
+            ratio: 2.0,
+            buckets: 5,
+        };
+        // Bucket 0: underflow. Buckets 1..4: [1,2), [2,4), [4,8),
+        // then saturation at >= 8.
+        assert_eq!(spec.bucket_index(0.0), 0);
+        assert_eq!(spec.bucket_index(0.999), 0);
+        assert_eq!(spec.bucket_index(1.0), 1, "lower edge is inclusive");
+        assert_eq!(spec.bucket_index(1.999), 1);
+        assert_eq!(spec.bucket_index(2.0), 2, "edge value rolls up");
+        assert_eq!(spec.bucket_index(4.0), 3);
+        assert_eq!(spec.bucket_index(7.999), 3);
+        assert_eq!(spec.upper_edge(1), 2.0);
+        assert_eq!(spec.upper_edge(3), 8.0);
+        assert_eq!(spec.upper_edge(4), f64::INFINITY);
+    }
+
+    #[test]
+    fn saturation_and_junk_never_lose_observations() {
+        let spec = HistogramSpec {
+            lo: 1.0,
+            ratio: 2.0,
+            buckets: 4,
+        };
+        let metrics = MetricsRecorder::with_histogram_spec(spec);
+        for v in [8.0, 1e300, f64::INFINITY, f64::NAN, -3.0] {
+            metrics.observe("h", v);
+        }
+        let h = &metrics.snapshot().histograms["h"];
+        assert_eq!(h.count, 5, "every observation counted");
+        assert_eq!(h.counts.iter().sum::<u64>(), 5);
+        assert_eq!(h.counts[3], 3, "8.0, 1e300 and +inf saturate");
+        assert_eq!(h.counts[0], 2, "NaN and negatives underflow");
+        // Summary statistics ignore the non-finite values.
+        assert_eq!(h.min, Some(-3.0));
+        assert_eq!(h.max, Some(1e300));
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let metrics = MetricsRecorder::new();
+        // 90 fast observations (~2µs), 10 slow (~1s).
+        for _ in 0..90 {
+            metrics.observe("lat", 2e-6);
+        }
+        for _ in 0..10 {
+            metrics.observe("lat", 1.0);
+        }
+        let h = &metrics.snapshot().histograms["lat"];
+        assert_eq!(h.count, 100);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 < 1e-5, "p50 {p50} must sit in the fast buckets");
+        assert!(p99 >= 1.0, "p99 {p99} must sit in the slow buckets");
+        assert!((h.mean().unwrap() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_histogram_reports_typed_absence() {
+        let snap = HistogramSnapshot {
+            spec: HistogramSpec::latency(),
+            counts: vec![0; 32],
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        };
+        assert_eq!(snap.mean(), None);
+        assert_eq!(snap.quantile(0.5), None);
+    }
+
+    #[test]
+    fn concurrent_increments_from_many_threads_are_exact() {
+        let metrics = MetricsRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        metrics.counter_add("n", 1);
+                    }
+                    metrics.observe("d", 1e-3);
+                });
+            }
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("n"), 80_000);
+        assert_eq!(snap.histograms["d"].count, 8);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let metrics = MetricsRecorder::new();
+        metrics.gauge_set("depth", 3.0);
+        metrics.gauge_set("depth", 9.0);
+        assert_eq!(metrics.snapshot().gauges["depth"], 9.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Post-run rendering of a telemetry log: the engine behind
+//! `mramsim stats <run-id>`.
+//!
+//! Everything here is best-effort over whatever the log actually
+//! contains — a partial log from a killed run still renders, with the
+//! missing sections simply absent.
+
+use crate::jsonl::TelemetryLog;
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Renders a human-readable duration with a stable width-ish format.
+#[must_use]
+pub fn format_secs(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "-".to_owned();
+    }
+    if seconds < 1e-3 {
+        format!("{:.1}µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.1}ms", seconds * 1e3)
+    } else if seconds < 120.0 {
+        format!("{seconds:.2}s")
+    } else {
+        format!("{:.1}min", seconds / 60.0)
+    }
+}
+
+fn format_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// The wall-clock span of the run, in seconds: the `sweep.end`
+/// duration when present, else the spread of event timestamps.
+#[must_use]
+pub fn wall_seconds(log: &TelemetryLog) -> f64 {
+    if let Some(end) = log.events.iter().rev().find(|e| e.name == "sweep.end") {
+        if let Some(ns) = end.u64("duration_ns") {
+            return ns as f64 / 1e9;
+        }
+    }
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    for event in &log.events {
+        lo = lo.min(event.t_ns);
+        hi = hi.max(event.t_ns);
+    }
+    if hi > lo {
+        (hi - lo) as f64 / 1e9
+    } else {
+        0.0
+    }
+}
+
+/// The per-job phases the engine times, in display order: histogram
+/// name and human label. The sums of these are disjoint per job, so
+/// together they are the attributable busy time.
+const PHASES: [(&str, &str); 4] = [
+    ("engine.compute_s", "compute"),
+    ("engine.disk_load_s", "disk load"),
+    ("engine.warm_lookup_s", "warm lookup"),
+    ("journal.flush_s", "journal flush"),
+];
+
+fn phase_breakdown(out: &mut String, snapshot: &MetricsSnapshot) {
+    let rows: Vec<(&str, f64, u64)> = PHASES
+        .iter()
+        .filter_map(|(name, label)| {
+            snapshot
+                .histograms
+                .get(*name)
+                .map(|h| (*label, h.sum, h.count))
+        })
+        .filter(|(_, _, count)| *count > 0)
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    let total: f64 = rows.iter().map(|(_, sum, _)| sum).sum();
+    out.push_str("phase breakdown (attributed busy time):\n");
+    for (label, sum, count) in rows {
+        let _ = writeln!(
+            out,
+            "  {label:<14} {:>9}  {:>5.1}%  ({count} obs)",
+            format_secs(sum),
+            if total > 0.0 {
+                100.0 * sum / total
+            } else {
+                0.0
+            },
+        );
+    }
+    out.push('\n');
+}
+
+fn histogram_table(out: &mut String, snapshot: &MetricsSnapshot) {
+    if snapshot.histograms.is_empty() {
+        return;
+    }
+    out.push_str("latency histograms:\n");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "name", "count", "mean", "p50", "p90", "max"
+    );
+    for (name, h) in &snapshot.histograms {
+        let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), format_secs);
+        let _ = writeln!(
+            out,
+            "  {name:<24} {:>7} {:>9} {:>9} {:>9} {:>9}",
+            h.count,
+            fmt(h.mean()),
+            fmt(h.quantile(0.5)),
+            fmt(h.quantile(0.9)),
+            fmt(h.max),
+        );
+    }
+    out.push('\n');
+}
+
+fn counters_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    if snapshot.counters.is_empty() {
+        return;
+    }
+    out.push_str("counters:\n");
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "  {name:<28} {}", format_count(*value));
+    }
+    out.push('\n');
+}
+
+fn slowest_jobs(out: &mut String, log: &TelemetryLog) {
+    let mut jobs: Vec<(u64, u64, String)> = log
+        .events
+        .iter()
+        .filter(|e| e.name == "job.done")
+        .filter_map(|e| {
+            Some((
+                e.u64("duration_ns")?,
+                e.u64("index")?,
+                e.text("source").unwrap_or("?").to_owned(),
+            ))
+        })
+        .collect();
+    if jobs.is_empty() {
+        return;
+    }
+    jobs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    out.push_str("slowest jobs:\n");
+    for (duration_ns, index, source) in jobs.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "  #{index:<5} {source:<9} {}",
+            format_secs(*duration_ns as f64 / 1e9)
+        );
+    }
+    out.push('\n');
+}
+
+/// Renders the full post-run report.
+#[must_use]
+pub fn render_stats(log: &TelemetryLog) -> String {
+    let mut out = String::new();
+    let start = log.events.iter().find(|e| e.name == "sweep.start");
+    match start {
+        Some(start) => {
+            let _ = writeln!(
+                out,
+                "telemetry report — `{}`: {} job(s) on {} worker(s)",
+                start.text("scenario").unwrap_or("?"),
+                start.u64("jobs").map_or("?".into(), |n| n.to_string()),
+                start.u64("workers").map_or("?".into(), |n| n.to_string()),
+            );
+        }
+        None => out.push_str("telemetry report\n"),
+    }
+    let wall = wall_seconds(log);
+    let _ = writeln!(
+        out,
+        "wall clock: {} · {} event(s){}",
+        format_secs(wall),
+        log.events.len(),
+        if log.truncated_tail {
+            " · tail truncated (killed run?)"
+        } else {
+            ""
+        }
+    );
+
+    let Some(snapshot) = &log.metrics else {
+        out.push_str("no metrics snapshot in this log (run was interrupted?)\n");
+        slowest_jobs(&mut out, log);
+        return out;
+    };
+    // Throughput summary: jobs by source, pool utilization, solver
+    // rates — each line only when its counters exist.
+    let done = log.events.iter().filter(|e| e.name == "job.done").count();
+    if done > 0 && wall > 0.0 {
+        let _ = writeln!(out, "jobs/s: {:.2}", done as f64 / wall);
+    }
+    let busy_ns = snapshot.counter("engine.busy_ns");
+    if busy_ns > 0 && wall > 0.0 {
+        if let Some(workers) = start.and_then(|s| s.u64("workers")) {
+            let busy = busy_ns as f64 / 1e9;
+            let _ = writeln!(
+                out,
+                "pool utilization: {:.1}% (busy {} over {workers} worker(s) × {})",
+                100.0 * busy / (wall * workers as f64),
+                format_secs(busy),
+                format_secs(wall),
+            );
+        }
+    }
+    let trajectories = snapshot.counter("llgs.trajectories");
+    if trajectories > 0 {
+        let solver_s: f64 = snapshot
+            .histograms
+            .get("llgs.block_s")
+            .map_or(0.0, |h| h.sum);
+        let rate = if solver_s > 0.0 {
+            format!(
+                " ({} trajectories/s)",
+                format_count((trajectories as f64 / solver_s) as u64)
+            )
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "solver: {} trajectories, {} steps, {} thermal draws{rate}",
+            format_count(trajectories),
+            format_count(snapshot.counter("llgs.steps")),
+            format_count(snapshot.counter("llgs.thermal_draws")),
+        );
+    }
+    out.push('\n');
+    phase_breakdown(&mut out, snapshot);
+    slowest_jobs(&mut out, log);
+    histogram_table(&mut out, snapshot);
+    counters_block(&mut out, snapshot);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::JsonlRecorder;
+    use crate::metrics::MetricsRecorder;
+    use crate::recorder::{Recorder, Value};
+    use crate::Clock;
+
+    #[test]
+    fn report_covers_phases_jobs_and_histograms() {
+        let path = std::env::temp_dir().join(format!(
+            "mramsim-telemetry-report-{}.telemetry",
+            std::process::id()
+        ));
+        let (clock, handle) = Clock::test();
+        let sink = JsonlRecorder::create(&path, clock).unwrap();
+        sink.event(
+            "sweep.start",
+            &[
+                ("scenario", Value::Text("array-wer".into())),
+                ("jobs", Value::U64(4)),
+                ("workers", Value::U64(2)),
+            ],
+        );
+        let metrics = MetricsRecorder::new();
+        for (index, (duration_ns, source)) in [
+            (2_000_000_000u64, "computed"),
+            (1_000_000_000, "computed"),
+            (1_000_000, "disk"),
+            (5_000, "warm"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            handle.advance(std::time::Duration::from_nanos(*duration_ns));
+            sink.event(
+                "job.done",
+                &[
+                    ("index", Value::U64(index as u64)),
+                    ("source", Value::Text((*source).into())),
+                    ("duration_ns", Value::U64(*duration_ns)),
+                ],
+            );
+            let secs = *duration_ns as f64 / 1e9;
+            metrics.counter_add("engine.busy_ns", *duration_ns);
+            match *source {
+                "computed" => metrics.observe("engine.compute_s", secs),
+                "disk" => metrics.observe("engine.disk_load_s", secs),
+                _ => metrics.observe("engine.warm_lookup_s", secs),
+            }
+        }
+        sink.event("sweep.end", &[("duration_ns", Value::U64(3_100_000_000))]);
+        sink.write_snapshot(&metrics.snapshot());
+
+        let log = TelemetryLog::load(&path).unwrap();
+        let report = render_stats(&log);
+        assert!(report.contains("`array-wer`"), "{report}");
+        assert!(report.contains("4 job(s) on 2 worker(s)"), "{report}");
+        assert!(report.contains("compute"), "{report}");
+        assert!(report.contains("disk load"), "{report}");
+        assert!(report.contains("slowest jobs:"), "{report}");
+        // The slowest job leads the list.
+        let slow = report.split("slowest jobs:\n").nth(1).unwrap();
+        assert!(slow.trim_start().starts_with("#0"), "{report}");
+        assert!(report.contains("pool utilization"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_log_renders_without_panicking() {
+        let report = render_stats(&TelemetryLog::default());
+        assert!(report.contains("telemetry report"));
+        assert!(report.contains("no metrics snapshot"));
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(format_secs(2.5e-6), "2.5µs");
+        assert_eq!(format_secs(3.2e-3), "3.2ms");
+        assert_eq!(format_secs(1.25), "1.25s");
+        assert_eq!(format_secs(300.0), "5.0min");
+        assert_eq!(format_secs(f64::NAN), "-");
+    }
+}

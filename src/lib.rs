@@ -24,7 +24,10 @@
 //!   exploration, and reporting,
 //! * [`engine`] — the unified scenario-execution engine: a registry
 //!   over every driver, parallel cartesian sweeps on a work-stealing
-//!   pool, a content-addressed result cache, and the `mramsim` CLI.
+//!   pool, a content-addressed result cache, and the `mramsim` CLI,
+//! * [`telemetry`] — dependency-free observability: the `Recorder`
+//!   dispatcher, sharded counters and latency histograms, JSONL run
+//!   logs, and the `mramsim stats` report renderer.
 //!
 //! # Quickstart
 //!
@@ -82,6 +85,7 @@ pub use mramsim_faults as faults;
 pub use mramsim_magnetics as magnetics;
 pub use mramsim_mtj as mtj;
 pub use mramsim_numerics as numerics;
+pub use mramsim_telemetry as telemetry;
 pub use mramsim_units as units;
 pub use mramsim_vlab as vlab;
 
