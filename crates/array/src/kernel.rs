@@ -101,35 +101,16 @@ impl StrayFieldKernel {
                 ),
             });
         }
-        let victim = Vec3::ZERO;
-        let ecd = device.ecd();
-        let stack = device.stack();
-
-        let offset_field = |x: f64, y: f64| -> Result<OffsetField, ArrayError> {
-            let fixed_hz: f64 = stack
-                .fixed_kinds_at(ecd, x, y)?
-                .iter()
-                .map(|s| s.hz(victim))
-                .sum();
-            let fl_p_hz = stack.fl_kind_at(ecd, x, y, MtjState::Parallel)?.hz(victim);
-            let fl_ap_hz = stack
-                .fl_kind_at(ecd, x, y, MtjState::AntiParallel)?
-                .hz(victim);
-            Ok(OffsetField {
-                offset: (x, y),
-                fixed_hz,
-                fl_p_hz,
-                fl_ap_hz,
-            })
-        };
-
         let (dx, dy) = direct_neighbor_offsets(pitch)[0];
         let (gx, gy) = diagonal_neighbor_offsets(pitch)[0];
         Ok(Self {
             fingerprint,
-            intra_hz: stack.intra_hz_at(ecd, victim)?.value(),
-            direct: offset_field(dx, dy)?,
-            diagonal: offset_field(gx, gy)?,
+            intra_hz: device
+                .stack()
+                .intra_hz_at(device.ecd(), Vec3::ZERO)?
+                .value(),
+            direct: offset_field_at(device, dx, dy)?,
+            diagonal: offset_field_at(device, gx, gy)?,
         })
     }
 
@@ -220,10 +201,39 @@ impl StrayFieldKernel {
     }
 }
 
+/// The three field contributions of one aggressor at relative offset
+/// `(x, y)` metres — one full Biot–Savart superposition per layer kind.
+/// Shared by the ring-1 kernel above and the hierarchical outer-ring
+/// tables, so every radius uses the identical arithmetic.
+pub(crate) fn offset_field_at(
+    device: &MtjDevice,
+    x: f64,
+    y: f64,
+) -> Result<OffsetField, ArrayError> {
+    let victim = Vec3::ZERO;
+    let ecd = device.ecd();
+    let stack = device.stack();
+    let fixed_hz: f64 = stack
+        .fixed_kinds_at(ecd, x, y)?
+        .iter()
+        .map(|s| s.hz(victim))
+        .sum();
+    let fl_p_hz = stack.fl_kind_at(ecd, x, y, MtjState::Parallel)?.hz(victim);
+    let fl_ap_hz = stack
+        .fl_kind_at(ecd, x, y, MtjState::AntiParallel)?
+        .hz(victim);
+    Ok(OffsetField {
+        offset: (x, y),
+        fixed_hz,
+        fl_p_hz,
+        fl_ap_hz,
+    })
+}
+
 /// Canonical, bit-exact fingerprint of everything the kernel depends on:
 /// pitch, eCD, the field-model knobs (segments, backend) and every layer
 /// of the stack.
-fn fingerprint(device: &MtjDevice, pitch: Nanometer) -> String {
+pub(crate) fn fingerprint(device: &MtjDevice, pitch: Nanometer) -> String {
     use std::fmt::Write as _;
     let stack = device.stack();
     let mut fp = String::with_capacity(160);
@@ -263,22 +273,26 @@ fn cache() -> &'static KernelCache {
     })
 }
 
-/// Current counters of the process-wide kernel cache.
+/// Current counters of the process-wide kernel caches — the ring-1
+/// table here plus the hierarchical outer-ring table, reported as one
+/// pool (both are `(device, pitch)`-keyed field precomputations).
 #[must_use]
 pub fn kernel_cache_stats() -> KernelCacheStats {
     let table = cache();
+    let (h_hits, h_misses, h_entries) = crate::hierarchy::cache_raw_stats();
     KernelCacheStats {
-        hits: table.hits.load(Ordering::Relaxed),
-        misses: table.misses.load(Ordering::Relaxed),
-        entries: table.map.read().expect("kernel cache poisoned").len(),
+        hits: table.hits.load(Ordering::Relaxed) + h_hits,
+        misses: table.misses.load(Ordering::Relaxed) + h_misses,
+        entries: table.map.read().expect("kernel cache poisoned").len() + h_entries,
     }
 }
 
-/// Drops every memoised kernel (counters keep accumulating). Used by
-/// cold-cache benchmarks and long-running services that change device
-/// populations wholesale.
+/// Drops every memoised kernel — ring-1 and hierarchical (counters keep
+/// accumulating). Used by cold-cache benchmarks and long-running
+/// services that change device populations wholesale.
 pub fn clear_kernel_cache() {
     cache().map.write().expect("kernel cache poisoned").clear();
+    crate::hierarchy::clear_cache();
 }
 
 #[cfg(test)]

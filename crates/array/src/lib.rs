@@ -39,6 +39,8 @@ mod coupling;
 mod density;
 mod error;
 mod geometry;
+mod grid;
+mod hierarchy;
 mod kernel;
 mod pattern;
 mod rings;
@@ -50,6 +52,8 @@ pub use coupling::{CouplingAnalyzer, InterFieldBreakdown};
 pub use density::{array_density_bits_per_um2, ArrayDensity};
 pub use error::ArrayError;
 pub use geometry::{diagonal_neighbor_offsets, direct_neighbor_offsets, ring_offsets};
+pub use grid::{Defect, GridClass, PatternGrid};
+pub use hierarchy::{HierarchicalKernel, LatticeField, RingTable};
 pub use kernel::{
     clear_kernel_cache, kernel_cache_stats, KernelCacheStats, OffsetField, StrayFieldKernel,
 };

@@ -10,9 +10,15 @@ use mramsim_mtj::{MtjDevice, MtjState};
 use mramsim_numerics::Vec3;
 use mramsim_units::constants::OERSTED_PER_AMPERE_PER_METER;
 use mramsim_units::{Nanometer, Oersted};
+use std::cell::RefCell;
 
 /// Inter-cell coupling with an arbitrary number of aggressor rings, all
 /// storing the same data (the worst case by superposition monotonicity).
+///
+/// Ring fields are memoised per instance: every ring's Biot–Savart sum
+/// is evaluated at most once, so `cumulative_hz(1..=K)` over a growing
+/// `K` costs one new ring per call instead of rebuilding the whole
+/// prefix each time.
 ///
 /// # Examples
 ///
@@ -29,10 +35,25 @@ use mramsim_units::{Nanometer, Oersted};
 /// assert!(ring2.value().abs() < 0.3 * ring1.value().abs());
 /// # Ok::<(), mramsim_array::ArrayError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ExtendedCoupling {
     device: MtjDevice,
     pitch: Nanometer,
+    /// Per-state (index 0 = P, 1 = AP) oersted values of rings already
+    /// evaluated: `ring_cache[s][k - 1]` holds ring `k`.
+    ring_cache: RefCell<[Vec<f64>; 2]>,
+}
+
+/// Caches are value-transparent: two analyzers are equal when they
+/// model the same design point, however many rings each has evaluated.
+impl PartialEq for ExtendedCoupling {
+    fn eq(&self, other: &Self) -> bool {
+        self.device == other.device && self.pitch == other.pitch
+    }
+}
+
+fn state_index(state: MtjState) -> usize {
+    usize::from(state == MtjState::AntiParallel)
 }
 
 impl ExtendedCoupling {
@@ -51,16 +72,35 @@ impl ExtendedCoupling {
                 ),
             });
         }
-        Ok(Self { device, pitch })
+        Ok(Self {
+            device,
+            pitch,
+            ring_cache: RefCell::new([Vec::new(), Vec::new()]),
+        })
     }
 
-    /// `Hz` contribution of ring `k` alone, with every cell of the ring
-    /// in `state`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates loop-construction failures; panics never.
-    pub fn ring_hz(&self, ring: usize, state: MtjState) -> Result<Oersted, ArrayError> {
+    /// Number of rings already evaluated for `state`.
+    #[must_use]
+    pub fn rings_evaluated(&self, state: MtjState) -> usize {
+        self.ring_cache.borrow()[state_index(state)].len()
+    }
+
+    /// Ensures rings `1..=ring` for `state` are in the cache.
+    fn ensure_rings(&self, ring: usize, state: MtjState) -> Result<(), ArrayError> {
+        let s = state_index(state);
+        let have = self.ring_cache.borrow()[s].len();
+        for k in have + 1..=ring {
+            // Compute with no borrow held: `cell_sources_at` is pure,
+            // but re-entrancy through a panic hook must not poison us.
+            let hz = self.compute_ring_hz(k, state)?;
+            self.ring_cache.borrow_mut()[s].push(hz);
+        }
+        Ok(())
+    }
+
+    /// One full Biot–Savart pass over ring `k` — the expensive part
+    /// every caller used to repeat.
+    fn compute_ring_hz(&self, ring: usize, state: MtjState) -> Result<f64, ArrayError> {
         let victim = Vec3::ZERO;
         let stack = self.device.stack();
         let ecd = self.device.ecd();
@@ -69,18 +109,45 @@ impl ExtendedCoupling {
             let set = stack.cell_sources_at(ecd, x, y, state)?;
             total += set.hz(victim);
         }
-        Ok(Oersted::new(total * OERSTED_PER_AMPERE_PER_METER))
+        Ok(total * OERSTED_PER_AMPERE_PER_METER)
+    }
+
+    /// `Hz` contribution of ring `k` alone, with every cell of the ring
+    /// in `state`. Memoised: repeated calls are O(1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates loop-construction failures.
+    ///
+    /// # Panics
+    ///
+    /// When `ring == 0` (there is no zeroth ring).
+    pub fn ring_hz(&self, ring: usize, state: MtjState) -> Result<Oersted, ArrayError> {
+        assert!(ring >= 1, "ring index must be at least 1");
+        self.ensure_rings(ring, state)?;
+        Ok(Oersted::new(
+            self.ring_cache.borrow()[state_index(state)][ring - 1],
+        ))
     }
 
     /// Cumulative `Hz_s_inter` including rings `1..=rings`, uniform data.
+    ///
+    /// Sums the memoised per-ring values, evaluating only rings not yet
+    /// seen — calling this for `1..=K` in any order costs O(K) ring
+    /// builds total, not O(K²).
     ///
     /// # Errors
     ///
     /// Propagates loop-construction failures.
     pub fn cumulative_hz(&self, rings: usize, state: MtjState) -> Result<Oersted, ArrayError> {
+        if rings == 0 {
+            return Ok(Oersted::ZERO);
+        }
+        self.ensure_rings(rings, state)?;
+        let cache = self.ring_cache.borrow();
         let mut total = Oersted::ZERO;
-        for k in 1..=rings {
-            total += self.ring_hz(k, state)?;
+        for &hz in &cache[state_index(state)][..rings] {
+            total += Oersted::new(hz);
         }
         Ok(total)
     }
@@ -167,6 +234,42 @@ mod tests {
         let manual = e.ring_hz(1, MtjState::AntiParallel).unwrap()
             + e.ring_hz(2, MtjState::AntiParallel).unwrap();
         assert!((c2.value() - manual.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rings_are_evaluated_once_and_reused() {
+        let e = ext();
+        assert_eq!(e.rings_evaluated(MtjState::AntiParallel), 0);
+        let c3 = e.cumulative_hz(3, MtjState::AntiParallel).unwrap();
+        assert_eq!(e.rings_evaluated(MtjState::AntiParallel), 3);
+        // A shorter prefix re-reads the cache without growing it; a
+        // longer one evaluates only the missing rings.
+        let c2 = e.cumulative_hz(2, MtjState::AntiParallel).unwrap();
+        assert_eq!(e.rings_evaluated(MtjState::AntiParallel), 3);
+        let c5 = e.cumulative_hz(5, MtjState::AntiParallel).unwrap();
+        assert_eq!(e.rings_evaluated(MtjState::AntiParallel), 5);
+        // Uniform-data rings superpose with a common sign, so the
+        // cumulative magnitude grows monotonically.
+        assert!(c2.value().abs() < c3.value().abs());
+        assert!(c3.value().abs() < c5.value().abs());
+        // Bit-identical to a fresh analyzer's answer.
+        let fresh = ext();
+        assert_eq!(
+            c5.value().to_bits(),
+            fresh
+                .cumulative_hz(5, MtjState::AntiParallel)
+                .unwrap()
+                .value()
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn equality_ignores_the_ring_cache() {
+        let a = ext();
+        let b = ext();
+        let _ = a.cumulative_hz(3, MtjState::AntiParallel).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for the ring-truncated hierarchical kernel: across
+//! random device sizes, pitches, and stored-state patterns, the
+//! truncated inter-cell sum must agree with a much deeper extended sum
+//! to within the kernel's advertised a-priori dipole-tail bound.
+
+use mramsim_array::{ExtendedCoupling, HierarchicalKernel};
+use mramsim_mtj::{presets, MtjState};
+use mramsim_numerics::hash::fnv1a;
+use mramsim_units::constants::OERSTED_PER_AMPERE_PER_METER;
+use mramsim_units::Nanometer;
+use proptest::prelude::*;
+
+/// The ring-1 representative-collapse slack: the base kernel stands all
+/// eight first-ring neighbours on two polygon-loop evaluations, which
+/// agree with the per-offset sums to well under this many oersted.
+const SYMMETRY_SLACK_OE: f64 = 0.1;
+
+/// A deterministic pseudo-random stored-state assignment over the whole
+/// lattice, derived from the draw's seed — every offset gets an
+/// independent coin flip, reproducible across kernels.
+fn pattern_of(seed: u64) -> impl Fn(i32, i32) -> MtjState {
+    move |di, dj| {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        bytes[8..12].copy_from_slice(&di.to_le_bytes());
+        bytes[12..].copy_from_slice(&dj.to_le_bytes());
+        if fnv1a(&bytes) & 1 == 0 {
+            MtjState::Parallel
+        } else {
+            MtjState::AntiParallel
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The accuracy contract behind `--field_tol`: for any draw of
+    /// device size, pitch, pattern, and truncation radius, the stray
+    /// field the truncated kernel ignores is no larger than its
+    /// advertised tail bound.
+    #[test]
+    fn truncated_window_sum_meets_the_advertised_bound(
+        ecd in 20.0f64..55.0,
+        ratio in 1.8f64..3.0,
+        seed in 0u64..=u64::MAX,
+        radius in 1usize..=3,
+    ) {
+        let device = presets::imec_like(Nanometer::new(ecd)).unwrap();
+        let pitch = Nanometer::new(ratio * ecd);
+        let truncated = HierarchicalKernel::compute(&device, pitch, radius).unwrap();
+        let deep = HierarchicalKernel::compute(&device, pitch, radius + 6).unwrap();
+        let pattern = pattern_of(seed);
+        let err_oe = OERSTED_PER_AMPERE_PER_METER
+            * (deep.inter_hz_window(&pattern) - truncated.inter_hz_window(&pattern)).abs();
+        let bound = truncated.tail_bound().value() + SYMMETRY_SLACK_OE;
+        prop_assert!(
+            err_oe <= bound,
+            "truncation error {err_oe} Oe > bound {bound} Oe at radius {radius}, \
+             eCD {ecd:.1} nm, pitch {:.1} nm",
+            pitch.value()
+        );
+    }
+
+    /// The hierarchical uniform aggregate reproduces the extended
+    /// per-ring ledger — two independent summation orders over the same
+    /// Biot–Savart stack.
+    #[test]
+    fn uniform_window_matches_the_extended_ring_ledger(
+        ecd in 20.0f64..55.0,
+        ratio in 1.8f64..3.0,
+        radius in 1usize..=3,
+    ) {
+        let device = presets::imec_like(Nanometer::new(ecd)).unwrap();
+        let pitch = Nanometer::new(ratio * ecd);
+        let kernel = HierarchicalKernel::compute(&device, pitch, radius).unwrap();
+        let ext = ExtendedCoupling::new(device, pitch).unwrap();
+        for state in [MtjState::Parallel, MtjState::AntiParallel] {
+            let uniform_oe = OERSTED_PER_AMPERE_PER_METER * kernel.uniform_inter_hz(state);
+            let ledger_oe = ext.cumulative_hz(radius, state).unwrap().value();
+            prop_assert!(
+                (uniform_oe - ledger_oe).abs() <= SYMMETRY_SLACK_OE,
+                "{state}: uniform {uniform_oe} Oe vs ledger {ledger_oe} Oe"
+            );
+        }
+    }
+
+    /// The bound itself is honest about depth: more rings never
+    /// advertise a looser truncation.
+    #[test]
+    fn tail_bound_shrinks_as_rings_are_added(
+        ecd in 20.0f64..55.0,
+        ratio in 1.8f64..3.0,
+    ) {
+        let device = presets::imec_like(Nanometer::new(ecd)).unwrap();
+        let pitch = Nanometer::new(ratio * ecd);
+        let bounds: Vec<f64> = (1..=4)
+            .map(|r| {
+                HierarchicalKernel::compute(&device, pitch, r)
+                    .unwrap()
+                    .tail_bound()
+                    .value()
+            })
+            .collect();
+        for pair in bounds.windows(2) {
+            prop_assert!(
+                pair[1] < pair[0],
+                "tail bound must shrink with radius: {bounds:?}"
+            );
+        }
+    }
+}

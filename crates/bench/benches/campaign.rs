@@ -1,17 +1,21 @@
 //! Benchmarks of the array write-campaign subsystem: the kernel-to-cell
-//! field adapter (pure cached-pattern arithmetic) and the per-cell
-//! Monte-Carlo WER campaign, per-cell-sequential vs block-flattened.
+//! field adapter (pure cached-pattern arithmetic), the per-cell
+//! Monte-Carlo WER campaign (per-cell-sequential vs block-flattened),
+//! and the `campaign_megabit` group — the sparse class-collapsed
+//! sharded path against the dense per-cell reference at megabit scale.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mramsim_array::{cell_field_map, CellArray, StrayFieldKernel};
+use mramsim_array::{cell_field_map, CellArray, DataPattern, PatternGrid, StrayFieldKernel};
 use mramsim_dynamics::{
     cell_seed, wer_campaign, wer_monte_carlo, CellDrive, EnsemblePlan, MacrospinParams,
 };
-use mramsim_faults::{array_wer_campaign, ArrayWerConfig};
+use mramsim_faults::{
+    array_wer_campaign, shard_wer_campaign, ArrayWerConfig, ShardPlan, SparseWerConfig,
+};
 use mramsim_mtj::{presets, MtjDevice, SwitchDirection};
 use mramsim_numerics::pool::WorkerPool;
-use mramsim_units::{Kelvin, Nanometer, Nanosecond, Volt};
-use std::time::Duration;
+use mramsim_units::{Kelvin, Nanometer, Nanosecond, Oersted, Volt};
+use std::time::{Duration, Instant};
 
 fn config() -> Criterion {
     Criterion::default()
@@ -102,9 +106,127 @@ fn bench_full_array_wer(c: &mut Criterion) {
     });
 }
 
+/// The shared Monte-Carlo point for the megabit comparison: a short
+/// pulse and a small ensemble keep single iterations benchable while
+/// exercising exactly the production code paths.
+fn megabit_write_point() -> ArrayWerConfig {
+    ArrayWerConfig {
+        voltage: Volt::new(0.9),
+        pulse: Nanosecond::new(2.0),
+        trajectories: 8,
+        ..ArrayWerConfig::default()
+    }
+}
+
+fn megabit_sparse_config() -> SparseWerConfig {
+    SparseWerConfig {
+        base: megabit_write_point(),
+        max_radius: 4,
+        field_tol: Oersted::new(25.0),
+    }
+}
+
+/// VmHWM from /proc — the peak-RSS proxy quoted next to cells/s.
+fn peak_rss_mb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024)
+}
+
+/// The dense per-cell reference at a size it can still afford: 32×32,
+/// one drive and one ensemble per cell. Its cells/s extrapolates
+/// linearly — the megabit comparison baseline.
+fn bench_megabit_dense_reference(c: &mut Criterion) {
+    let dev = device();
+    let data = CellArray::checkerboard(32, 32).unwrap();
+    let cfg = megabit_write_point();
+    let pool = WorkerPool::with_default_parallelism();
+    c.bench_function("campaign_megabit/dense_reference_32x32", |b| {
+        b.iter(|| {
+            black_box(array_wer_campaign(&dev, Nanometer::new(70.0), &data, &cfg, &pool).unwrap())
+        })
+    });
+}
+
+/// Window-class extraction over the full megabit grid: the structural
+/// fast path that collapses a million interior cells into a few dozen
+/// equivalence classes, no physics at all.
+fn bench_megabit_class_extraction(c: &mut Criterion) {
+    let grid = PatternGrid::new(1024, 1024, DataPattern::Checkerboard).unwrap();
+    c.bench_function("campaign_megabit/class_extraction_1024x1024_r4", |b| {
+        b.iter(|| {
+            let mut classes = 0;
+            for shard in 0..16 {
+                classes += grid
+                    .shard_classes(shard * 64, (shard + 1) * 64, 4)
+                    .unwrap()
+                    .len();
+            }
+            black_box(classes)
+        })
+    });
+}
+
+/// One interior 64-row shard of the megabit checkerboard through the
+/// sparse hierarchical pipeline — the unit of work `mramsim campaign`
+/// journals and resumes.
+fn bench_megabit_sparse_shard(c: &mut Criterion) {
+    let dev = device();
+    let grid = PatternGrid::new(1024, 1024, DataPattern::Checkerboard).unwrap();
+    let plan = ShardPlan::new(1024, 64).unwrap();
+    let cfg = megabit_sparse_config();
+    let pool = WorkerPool::with_default_parallelism();
+    c.bench_function("campaign_megabit/sparse_shard_64x1024", |b| {
+        b.iter(|| {
+            black_box(
+                shard_wer_campaign(&dev, Nanometer::new(70.0), &grid, &plan, 8, &cfg, &pool)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+/// The acceptance-criteria measurement, printed once per bench run: a
+/// full 1024×1024 checkerboard campaign through every shard vs the
+/// dense path's extrapolated throughput, with the peak-RSS proxy.
+fn report_megabit_speedup(_c: &mut Criterion) {
+    let dev = device();
+    let pool = WorkerPool::with_default_parallelism();
+    let pitch = Nanometer::new(70.0);
+
+    let data = CellArray::checkerboard(32, 32).unwrap();
+    let dense_cfg = megabit_write_point();
+    let t0 = Instant::now();
+    let dense = array_wer_campaign(&dev, pitch, &data, &dense_cfg, &pool).unwrap();
+    let dense_rate = dense.cells.len() as f64 / t0.elapsed().as_secs_f64();
+
+    let grid = PatternGrid::new(1024, 1024, DataPattern::Checkerboard).unwrap();
+    let plan = ShardPlan::new(1024, 64).unwrap();
+    let cfg = megabit_sparse_config();
+    let t1 = Instant::now();
+    let (mut cells, mut classes) = (0usize, 0usize);
+    for shard in 0..plan.n_shards() {
+        let report = shard_wer_campaign(&dev, pitch, &grid, &plan, shard, &cfg, &pool).unwrap();
+        cells += report.cells();
+        classes += report.classes.len();
+    }
+    let sparse_rate = cells as f64 / t1.elapsed().as_secs_f64();
+    println!(
+        "campaign_megabit: dense {dense_rate:.0} cells/s ({} cells), \
+         sparse {sparse_rate:.0} cells/s ({cells} cells via {classes} class ensembles, \
+         {:.0}x dense), peak RSS {} MB",
+        dense.cells.len(),
+        sparse_rate / dense_rate,
+        peak_rss_mb().map_or_else(|| "?".to_owned(), |mb| mb.to_string()),
+    );
+}
+
 criterion_group! {
     name = campaign;
     config = config();
-    targets = bench_cell_field_map, bench_campaign_vs_sequential, bench_full_array_wer
+    targets = bench_cell_field_map, bench_campaign_vs_sequential, bench_full_array_wer,
+        bench_megabit_dense_reference, bench_megabit_class_extraction,
+        bench_megabit_sparse_shard, report_megabit_speedup
 }
 criterion_main!(campaign);

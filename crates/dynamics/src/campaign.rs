@@ -97,15 +97,44 @@ pub fn wer_campaign(
     plan: &EnsemblePlan,
     pool: &WorkerPool,
 ) -> Vec<WerEstimate> {
+    let seeds: Vec<u64> = (0..cells.len() as u64)
+        .map(|c| cell_seed(plan.seed, c))
+        .collect();
+    wer_campaign_seeded(cells, &seeds, pulse, plan, pool)
+}
+
+/// [`wer_campaign`] with caller-supplied per-cell seeds instead of the
+/// positional [`cell_seed`] derivation.
+///
+/// This is the sparse-campaign entry point: equivalence-class campaigns
+/// seed each class from its *window content*, so identical environments
+/// produce bit-identical estimates regardless of which shard, order, or
+/// grid size they appear in.
+///
+/// # Panics
+///
+/// Panics when `seeds.len() != cells.len()`, or when
+/// `plan.trajectories` is zero with a non-empty cell list.
+#[must_use]
+pub fn wer_campaign_seeded(
+    cells: &[CellDrive],
+    seeds: &[u64],
+    pulse: f64,
+    plan: &EnsemblePlan,
+    pool: &WorkerPool,
+) -> Vec<WerEstimate> {
     assert!(
         plan.trajectories > 0 || cells.is_empty(),
         "a campaign needs at least one replica per cell"
     );
-    let plans: Vec<EnsemblePlan> = (0..cells.len() as u64)
-        .map(|c| EnsemblePlan {
-            seed: cell_seed(plan.seed, c),
-            ..*plan
-        })
+    assert_eq!(
+        seeds.len(),
+        cells.len(),
+        "one seed per campaign cell required"
+    );
+    let plans: Vec<EnsemblePlan> = seeds
+        .iter()
+        .map(|&seed| EnsemblePlan { seed, ..*plan })
         .collect();
 
     // Flatten to (cell, first replica of block) so the pool balances
@@ -218,6 +247,36 @@ mod tests {
             wers[1].wer,
             wers[0].wer
         );
+    }
+
+    #[test]
+    fn seeded_campaign_is_position_independent() {
+        // The same (drive, seed) pair must give the same estimate at
+        // any position, in any company — the invariant sparse
+        // class-campaigns rely on.
+        let all = cells(&[0.0, -200.0, 150.0], 3.0);
+        let plan = EnsemblePlan::new(37, 11, 2e-12).unwrap();
+        let pool = WorkerPool::new(3);
+        let fwd = wer_campaign_seeded(&all, &[101, 202, 303], 2e-9, &plan, &pool);
+        let rev: Vec<CellDrive> = all.iter().rev().cloned().collect();
+        let bwd = wer_campaign_seeded(&rev, &[303, 202, 101], 2e-9, &plan, &pool);
+        assert_eq!(fwd[0], bwd[2]);
+        assert_eq!(fwd[1], bwd[1]);
+        assert_eq!(fwd[2], bwd[0]);
+        // And the positional wrapper is just the derived-seed case.
+        let derived: Vec<u64> = (0..3).map(|c| cell_seed(plan.seed, c)).collect();
+        assert_eq!(
+            wer_campaign(&all, 2e-9, &plan, &pool),
+            wer_campaign_seeded(&all, &derived, 2e-9, &plan, &pool)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per campaign cell")]
+    fn seed_count_mismatch_panics() {
+        let all = cells(&[0.0], 2.0);
+        let plan = EnsemblePlan::new(16, 1, 2e-12).unwrap();
+        let _ = wer_campaign_seeded(&all, &[1, 2], 1e-9, &plan, &WorkerPool::new(1));
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod error;
 pub mod llgs;
 mod mc;
 
-pub use campaign::{cell_seed, wer_campaign, CellDrive};
+pub use campaign::{cell_seed, wer_campaign, wer_campaign_seeded, CellDrive};
 pub use ensemble::{run_ensemble, run_replica, EnsemblePlan, ReplicaOutcome, LANES};
 pub use error::DynamicsError;
 pub use llgs::{heun_step, record_trajectory, MacrospinParams, GAMMA_0, GYROMAGNETIC_RATIO};

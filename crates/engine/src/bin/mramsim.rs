@@ -37,6 +37,9 @@ USAGE:
     mramsim list                         show scenarios and parameters
     mramsim run <scenario> [OPTIONS]     run one scenario
     mramsim sweep <scenario> [OPTIONS]   run a parameter grid in parallel
+    mramsim campaign [scenario] [OPTIONS] sharded grid campaign: sweeps
+                                         an auto-generated `--shard`
+                                         axis (default: array-wer-shard)
     mramsim report [scenario...]         Markdown report (default: all)
     mramsim stats <run-id|path>          post-run telemetry report
     mramsim help                         this text
@@ -116,6 +119,24 @@ ARRAY WRITE CAMPAIGNS (per-cell Monte-Carlo fault maps):
     mramsim sweep array-wer --pitch 60,70,90 --trajectories 256
     mramsim run array-wer --pitch 55 --voltage_v 0.8 --format chart
 
+MEGABIT CAMPAIGNS (sparse sharded array-wer-shard):
+    array-wer-shard evaluates one fixed-height row band of an
+    arbitrarily large grid by collapsing cells with identical
+    stored-state windows into equivalence classes — one ring-truncated
+    hierarchical stray field and one Monte-Carlo ensemble per class,
+    so memory is bounded by the class count, never the grid.
+    --max_radius caps the kernel rings; --field_tol (Oe) grows rings
+    until the a-priori dipole-tail bound meets it; --defects plants
+    stuck cells (`row,col=P;row,col=AP`). `campaign` sweeps the
+    `--shard` axis over the whole grid with journaling, so an
+    interrupted megabit run resumes at shard granularity and the CSV
+    is byte-identical to an uninterrupted one:
+
+    mramsim campaign --rows 1024 --cols 1024 --shard_rows 64
+    mramsim campaign --rows 1024 --cols 1024 --limit 4   # then:
+    mramsim sweep --resume <run-id>
+    mramsim run array-wer-shard --shard 3 --defects \"512,512=AP\"
+
 ABLATIONS:
     Scenarios that build a device (fig4a, fig4b point mode, faults)
     accept the field-model knobs for accuracy/speed studies:
@@ -157,6 +178,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -441,6 +463,73 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Folds `--name value` pairs onto a plan: multi-valued parameters
+/// become grid axes, scalars fixed overrides.
+fn plan_with_params(mut plan: SweepPlan, params: Vec<(String, ParamValue)>) -> SweepPlan {
+    for (name, value) in params {
+        plan = match value {
+            ParamValue::List(values) if values.len() > 1 => plan.axis(&name, values),
+            // A degenerate one-point range/list fixes a scalar; list
+            // parameters coerce a Number back via `ParamSet::list`.
+            ParamValue::List(values) if values.len() == 1 => plan.fix(&name, values[0]),
+            other => plan.fix(&name, other),
+        };
+    }
+    plan
+}
+
+/// Validates a fresh plan against the scenario's declared parameters
+/// and opens its checkpoint journal. Shared by `sweep` and `campaign`.
+fn prepare_fresh_run(
+    options: &Options,
+    engine: &Engine,
+    cache_dir: Option<&Path>,
+    scenario: &str,
+    plan: &SweepPlan,
+) -> Result<Option<SweepJournal>, String> {
+    // `--limit` exists to slice a resumable campaign; without a
+    // store the computed slice would die with the process and the
+    // "resume to continue" advice would be unfollowable.
+    if options.limit.is_some() && engine.store().is_none() {
+        return Err(
+            "`--limit` slices a resumable campaign, which needs a usable disk cache \
+             (do not pass `--cache-dir off`)"
+                .into(),
+        );
+    }
+    // Validate the plan before touching the journal, so a typo'd
+    // scenario or parameter does not leave resumable-looking
+    // debris under runs/.
+    let specs = engine
+        .registry()
+        .get(scenario)
+        .map_err(|e| e.to_string())?
+        .params();
+    for name in plan
+        .axes()
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .chain(plan.fixed().iter().map(|(name, _)| name))
+    {
+        if !specs.iter().any(|s| s.name == name) {
+            return Err(format!("scenario `{scenario}` has no parameter `{name}`"));
+        }
+    }
+    // With the disk cache on, every sweep is checkpointed: the
+    // journal captures the plan and streams finished points. No
+    // store (disabled, or default dir unusable) ⇒ no journal —
+    // there would be nothing on disk to resume from anyway.
+    match (cache_dir, engine.store().is_some()) {
+        (Some(dir), true) => {
+            let path = SweepJournal::path_for(dir, &SweepJournal::run_id(plan));
+            Ok(Some(
+                SweepJournal::create(path, plan).map_err(|e| e.to_string())?,
+            ))
+        }
+        _ => Ok(None),
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let options = parse_options(args)?;
     let cache_dir = resolve_cache_dir(&options);
@@ -475,63 +564,91 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .scenario
             .clone()
             .ok_or("`sweep` needs a scenario id (or `--resume <run>`)")?;
-        let mut plan = SweepPlan::new(&scenario);
-        for (name, value) in options.params {
-            plan = match value {
-                ParamValue::List(values) if values.len() > 1 => plan.axis(&name, values),
-                // A degenerate one-point range/list fixes a scalar; list
-                // parameters coerce a Number back via `ParamSet::list`.
-                ParamValue::List(values) if values.len() == 1 => plan.fix(&name, values[0]),
-                other => plan.fix(&name, other),
-            };
-        }
+        let plan = plan_with_params(SweepPlan::new(&scenario), options.params.clone());
         if plan.axes().is_empty() {
             return Err("`sweep` needs at least one multi-valued axis \
                         (e.g. `--pitch 60..240:20`)"
                 .into());
         }
-        // `--limit` exists to slice a resumable campaign; without a
-        // store the computed slice would die with the process and the
-        // "resume to continue" advice would be unfollowable.
-        if options.limit.is_some() && engine.store().is_none() {
-            return Err(
-                "`--limit` slices a resumable campaign, which needs a usable disk cache \
-                 (do not pass `--cache-dir off`)"
-                    .into(),
-            );
-        }
-        // Validate the plan before touching the journal, so a typo'd
-        // scenario or parameter does not leave resumable-looking
-        // debris under runs/.
-        let specs = engine
-            .registry()
-            .get(&scenario)
-            .map_err(|e| e.to_string())?
-            .params();
-        for name in plan
-            .axes()
-            .iter()
-            .map(|(name, _)| name.as_str())
-            .chain(plan.fixed().iter().map(|(name, _)| name))
-        {
-            if !specs.iter().any(|s| s.name == name) {
-                return Err(format!("scenario `{scenario}` has no parameter `{name}`"));
-            }
-        }
-        // With the disk cache on, every sweep is checkpointed: the
-        // journal captures the plan and streams finished points. No
-        // store (disabled, or default dir unusable) ⇒ no journal —
-        // there would be nothing on disk to resume from anyway.
-        let journal = match (&cache_dir, engine.store().is_some()) {
-            (Some(dir), true) => {
-                let path = SweepJournal::path_for(dir, &SweepJournal::run_id(&plan));
-                Some(SweepJournal::create(path, &plan).map_err(|e| e.to_string())?)
-            }
-            _ => None,
-        };
+        let journal = prepare_fresh_run(&options, &engine, cache_dir.as_deref(), &scenario, &plan)?;
         (plan, journal)
     };
+    execute_sweep(&options, &engine, cache_dir.as_deref(), plan, journal)
+}
 
+/// `mramsim campaign`: a sweep whose `--shard` axis is generated to
+/// cover the scenario's whole grid, one journaled point per shard —
+/// megabit campaigns inherit `--limit`, `--resume`, the disk cache,
+/// and telemetry from the sweep machinery for free.
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    if options.resume.is_some() {
+        return Err("resume a campaign with `mramsim sweep --resume <run-id>`".into());
+    }
+    if options.params.iter().any(|(name, _)| name == "shard") {
+        return Err(
+            "`campaign` generates the `--shard` axis itself; use `sweep` for hand-picked shards"
+                .into(),
+        );
+    }
+    let scenario = options
+        .scenario
+        .clone()
+        .unwrap_or_else(|| "array-wer-shard".to_owned());
+    let cache_dir = resolve_cache_dir(&options);
+    let engine = build_engine(&options, cache_dir.as_deref())?;
+    let specs = engine
+        .registry()
+        .get(&scenario)
+        .map_err(|e| e.to_string())?
+        .params();
+    if !specs.iter().any(|s| s.name == "shard") {
+        return Err(format!(
+            "scenario `{scenario}` is not shardable (no `--shard` parameter)"
+        ));
+    }
+    // The shard count comes from the grid geometry; both knobs must be
+    // single values — a list would change the axis length per point.
+    let numeric = |name: &str| -> Result<f64, String> {
+        match options.params.iter().find(|(n, _)| n == name) {
+            Some((_, ParamValue::Number(v))) => Ok(*v),
+            Some(_) => Err(format!(
+                "`campaign` needs a single `--{name}` value (a list would change the shard count)"
+            )),
+            None => match specs.iter().find(|s| s.name == name).map(|s| &s.default) {
+                Some(ParamValue::Number(v)) => Ok(*v),
+                _ => Err(format!(
+                    "scenario `{scenario}` is not shardable (needs a numeric `--{name}` default)"
+                )),
+            },
+        }
+    };
+    let rows = numeric("rows")?;
+    let shard_rows = numeric("shard_rows")?;
+    if rows < 1.0 || shard_rows < 1.0 || rows.fract() != 0.0 || shard_rows.fract() != 0.0 {
+        return Err("`--rows` and `--shard_rows` must be positive integers".into());
+    }
+    let n_shards = (rows as usize).div_ceil(shard_rows as usize);
+    let plan = plan_with_params(SweepPlan::new(&scenario), options.params.clone()).axis(
+        "shard",
+        (0..n_shards).map(|shard| shard as f64).collect::<Vec<_>>(),
+    );
+    let journal = prepare_fresh_run(&options, &engine, cache_dir.as_deref(), &scenario, &plan)?;
+    eprintln!(
+        "campaign `{scenario}`: {n_shards} shard(s) of {shard_rows} row(s) covering {rows} grid rows"
+    );
+    execute_sweep(&options, &engine, cache_dir.as_deref(), plan, journal)
+}
+
+/// Runs a prepared plan: telemetry install, progress line, the sweep
+/// itself, output rendering, and the summary/journal/telemetry trailer.
+fn execute_sweep(
+    options: &Options,
+    engine: &Engine,
+    cache_dir: Option<&Path>,
+    plan: SweepPlan,
+    journal: Option<SweepJournal>,
+) -> Result<(), String> {
     let run_id = SweepJournal::run_id(&plan);
     // Telemetry: metrics aggregate in-process; events stream to the
     // run's JSONL log when a cache directory exists to hold it. All of
@@ -580,6 +697,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if show_progress {
         progress.clear();
     }
+    // Process-wide stray-field kernel cache traffic (ring-1 +
+    // hierarchical): gauged into the sealed snapshot so a later
+    // `mramsim stats <run-id>` can render what this process saw.
+    let kernel = mramsim_array::kernel_cache_stats();
+    if options.telemetry && kernel.hits + kernel.misses > 0 {
+        telemetry::gauge_set("kernel_cache.hits", kernel.hits as f64);
+        telemetry::gauge_set("kernel_cache.misses", kernel.misses as f64);
+        telemetry::gauge_set("kernel_cache.entries", kernel.entries as f64);
+    }
     // Seal the log: one final metrics snapshot, then uninstall.
     if let Some(sink) = &jsonl {
         sink.write_snapshot(&metrics.snapshot());
@@ -616,8 +742,20 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     } else {
         String::new()
     };
+    // Only scenarios that evaluate stray-field kernels touch this
+    // cache; stay quiet for the rest.
+    let kernels = if kernel.hits + kernel.misses > 0 {
+        format!(
+            ", kernel cache {}/{} hit(s) ({} kernel(s) held)",
+            kernel.hits,
+            kernel.hits + kernel.misses,
+            kernel.entries,
+        )
+    } else {
+        String::new()
+    };
     eprintln!(
-        "swept `{}`: {} point(s) on {} worker(s) in {:.1?} — {} cache hit(s) ({warm_hits} warm, {} from disk), {} error(s){skipped}{pressure}",
+        "swept `{}`: {} point(s) on {} worker(s) in {:.1?} — {} cache hit(s) ({warm_hits} warm, {} from disk), {} error(s){skipped}{pressure}{kernels}",
         outcome.scenario,
         outcome.jobs.len(),
         engine.workers(),

@@ -4,12 +4,13 @@
 //! Ten paper figures, the extension WER study, the design-space
 //! explorer, the coupling-aware fault simulator, the s-LLGS
 //! Monte-Carlo dynamics (`wer-mc`, `switch-traj`), and the array-scale
-//! Monte-Carlo write campaign (`array-wer`) are registered under
-//! stable ids. [`Registry::standard`] builds the full set.
+//! Monte-Carlo write campaigns — dense (`array-wer`) and sparse sharded
+//! (`array-wer-shard`) — are registered under stable ids.
+//! [`Registry::standard`] builds the full set.
 
 use crate::{EngineError, ParamSet, ParamSpec, Scenario, ScenarioOutput};
 use mramsim_array::DataPattern;
-use mramsim_array::{CouplingAnalyzer, NeighborhoodPattern};
+use mramsim_array::{CouplingAnalyzer, Defect, NeighborhoodPattern, PatternGrid};
 use mramsim_core::experiments::{
     ext_wer, fig2a, fig2b, fig3c, fig3d, fig4a, fig4b, fig4c, fig5, fig6a, fig6b,
 };
@@ -20,7 +21,8 @@ use mramsim_dynamics::{
 };
 use mramsim_faults::march::MarchTest;
 use mramsim_faults::{
-    array_wer_campaign, classify_write_faults, ArraySimulator, ArrayWerConfig, WriteConditions,
+    array_wer_campaign, classify_write_faults, shard_wer_campaign, ArraySimulator, ArrayWerConfig,
+    ShardPlan, SparseWerConfig, WriteConditions,
 };
 use mramsim_mtj::wer::write_error_rate_saturating;
 use mramsim_mtj::{presets, MtjDevice, SwitchDirection};
@@ -124,6 +126,7 @@ impl Registry {
         registry.register(Arc::new(WerMcScenario));
         registry.register(Arc::new(SwitchTrajScenario));
         registry.register(Arc::new(ArrayWerScenario));
+        registry.register(Arc::new(ArrayWerShardScenario));
         registry
     }
 
@@ -1231,17 +1234,215 @@ impl Scenario for ArrayWerScenario {
     }
 }
 
+/// Sparse sharded write campaign: one row band of a megabit-scale grid,
+/// collapsed into stored-state window equivalence classes.
+struct ArrayWerShardScenario;
+
+impl Scenario for ArrayWerShardScenario {
+    fn id(&self) -> &'static str {
+        "array-wer-shard"
+    }
+
+    fn summary(&self) -> &'static str {
+        "sparse sharded write campaign: per-window-class Monte-Carlo WER over one row band of a megabit-scale grid"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        let mut specs = vec![
+            ParamSpec::new("ecd", "device size (nm)", 35.0),
+            ParamSpec::new(
+                "pitch",
+                "array pitch (nm), sweep it for WER-vs-density",
+                70.0,
+            ),
+            ParamSpec::new("rows", "full grid rows", 256.0),
+            ParamSpec::new("cols", "full grid columns", 256.0),
+            ParamSpec::new(
+                "pattern",
+                "array data: zeros | ones | checkerboard",
+                "checkerboard",
+            ),
+            ParamSpec::new(
+                "defects",
+                "stuck cells: `row,col=P;row,col=AP` (empty: none)",
+                "",
+            ),
+            ParamSpec::new("shard_rows", "rows per shard (the memory bound)", 64.0),
+            ParamSpec::new(
+                "shard",
+                "shard index to evaluate; `mramsim campaign` sweeps it",
+                0.0,
+            ),
+            ParamSpec::new("max_radius", "stray-field kernel ring cap", 4.0),
+            ParamSpec::new(
+                "field_tol",
+                "requested dipole-tail truncation accuracy (Oe)",
+                25.0,
+            ),
+            ParamSpec::new("voltage_v", "write pulse amplitude (V)", 0.9),
+            ParamSpec::new("pulse_ns", "write pulse width (ns)", 8.0),
+            ParamSpec::new("temperature_k", "temperature (K)", 300.0),
+            ParamSpec::new("trajectories", "Monte-Carlo replicas per class", 64.0),
+            ParamSpec::new("seed", "campaign base seed", 7.0),
+            ParamSpec::new("dt_ps", "integrator time step (ps)", 2.0),
+            ParamSpec::new(
+                "thermal",
+                "1: thermal fluctuation field active during the pulse",
+                1.0,
+            ),
+            ParamSpec::new("wer_budget", "per-cell WER fault threshold", 0.01),
+        ];
+        specs.extend(field_model_specs());
+        specs
+    }
+
+    fn run(&self, params: &ParamSet) -> Result<ScenarioOutput, EngineError> {
+        let (segments, exact) = field_model_of(params)?;
+        let device =
+            presets::imec_like_with(Nanometer::new(params.number("ecd")?), segments, exact)
+                .map_err(|e| model_err("array-wer-shard", e))?;
+        let pitch = Nanometer::new(params.number("pitch")?);
+        let rows = params.count("rows")?;
+        let cols = params.count("cols")?;
+        let defects = Defect::parse_list(params.text("defects")?)
+            .map_err(|e| model_err("array-wer-shard", e))?;
+        let n_defects = defects.len();
+        let grid = DataPattern::parse(params.text("pattern")?)
+            .and_then(|pattern| PatternGrid::new(rows, cols, pattern))
+            .and_then(|grid| grid.with_defects(defects))
+            .map_err(|e| model_err("array-wer-shard", e))?;
+        let plan = ShardPlan::new(rows, params.count("shard_rows")?)
+            .map_err(|e| model_err("array-wer-shard", e))?;
+        let shard = params.count("shard")?;
+        let config = SparseWerConfig {
+            base: ArrayWerConfig {
+                voltage: Volt::new(params.number("voltage_v")?),
+                pulse: Nanosecond::new(params.number("pulse_ns")?),
+                temperature: Kelvin::new(params.number("temperature_k")?),
+                trajectories: params.count("trajectories")?,
+                seed: seed_of(params, "seed")?,
+                dt: params.number("dt_ps")? * 1e-12,
+                thermal: params.count("thermal")? != 0,
+                wer_budget: params.number("wer_budget")?,
+            },
+            max_radius: params.count("max_radius")?,
+            field_tol: Oersted::new(params.number("field_tol")?),
+        };
+        let pool = WorkerPool::new(crate::scenario_workers());
+        let report = shard_wer_campaign(&device, pitch, &grid, &plan, shard, &config, &pool)
+            .map_err(|e| model_err("array-wer-shard", e))?;
+
+        let worst_analytic = report
+            .classes
+            .iter()
+            .map(|c| c.analytic)
+            .fold(0.0, f64::max);
+        let mut summary = Table::new("array-wer-shard: shard summary", &["quantity", "value"]);
+        summary.push_row(&["grid", &format!("{rows}x{cols}")]);
+        summary.push_row(&[
+            "shard",
+            &format!(
+                "{} of {} (rows {}..{})",
+                report.shard,
+                plan.n_shards(),
+                report.row_lo,
+                report.row_hi
+            ),
+        ]);
+        summary.push_row(&["pattern", params.text("pattern")?]);
+        summary.push_row(&["defects", &n_defects.to_string()]);
+        summary.push_row(&["pitch (nm)", &format!("{:.1}", pitch.value())]);
+        summary.push_row(&[
+            "density (bits/um^2)",
+            &format!("{:.2}", report.density_bits_per_um2),
+        ]);
+        summary.push_row(&["kernel radius (rings)", &report.radius.to_string()]);
+        summary.push_row(&[
+            "tail bound (Oe)",
+            &format!("{:.2}", report.tail_bound.value()),
+        ]);
+        summary.push_row(&["tolerance met", &u8::from(report.tol_met).to_string()]);
+        summary.push_row(&["cells", &report.cells().to_string()]);
+        summary.push_row(&["classes", &report.classes.len().to_string()]);
+        summary.push_row(&["faulty cells", &report.faulty_cells().to_string()]);
+        summary.push_row(&[
+            "worst class WER (MC)",
+            &format!("{:.5}", report.worst_wer()),
+        ]);
+        summary.push_row(&["mean cell WER (MC)", &format!("{:.5}", report.mean_wer())]);
+        summary.push_row(&[
+            "worst class WER (analytic)",
+            &format!("{worst_analytic:.5}"),
+        ]);
+
+        let mut classes = Table::new(
+            "array-wer-shard: window classes",
+            &[
+                "window_key",
+                "rep_row",
+                "rep_col",
+                "count",
+                "stored",
+                "direction",
+                "np",
+                "hz_oe",
+                "drive_ua",
+                "ic_ua",
+                "failures",
+                "wer_mc",
+                "wer_analytic",
+                "faulty",
+            ],
+        );
+        for class in &report.classes {
+            classes.push_row(&[
+                format!("{:016x}", class.window_key),
+                class.representative.0.to_string(),
+                class.representative.1.to_string(),
+                class.count.to_string(),
+                class.stored.to_string(),
+                class.direction.to_string(),
+                class.np.bits().to_string(),
+                format!("{:.2}", class.hz_stray.value()),
+                format!("{:.2}", class.drive_ua),
+                format!("{:.2}", class.ic_ua),
+                class.mc.failures.to_string(),
+                format!("{:.6}", class.mc.wer),
+                format!("{:.6}", class.analytic),
+                u8::from(class.faulty).to_string(),
+            ]);
+        }
+
+        Ok(ScenarioOutput::from_table(summary)
+            .with_table(classes)
+            .with_scalar("cells", report.cells() as f64)
+            .with_scalar("classes", report.classes.len() as f64)
+            .with_scalar("faulty_cells", report.faulty_cells() as f64)
+            .with_scalar("worst_wer_mc", report.worst_wer())
+            .with_scalar("mean_wer_mc", report.mean_wer())
+            .with_scalar("worst_wer_analytic", worst_analytic)
+            .with_scalar("radius", report.radius as f64)
+            .with_scalar("tail_bound_oe", report.tail_bound.value())
+            .with_scalar("tol_met", f64::from(u8::from(report.tol_met)))
+            .with_scalar("density_bits_per_um2", report.density_bits_per_um2)
+            .with_scalar("n_shards", plan.n_shards() as f64)
+            .with_scalar("row_lo", report.row_lo as f64)
+            .with_scalar("row_hi", report.row_hi as f64))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn standard_registry_lists_sixteen_scenarios() {
+    fn standard_registry_lists_seventeen_scenarios() {
         let registry = Registry::standard();
-        assert_eq!(registry.len(), 16);
+        assert_eq!(registry.len(), 17);
         let ids: Vec<&str> = registry.ids().collect();
         for id in [
             "array-wer",
+            "array-wer-shard",
             "ext_wer",
             "explore",
             "faults",
@@ -1460,6 +1661,57 @@ mod tests {
             .with("pulse_ns", 4.0);
         let out = scenario.run(&single).unwrap();
         assert_eq!(out.scalar("cells"), Some(1.0));
+    }
+
+    #[test]
+    fn array_wer_shard_covers_its_band_and_knobs_are_cache_keys() {
+        let scenario = ArrayWerShardScenario;
+        let base = ParamSet::defaults(&scenario.params())
+            .with("rows", 32.0)
+            .with("cols", 24.0)
+            .with("shard_rows", 16.0)
+            .with("shard", 1.0)
+            .with("trajectories", 16.0)
+            .with("max_radius", 2.0)
+            .with("field_tol", 60.0)
+            .with("defects", "20,5=AP");
+        let out = scenario.run(&base).unwrap();
+        assert_eq!(out.scalar("cells"), Some(16.0 * 24.0));
+        assert_eq!(out.scalar("n_shards"), Some(2.0));
+        assert_eq!(out.scalar("row_lo"), Some(16.0));
+        assert!(out.scalar("classes").unwrap() < out.scalar("cells").unwrap());
+        assert!(out.scalar("radius").unwrap() >= 1.0);
+        assert!(out.scalar("tail_bound_oe").unwrap() > 0.0);
+        assert_eq!(out, scenario.run(&base).unwrap(), "bit-identical repeat");
+        // The sharding and accuracy knobs are all content-address keys.
+        for (name, value) in [
+            ("shard", 0.0),
+            ("shard_rows", 8.0),
+            ("max_radius", 1.0),
+            ("field_tol", 30.0),
+        ] {
+            assert_ne!(
+                base.fingerprint(),
+                base.clone().with(name, value).fingerprint(),
+                "{name} must change the cache key"
+            );
+        }
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with("defects", "20,5=P").fingerprint(),
+            "defects must change the cache key"
+        );
+        // Malformed defects and out-of-range shards are rejected.
+        let bad = ParamSet::defaults(&scenario.params()).with("defects", "nope");
+        assert!(matches!(
+            scenario.run(&bad),
+            Err(EngineError::Scenario { .. })
+        ));
+        let oob = base.clone().with("shard", 9.0);
+        assert!(
+            scenario.run(&oob).is_err(),
+            "shard past the plan must error"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use mramsim_engine::{Engine, ParamSet, SweepPlan};
 fn every_registered_scenario_runs_end_to_end_and_caches() {
     let engine = Engine::standard();
     let ids: Vec<&str> = engine.registry().ids().collect();
-    assert_eq!(ids.len(), 16, "the standard registry shrank: {ids:?}");
+    assert_eq!(ids.len(), 17, "the standard registry shrank: {ids:?}");
 
     for id in &ids {
         let cold = engine

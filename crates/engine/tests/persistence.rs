@@ -401,6 +401,92 @@ fn cli_interrupted_sweep_resumes_byte_identically() {
 }
 
 #[test]
+fn cli_interrupted_campaign_resumes_byte_identically() {
+    // `campaign` shards a grid into journaled sweep points; a run
+    // killed mid-campaign must resume at shard granularity to the
+    // same bytes an uninterrupted campaign produces.
+    let dir = TempDir::new("cli-campaign");
+    let dir_str = dir.0.to_str().unwrap();
+    let campaign_args = [
+        "campaign",
+        "--rows",
+        "48",
+        "--cols",
+        "32",
+        "--shard_rows",
+        "16",
+        "--trajectories",
+        "12",
+        "--pulse_ns",
+        "4",
+        "--max_radius",
+        "2",
+        "--field_tol",
+        "60",
+        "--format",
+        "csv",
+        "--cache-dir",
+        dir_str,
+    ];
+
+    let limited: Vec<&str> = campaign_args
+        .iter()
+        .copied()
+        .chain(["--limit", "1"])
+        .collect();
+    let (_, partial_err) = mramsim(&limited);
+    assert!(
+        partial_err.contains("3 shard(s) of 16 row(s)"),
+        "{partial_err}"
+    );
+    assert!(partial_err.contains("2 skipped"), "{partial_err}");
+    // The sweep trailer reports the process-wide kernel cache traffic.
+    assert!(partial_err.contains("kernel cache"), "{partial_err}");
+    let run_id = partial_err
+        .lines()
+        .find_map(|l| l.strip_prefix("run `"))
+        .and_then(|l| l.split('`').next())
+        .expect("stderr announces the run id")
+        .to_owned();
+    assert!(run_id.starts_with("array-wer-shard-"), "{run_id}");
+
+    // Resumed through the ordinary sweep machinery.
+    let (resumed_csv, resumed_err) = mramsim(&[
+        "sweep",
+        "--resume",
+        &run_id,
+        "--format",
+        "csv",
+        "--cache-dir",
+        dir_str,
+    ]);
+    assert!(
+        resumed_err.contains("resuming") && resumed_err.contains("1/3"),
+        "{resumed_err}"
+    );
+
+    // Uninterrupted, pristine cache, separate process.
+    let fresh = TempDir::new("cli-campaign-uninterrupted");
+    let fresh_args: Vec<&str> = campaign_args[..campaign_args.len() - 1]
+        .iter()
+        .copied()
+        .chain([fresh.0.to_str().unwrap()])
+        .collect();
+    let (uninterrupted_csv, _) = mramsim(&fresh_args);
+    assert_eq!(
+        resumed_csv, uninterrupted_csv,
+        "resumed campaign CSV must be byte-identical to an uninterrupted run"
+    );
+    // Every shard row is present exactly once, in shard order.
+    let shards: Vec<&str> = resumed_csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').next().unwrap())
+        .collect();
+    assert_eq!(shards, ["0", "1", "2"], "{resumed_csv}");
+}
+
+#[test]
 fn cli_degrades_to_memory_only_when_the_default_cache_dir_is_unusable() {
     // An unusable *default* directory (read-only HOME, sandbox) must
     // not break `run`/`sweep` — persistence is an optimisation there.

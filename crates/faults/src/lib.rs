@@ -49,10 +49,14 @@ mod classify;
 mod error;
 pub mod march;
 pub mod mc;
+pub mod sharded;
 mod simulator;
 
 pub use classify::{classify_write_faults, WriteFault, WriteFaultReport};
 pub use error::FaultsError;
 pub use mc::{array_wer_campaign, ArrayWerConfig, ArrayWerReport, CellWer, ClassWer};
 pub use mramsim_array::CellArray;
+pub use sharded::{
+    class_seed, shard_wer_campaign, ShardPlan, ShardWerReport, SparseClassWer, SparseWerConfig,
+};
 pub use simulator::{ArraySimulator, OpResult, WriteConditions};

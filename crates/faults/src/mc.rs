@@ -185,11 +185,50 @@ impl ArrayWerReport {
 /// The transition a campaign write performs on a cell storing `stored`:
 /// always to the complement — the single place the stored-state →
 /// direction mapping lives.
-fn write_direction(stored: MtjState) -> SwitchDirection {
+pub(crate) fn write_direction(stored: MtjState) -> SwitchDirection {
     match stored {
         MtjState::AntiParallel => SwitchDirection::ApToP,
         MtjState::Parallel => SwitchDirection::PToAp,
     }
+}
+
+/// The write-condition checks shared by the dense and sparse campaign
+/// entry points.
+pub(crate) fn validate_config(config: &ArrayWerConfig) -> Result<(), FaultsError> {
+    if !(config.pulse.value() > 0.0) || !config.pulse.value().is_finite() {
+        return Err(FaultsError::InvalidParameter {
+            name: "pulse",
+            message: format!("must be positive and finite, got {:?}", config.pulse),
+        });
+    }
+    if !(config.voltage.value() > 0.0) || !config.voltage.value().is_finite() {
+        return Err(FaultsError::InvalidParameter {
+            name: "voltage",
+            message: format!("must be positive and finite, got {:?}", config.voltage),
+        });
+    }
+    if !(config.wer_budget > 0.0 && config.wer_budget <= 1.0) {
+        return Err(FaultsError::InvalidParameter {
+            name: "wer_budget",
+            message: format!("must be in (0, 1], got {}", config.wer_budget),
+        });
+    }
+    Ok(())
+}
+
+/// One calibrated base operating point and drive per transition; cells
+/// differ only by the applied stray field.
+pub(crate) fn direction_point(
+    device: &MtjDevice,
+    direction: SwitchDirection,
+    config: &ArrayWerConfig,
+) -> Result<(MacrospinParams, f64), FaultsError> {
+    let base = MacrospinParams::from_device(device, direction, config.temperature)?;
+    let drive = device
+        .electrical()
+        .current(direction.initial_state(), config.voltage, device.area())
+        .value();
+    Ok((base, drive))
 }
 
 /// Runs one Monte-Carlo write campaign: every cell of `data` is written
@@ -236,37 +275,10 @@ pub fn array_wer_campaign(
     config: &ArrayWerConfig,
     pool: &WorkerPool,
 ) -> Result<ArrayWerReport, FaultsError> {
-    if !(config.pulse.value() > 0.0) || !config.pulse.value().is_finite() {
-        return Err(FaultsError::InvalidParameter {
-            name: "pulse",
-            message: format!("must be positive and finite, got {:?}", config.pulse),
-        });
-    }
-    if !(config.voltage.value() > 0.0) || !config.voltage.value().is_finite() {
-        return Err(FaultsError::InvalidParameter {
-            name: "voltage",
-            message: format!("must be positive and finite, got {:?}", config.voltage),
-        });
-    }
-    if !(config.wer_budget > 0.0 && config.wer_budget <= 1.0) {
-        return Err(FaultsError::InvalidParameter {
-            name: "wer_budget",
-            message: format!("must be in (0, 1], got {}", config.wer_budget),
-        });
-    }
+    validate_config(config)?;
 
-    // One calibrated base operating point and one drive per direction;
-    // per-cell points differ only by the applied stray field.
-    let point = |direction: SwitchDirection| -> Result<(MacrospinParams, f64), FaultsError> {
-        let base = MacrospinParams::from_device(device, direction, config.temperature)?;
-        let drive = device
-            .electrical()
-            .current(direction.initial_state(), config.voltage, device.area())
-            .value();
-        Ok((base, drive))
-    };
-    let (base_ap2p, drive_ap2p) = point(SwitchDirection::ApToP)?;
-    let (base_p2ap, drive_p2ap) = point(SwitchDirection::PToAp)?;
+    let (base_ap2p, drive_ap2p) = direction_point(device, SwitchDirection::ApToP, config)?;
+    let (base_p2ap, drive_p2ap) = direction_point(device, SwitchDirection::PToAp, config)?;
 
     // The kernel-to-cell adapter: one stray field per cell, all served
     // from the shared kernel cache.

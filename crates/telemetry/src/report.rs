@@ -134,6 +134,22 @@ fn counters_block(out: &mut String, snapshot: &MetricsSnapshot) {
     out.push('\n');
 }
 
+fn gauges_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    if snapshot.gauges.is_empty() {
+        return;
+    }
+    out.push_str("gauges:\n");
+    for (name, value) in &snapshot.gauges {
+        let text = if value.fract() == 0.0 && value.abs() < 1e15 {
+            format!("{value:.0}")
+        } else {
+            format!("{value:.3}")
+        };
+        let _ = writeln!(out, "  {name:<28} {text}");
+    }
+    out.push('\n');
+}
+
 fn slowest_jobs(out: &mut String, log: &TelemetryLog) {
     let mut jobs: Vec<(u64, u64, String)> = log
         .events
@@ -243,6 +259,7 @@ pub fn render_stats(log: &TelemetryLog) -> String {
     slowest_jobs(&mut out, log);
     histogram_table(&mut out, snapshot);
     counters_block(&mut out, snapshot);
+    gauges_block(&mut out, snapshot);
     out
 }
 
@@ -297,6 +314,8 @@ mod tests {
                 _ => metrics.observe("engine.warm_lookup_s", secs),
             }
         }
+        metrics.gauge_set("kernel_cache.hits", 12.0);
+        metrics.gauge_set("kernel.tail_bound_oe", 22.378);
         sink.event("sweep.end", &[("duration_ns", Value::U64(3_100_000_000))]);
         sink.write_snapshot(&metrics.snapshot());
 
@@ -311,6 +330,13 @@ mod tests {
         let slow = report.split("slowest jobs:\n").nth(1).unwrap();
         assert!(slow.trim_start().starts_with("#0"), "{report}");
         assert!(report.contains("pool utilization"), "{report}");
+        // Gauges render as a block: integral values without a point,
+        // fractional ones to 3 places.
+        assert!(report.contains("gauges:"), "{report}");
+        assert!(report.contains("kernel_cache.hits"), "{report}");
+        let gauges = report.split("gauges:\n").nth(1).unwrap();
+        assert!(gauges.contains(" 12\n"), "{report}");
+        assert!(gauges.contains("22.378"), "{report}");
         let _ = std::fs::remove_file(&path);
     }
 
