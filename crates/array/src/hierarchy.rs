@@ -165,6 +165,9 @@ impl HierarchicalKernel {
                 message: "hierarchical kernel radius must be at least 1".to_owned(),
             });
         }
+        // Only actual builds get a span — cache hits in `shared_with`
+        // never reach here, so traces show real kernel work.
+        let _span = mramsim_telemetry::span_tree("kernel.build");
         let base = StrayFieldKernel::shared(device, pitch)?;
         let mut kernel = Self {
             fingerprint: base.fingerprint().to_owned(),

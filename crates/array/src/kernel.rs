@@ -101,6 +101,9 @@ impl StrayFieldKernel {
                 ),
             });
         }
+        // Only actual builds get a span — cache hits in `shared` never
+        // reach here, so traces show real kernel work, not lookups.
+        let _span = mramsim_telemetry::span_tree("kernel.build");
         let (dx, dy) = direct_neighbor_offsets(pitch)[0];
         let (gx, gy) = diagonal_neighbor_offsets(pitch)[0];
         Ok(Self {

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mramsim_bench::print_artifact;
 use mramsim_engine::{Engine, SweepPlan};
 use mramsim_telemetry as telemetry;
-use mramsim_telemetry::MetricsRecorder;
+use mramsim_telemetry::{MetricsRecorder, TelemetryLog};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -34,22 +34,27 @@ fn grid() -> SweepPlan {
 fn bench_warm_sweep_overhead(c: &mut Criterion) {
     let engine = Engine::standard();
     engine.sweep(&grid()).expect("prefill");
-    let median_warm = || {
-        let mut times: Vec<Duration> = (0..9)
-            .map(|_| {
-                let t0 = std::time::Instant::now();
-                let outcome = engine.sweep(&grid()).expect("sweep");
-                assert_eq!(outcome.cache_hits, 100);
-                t0.elapsed()
-            })
-            .collect();
-        times.sort();
-        times[times.len() / 2]
+    let warm = || {
+        let t0 = std::time::Instant::now();
+        let outcome = engine.sweep(&grid()).expect("sweep");
+        assert_eq!(outcome.cache_hits, 100);
+        t0.elapsed()
     };
-    let disabled = median_warm();
-    let guard = telemetry::install(Arc::new(MetricsRecorder::new()));
-    let enabled = median_warm();
-    drop(guard);
+    // Interleaved A/B pairs: frequency and scheduler drift over the
+    // measurement window hits both arms equally, instead of biasing
+    // whichever arm happened to run second.
+    let mut off: Vec<Duration> = Vec::new();
+    let mut on: Vec<Duration> = Vec::new();
+    for _ in 0..15 {
+        off.push(warm());
+        let guard = telemetry::install(Arc::new(MetricsRecorder::new()));
+        on.push(warm());
+        drop(guard);
+    }
+    off.sort();
+    on.sort();
+    let disabled = off[off.len() / 2];
+    let enabled = on[on.len() / 2];
     print_artifact(
         "telemetry: warm 100-point sweep, recorder absent vs installed",
         &format!(
@@ -79,6 +84,9 @@ fn bench_primitive_ops(c: &mut Criterion) {
     group.bench_function("span_disabled", |b| {
         b.iter(|| telemetry::span("bench.span_s"))
     });
+    group.bench_function("span_tree_disabled", |b| {
+        b.iter(|| telemetry::span_tree("bench.tree_span"))
+    });
     group.bench_function("counter_add_enabled", |b| {
         let _guard = telemetry::install(Arc::new(MetricsRecorder::new()));
         b.iter(|| telemetry::counter_add("bench.counter", 1))
@@ -90,9 +98,80 @@ fn bench_primitive_ops(c: &mut Criterion) {
     group.finish();
 }
 
+/// The post-run trace machinery on a synthetic 1024-job log — the
+/// costs `mramsim trace` pays after a campaign: parse the JSONL,
+/// rebuild the span tree, render the Chrome export.
+fn bench_trace_export(c: &mut Criterion) {
+    let line = |t: u64, lane: u64, name: &str, fields: &str| {
+        format!(r#"{{"kind":"event","t_ns":{t},"lane":{lane},"name":"{name}","fields":{fields}}}"#)
+    };
+    let mut lines = vec![
+        line(0, 1, "sweep.start", r#"{"scenario":"bench","jobs":1024}"#),
+        line(1, 1, "span.begin", r#"{"id":1,"span":"sweep"}"#),
+    ];
+    for i in 0..1024u64 {
+        let lane = 2 + (i % 8);
+        let t = 10 + i * 1000;
+        let id = i + 2;
+        lines.push(line(
+            t,
+            lane,
+            "span.begin",
+            &format!(r#"{{"id":{id},"parent":1,"span":"job","index":{i}}}"#),
+        ));
+        lines.push(line(
+            t + 800,
+            lane,
+            "job.done",
+            &format!(r#"{{"index":{i},"source":"computed","duration_ns":800}}"#),
+        ));
+        lines.push(line(
+            t + 900,
+            lane,
+            "span.end",
+            &format!(r#"{{"id":{id},"span":"job","duration_ns":900}}"#),
+        ));
+    }
+    lines.push(line(
+        1_200_000,
+        1,
+        "span.end",
+        r#"{"id":1,"span":"sweep","duration_ns":1199999}"#,
+    ));
+    let text = lines.join("\n");
+    let log = TelemetryLog::parse(&text).expect("synthetic log parses");
+
+    let timed = |f: &dyn Fn()| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..5 {
+            f();
+        }
+        t0.elapsed() / 5
+    };
+    let parse = timed(&|| drop(TelemetryLog::parse(&text).expect("parses")));
+    let tree = timed(&|| drop(log.span_tree()));
+    let export = timed(&|| drop(telemetry::trace::chrome_trace(&log)));
+    print_artifact(
+        "telemetry: trace pipeline on a 1024-job run log",
+        &format!(
+            "parse JSONL:   {parse:>10.1?}\nspan tree:     {tree:>10.1?}\nchrome export: {export:>10.1?}",
+        ),
+    );
+
+    let mut group = c.benchmark_group("telemetry_trace");
+    group.bench_function("parse_1024_jobs", |b| {
+        b.iter(|| TelemetryLog::parse(&text).expect("parses"))
+    });
+    group.bench_function("span_tree_1024_jobs", |b| b.iter(|| log.span_tree()));
+    group.bench_function("chrome_trace_1024_jobs", |b| {
+        b.iter(|| telemetry::trace::chrome_trace(&log))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = telemetry_bench;
     config = config();
-    targets = bench_warm_sweep_overhead, bench_primitive_ops
+    targets = bench_warm_sweep_overhead, bench_primitive_ops, bench_trace_export
 }
 criterion_main!(telemetry_bench);

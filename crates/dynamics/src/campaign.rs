@@ -132,6 +132,16 @@ pub fn wer_campaign_seeded(
         cells.len(),
         "one seed per campaign cell required"
     );
+    // The campaign span: lane blocks fan out on the pool below, so
+    // every solver block runs inside this context in traces.
+    let mut campaign_span = None;
+    if telemetry::enabled() {
+        campaign_span = Some(telemetry::span_tree_with(
+            "wer.campaign",
+            &[("cells", telemetry::Value::U64(cells.len() as u64))],
+        ));
+    }
+    let _campaign_span = campaign_span;
     let plans: Vec<EnsemblePlan> = seeds
         .iter()
         .map(|&seed| EnsemblePlan { seed, ..*plan })
@@ -178,11 +188,17 @@ pub fn wer_campaign_seeded(
             (cells.len() * plan.trajectories) as u64,
         );
     }
-    trajectories
+    let estimates: Vec<WerEstimate> = trajectories
         .into_iter()
         .zip(failures)
         .map(|(n, failed)| WerEstimate::from_counts(n, failed))
-        .collect()
+        .collect();
+    if telemetry::enabled() {
+        for (cell, estimate) in estimates.iter().enumerate() {
+            estimate.emit_health("cell_wer", &[("cell", telemetry::Value::U64(cell as u64))]);
+        }
+    }
+    estimates
 }
 
 #[cfg(test)]

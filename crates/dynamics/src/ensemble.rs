@@ -264,10 +264,22 @@ pub fn run_ensemble(
     plan: &EnsemblePlan,
     pool: &WorkerPool,
 ) -> Vec<ReplicaOutcome> {
+    // One tree span per ensemble (not per lane block — a 4096-replica
+    // ensemble has hundreds of blocks, which would swamp the run log),
+    // nesting under the calling job's span in traces.
+    let mut ensemble_span = None;
     if telemetry::enabled() {
         telemetry::counter_add("llgs.ensembles", 1);
         telemetry::counter_add("llgs.trajectories", plan.trajectories as u64);
+        ensemble_span = Some(telemetry::span_tree_with(
+            "llgs.ensemble",
+            &[(
+                "trajectories",
+                telemetry::Value::U64(plan.trajectories as u64),
+            )],
+        ));
     }
+    let _ensemble_span = ensemble_span;
     let blocks: Vec<u64> = (0..plan.trajectories as u64).step_by(LANES).collect();
     let mut out: Vec<ReplicaOutcome> = pool
         .scoped_map(&blocks, |_, &first| {

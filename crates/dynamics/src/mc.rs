@@ -51,6 +51,45 @@ impl WerEstimate {
     pub fn agrees_with(&self, analytic: f64, n_sigma: f64) -> bool {
         (self.wer - analytic).abs() <= n_sigma * self.std_error
     }
+
+    /// Half-width of the Wilson score interval at `z` standard normal
+    /// quantiles (1.96 for 95%) — the estimator-health number the
+    /// telemetry events carry. Unlike the Wald interval behind
+    /// [`WerEstimate::std_error`], it stays honest at the extreme
+    /// rates MRAM cares about (0 failures in N still yields a
+    /// non-degenerate width).
+    #[must_use]
+    pub fn wilson_halfwidth(&self, z: f64) -> f64 {
+        let n = self.trajectories as f64;
+        let p = self.wer;
+        let z2 = z * z;
+        z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / (1.0 + z2 / n)
+    }
+
+    /// Emits the `ensemble.health` telemetry event for this estimate:
+    /// trajectories, failures, point estimate, and the 95% Wilson
+    /// half-width. `extra` carries caller context (which cell, which
+    /// class). No-op when telemetry is off.
+    pub fn emit_health(&self, estimator: &str, extra: &[telemetry::Field]) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let mut fields: Vec<telemetry::Field> = vec![
+            ("estimator", telemetry::Value::Text(estimator.to_owned())),
+            (
+                "trajectories",
+                telemetry::Value::U64(self.trajectories as u64),
+            ),
+            ("failures", telemetry::Value::U64(self.failures as u64)),
+            ("wer", telemetry::Value::F64(self.wer)),
+            (
+                "wilson_halfwidth_95",
+                telemetry::Value::F64(self.wilson_halfwidth(1.96)),
+            ),
+        ];
+        fields.extend_from_slice(extra);
+        telemetry::event("ensemble.health", &fields);
+    }
 }
 
 /// Estimates the WER of a write pulse of `current` amperes lasting
@@ -86,7 +125,9 @@ pub fn wer_monte_carlo(
     let outcomes = run_ensemble(params, current, pulse, plan, pool);
     let failures = outcomes.iter().filter(|o| !o.switched).count();
     telemetry::counter_add("llgs.wer_estimates", 1);
-    WerEstimate::from_counts(outcomes.len(), failures)
+    let estimate = WerEstimate::from_counts(outcomes.len(), failures);
+    estimate.emit_health("wer", &[]);
+    estimate
 }
 
 /// A Monte-Carlo switching-time distribution.
@@ -157,6 +198,16 @@ pub fn switching_time_distribution(
         .collect();
     histogram.extend(times_ns.iter().copied());
     telemetry::counter_add("llgs.switch_distributions", 1);
+    if telemetry::enabled() {
+        telemetry::event(
+            "ensemble.health",
+            &[
+                ("estimator", telemetry::Value::Text("switch_times".into())),
+                ("trajectories", telemetry::Value::U64(outcomes.len() as u64)),
+                ("switched", telemetry::Value::U64(times_ns.len() as u64)),
+            ],
+        );
+    }
     let mean_ns = stats::mean(&times_ns).ok();
     let std_ns = stats::std_dev(&times_ns).ok();
     let median_ns = stats::median(&times_ns).ok();
@@ -208,6 +259,24 @@ mod tests {
         assert!((est.wer - est.failures as f64 / 50.0).abs() < 1e-15);
         assert!(est.std_error >= 1.0 / 50.0);
         assert!(est.agrees_with(est.wer, 1.0));
+    }
+
+    #[test]
+    fn wilson_halfwidth_matches_the_closed_form_and_survives_zero_counts() {
+        // 10 failures in 100 at z = 1.96: the textbook Wilson interval
+        // is (0.0552, 0.1744) — half-width ~0.0596 around the shifted
+        // center.
+        let est = WerEstimate::from_counts(100, 10);
+        let hw = est.wilson_halfwidth(1.96);
+        assert!((hw - 0.059_57).abs() < 5e-4, "hw = {hw}");
+
+        // Zero failures: Wald collapses to the 1/N floor, Wilson stays
+        // a genuine interval.
+        let clean = WerEstimate::from_counts(1000, 0);
+        let hw = clean.wilson_halfwidth(1.96);
+        assert!(hw > 0.0 && hw < 0.01, "hw = {hw}");
+        // And emitting health while telemetry is off is a no-op.
+        clean.emit_health("wer", &[]);
     }
 
     #[test]

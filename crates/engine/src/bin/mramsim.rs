@@ -42,6 +42,8 @@ USAGE:
                                          axis (default: array-wer-shard)
     mramsim report [scenario...]         Markdown report (default: all)
     mramsim stats <run-id|path>          post-run telemetry report
+    mramsim trace <run-id|path>          export a Chrome/Perfetto trace
+    mramsim diff <run-a> <run-b>         compare two runs phase-by-phase
     mramsim help                         this text
 
 OPTIONS:
@@ -85,15 +87,29 @@ PERSISTENT CACHE & RESUMABLE SWEEPS:
 OBSERVABILITY:
     Every sweep (unless --telemetry off) streams a JSONL event log —
     job completions with durations and cache tiers, pool and solver
-    counters, latency histograms — to
-    <cache-dir>/runs/<run-id>.telemetry, and
+    counters, latency histograms, and a hierarchical span tree (every
+    job, kernel build, cache/disk lookup, ensemble, shard, and
+    journal flush nested under the sweep root, tagged with its worker
+    lane) — to <cache-dir>/runs/<run-id>.telemetry, and
 
-        mramsim stats <run-id>
+        mramsim stats <run-id>                post-run report +
+                                              per-worker timeline
+        mramsim stats <run-id> --critical-path  longest span chain with
+                                              wall-clock attribution
+        mramsim trace <run-id> -o trace.json  Chrome trace-event JSON;
+                                              load in ui.perfetto.dev
+                                              or chrome://tracing
+                                              (--check validates span
+                                              pairing/nesting first)
+        mramsim diff <run-a> <run-b>          phase-by-phase A/B diff;
+                                              --fail-above <pct> exits
+                                              non-zero when any gated
+                                              metric regresses past pct
 
-    renders the post-run report: wall clock, jobs/s, pool
-    utilization, a phase-by-phase time breakdown, the slowest jobs,
-    and every histogram/counter. Telemetry is write-only: cache keys
-    and CSV output are byte-identical with it on or off.
+    `stats`, `trace`, and `diff` accept a run id (resolved under
+    <cache-dir>/runs/) or a direct path to a .telemetry file.
+    Telemetry is write-only: cache keys and CSV output are
+    byte-identical with it on or off.
 
 EXAMPLES:
     mramsim run explore --ecd 35 --temperature_c 85
@@ -181,6 +197,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -441,25 +459,204 @@ impl Progress {
     }
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let options = parse_options(args)?;
-    let run = options
-        .scenario
-        .clone()
-        .ok_or("`stats` needs a run id (printed by `sweep`) or a path to a .telemetry file")?;
-    if !options.params.is_empty() {
-        return Err("`stats` takes a run id and optionally `--cache-dir` only".into());
+/// Resolves a run id (or a direct path) to its `.telemetry` log.
+///
+/// A readable path wins outright; otherwise the id is looked up under
+/// `<cache-dir>/runs/`. An unknown id lists the run ids that *are*
+/// recorded there, so a typo'd or evicted run is a one-step fix
+/// instead of a scavenger hunt.
+fn resolve_run_log(run: &str, cache_dir: Option<&str>) -> Result<PathBuf, String> {
+    let direct = PathBuf::from(run);
+    if direct.is_file() {
+        return Ok(direct);
     }
-    let direct = PathBuf::from(&run);
-    let path = if direct.is_file() {
-        direct
+    let dir = match cache_dir {
+        Some("off") => None,
+        Some(dir) => Some(PathBuf::from(dir)),
+        None => default_cache_dir(),
+    }
+    .ok_or("resolving a run id needs a cache directory (do not pass `--cache-dir off`)")?;
+    let path = JsonlRecorder::path_for(&dir, run);
+    if path.is_file() {
+        return Ok(path);
+    }
+    let runs_dir = path
+        .parent()
+        .map_or_else(|| dir.join("runs"), Path::to_path_buf);
+    let mut available: Vec<String> = std::fs::read_dir(&runs_dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|entry| {
+            let p = entry.path();
+            if p.extension().and_then(|e| e.to_str()) != Some("telemetry") {
+                return None;
+            }
+            Some(p.file_stem()?.to_str()?.to_owned())
+        })
+        .collect();
+    available.sort();
+    if available.is_empty() {
+        Err(format!(
+            "no telemetry log for `{run}` — nothing recorded under {} \
+             (run a sweep first, or pass a path to a .telemetry file)",
+            runs_dir.display()
+        ))
     } else {
-        let dir = resolve_cache_dir(&options)
-            .ok_or("`stats` needs a cache directory (do not pass `--cache-dir off`)")?;
-        JsonlRecorder::path_for(&dir, &run)
+        Err(format!(
+            "no telemetry log for `{run}` under {} — available run id(s):\n  {}",
+            runs_dir.display(),
+            available.join("\n  ")
+        ))
+    }
+}
+
+/// Hand-rolled flag parsing for the log-analysis commands: they take
+/// positional run ids and valueless flags (`--check`,
+/// `--critical-path`), which the `--name value` grammar of
+/// [`parse_options`] cannot express.
+struct LogArgs {
+    positional: Vec<String>,
+    cache_dir: Option<String>,
+    out: Option<PathBuf>,
+    check: bool,
+    critical_path: bool,
+    fail_above: Option<f64>,
+}
+
+fn parse_log_args(command: &str, args: &[String], allowed: &[&str]) -> Result<LogArgs, String> {
+    let mut parsed = LogArgs {
+        positional: Vec::new(),
+        cache_dir: None,
+        out: None,
+        check: false,
+        critical_path: false,
+        fail_above: None,
     };
+    let mut rest = args;
+    while let Some(arg) = rest.first() {
+        let flag = arg.as_str();
+        if flag.starts_with('-') && !allowed.contains(&flag) {
+            return Err(format!(
+                "`{command}` does not take `{flag}` (flags: {})",
+                allowed.join(", ")
+            ));
+        }
+        let value = |name: &str| {
+            rest.get(1)
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        let consumed = match flag {
+            "--check" => {
+                parsed.check = true;
+                1
+            }
+            "--critical-path" => {
+                parsed.critical_path = true;
+                1
+            }
+            "--cache-dir" => {
+                parsed.cache_dir = Some(value("--cache-dir")?);
+                2
+            }
+            "-o" | "--out" => {
+                parsed.out = Some(PathBuf::from(value(flag)?));
+                2
+            }
+            "--fail-above" => {
+                let raw = value("--fail-above")?;
+                let pct: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("`--fail-above` needs a percentage, got `{raw}`"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!(
+                        "`--fail-above` needs a non-negative percentage, got `{raw}`"
+                    ));
+                }
+                parsed.fail_above = Some(pct);
+                2
+            }
+            positional => {
+                parsed.positional.push(positional.to_owned());
+                1
+            }
+        };
+        rest = &rest[consumed..];
+    }
+    Ok(parsed)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let parsed = parse_log_args("stats", args, &["--critical-path", "--cache-dir"])?;
+    let [run] = parsed.positional.as_slice() else {
+        return Err(
+            "`stats` needs one run id (printed by `sweep`) or a path to a .telemetry file".into(),
+        );
+    };
+    let path = resolve_run_log(run, parsed.cache_dir.as_deref())?;
     let log = TelemetryLog::load(path)?;
-    emit(&report::render_stats(&log));
+    if parsed.critical_path {
+        emit(&report::render_critical_path(&log));
+    } else {
+        emit(&report::render_stats(&log));
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let parsed = parse_log_args("trace", args, &["-o", "--out", "--check", "--cache-dir"])?;
+    let [run] = parsed.positional.as_slice() else {
+        return Err("`trace` needs one run id or a path to a .telemetry file".into());
+    };
+    let path = resolve_run_log(run, parsed.cache_dir.as_deref())?;
+    let log = TelemetryLog::load(path)?;
+    let tree = log.span_tree();
+    if parsed.check {
+        tree.check()
+            .map_err(|problem| format!("span tree check failed: {problem}"))?;
+        eprintln!(
+            "span tree ok: {} span(s), {} root(s), {} labelled lane(s)",
+            tree.spans.len(),
+            tree.roots.len(),
+            tree.lane_labels.len(),
+        );
+    }
+    let json = telemetry::trace::chrome_trace(&log);
+    match &parsed.out {
+        Some(out) => {
+            std::fs::write(out, &json)
+                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            eprintln!(
+                "wrote {} ({} span(s)) — load in ui.perfetto.dev or chrome://tracing",
+                out.display(),
+                tree.spans.len(),
+            );
+        }
+        None => emit(&json),
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let parsed = parse_log_args("diff", args, &["--fail-above", "--cache-dir"])?;
+    let [run_a, run_b] = parsed.positional.as_slice() else {
+        return Err("`diff` needs two run ids or .telemetry paths: `mramsim diff <a> <b>`".into());
+    };
+    let log_a = TelemetryLog::load(resolve_run_log(run_a, parsed.cache_dir.as_deref())?)?;
+    let log_b = TelemetryLog::load(resolve_run_log(run_b, parsed.cache_dir.as_deref())?)?;
+    let diff = telemetry::diff::RunDiff::compare(&log_a, &log_b);
+    emit(&diff.render(run_a, run_b));
+    if let Some(threshold) = parsed.fail_above {
+        let worst = diff.max_gated_regression_pct();
+        if worst > threshold {
+            return Err(format!(
+                "regression gate tripped: max gated regression {worst:.1}% \
+                 exceeds --fail-above {threshold}%"
+            ));
+        }
+        eprintln!("regression gate ok: max gated regression {worst:.1}% (limit {threshold}%)");
+    }
     Ok(())
 }
 

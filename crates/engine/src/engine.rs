@@ -378,9 +378,12 @@ impl Engine {
         params: &ParamSet,
         budget: Option<(&AtomicUsize, usize)>,
     ) -> Result<Option<RunOutcome>, EngineError> {
-        let scenario = self.registry.get(id)?;
         let key = ResultCache::key(id, &params.fingerprint());
         let start = self.clock.now_nanos();
+        // No span around the memory probe: a hashmap get costs
+        // nanoseconds, and tracing it would cost more than it
+        // measures. The disk and compute tiers inside `run_cold` —
+        // the parts that take real time — each get their own span.
         if let Some(output) = self.cache.get(key) {
             let duration = self.clock.elapsed(start);
             telemetry::observe("engine.warm_lookup_s", duration.as_secs_f64());
@@ -391,8 +394,27 @@ impl Engine {
                 duration,
             }));
         }
+        self.run_cold(id, params, budget, key, start)
+    }
+
+    /// The miss path of [`Engine::run_budgeted`]: disk tier, budget
+    /// claim, compute, and store-back. Split out so the sweep loop can
+    /// probe the memory tier itself (span-free) and hand off here
+    /// without a second, double-counted probe.
+    fn run_cold(
+        &self,
+        id: &str,
+        params: &ParamSet,
+        budget: Option<(&AtomicUsize, usize)>,
+        key: u64,
+        start: u64,
+    ) -> Result<Option<RunOutcome>, EngineError> {
+        let scenario = self.registry.get(id)?;
         if let Some(store) = &self.store {
-            if let Some(output) = store.load(key) {
+            let load = telemetry::span_tree("disk.load");
+            let loaded = store.load(key);
+            load.finish();
+            if let Some(output) = loaded {
                 // Promote into the memory tier; repeats are then free.
                 let output = Arc::new(output);
                 self.cache.insert(key, Arc::clone(&output));
@@ -411,10 +433,14 @@ impl Engine {
                 return Ok(None);
             }
         }
+        let compute = telemetry::span_tree("compute");
         let output = Arc::new(scenario.run(params)?);
+        compute.finish();
         self.cache.insert(key, Arc::clone(&output));
         if let Some(store) = &self.store {
+            let save = telemetry::span_tree("disk.store");
             store.save(key, &output);
+            save.finish();
         }
         let duration = self.clock.elapsed(start);
         telemetry::observe("engine.compute_s", duration.as_secs_f64());
@@ -491,6 +517,10 @@ impl Engine {
             .collect::<Result<_, EngineError>>()?;
 
         let start = self.clock.now_nanos();
+        // The sweep root span: every job span (and everything under
+        // it, down to kernel builds and journal flushes on worker
+        // threads) nests here via the pool's context propagation.
+        let mut sweep_span = None;
         if telemetry::enabled() {
             telemetry::event(
                 "sweep.start",
@@ -500,6 +530,11 @@ impl Engine {
                     ("workers", Value::U64(self.pool.workers() as u64)),
                 ],
             );
+            telemetry::set_lane_label("sweep");
+            sweep_span = Some(telemetry::span_tree_with(
+                "sweep",
+                &[("scenario", Value::Text(id.clone()))],
+            ));
         }
         // Scenarios with internal parallelism (the Monte-Carlo dynamics)
         // get the cores the sweep itself leaves idle, so a wide sweep
@@ -507,7 +542,7 @@ impl Engine {
         let inner_workers =
             (WorkerPool::with_default_parallelism().workers() / self.pool.workers().max(1)).max(1);
         // Every job that reaches the compute step claims one budget
-        // slot (inside `run_budgeted`, after both cache tiers have
+        // slot (inside `run_cold`, after both cache tiers have
         // declined — so cache-served jobs are free and a corrupt disk
         // entry cannot sneak an unbudgeted computation through).
         let computed = AtomicUsize::new(0);
@@ -523,8 +558,30 @@ impl Engine {
             SCENARIO_WORKERS.set(Some(inner_workers));
             let key = ResultCache::key(&id, &params.fingerprint());
             let job_start = self.clock.now_nanos();
-            let (cache_hit, disk_hit, skipped, result) =
-                match self.run_budgeted(&id, params, budget) {
+            // Memory-tier probe before any span opens: a warm hit is a
+            // hashmap get costing nanoseconds, and bracketing it in
+            // span events would cost more than the work it measures.
+            // Jobs that miss — the ones with real structure underneath
+            // (disk loads, compute, kernels, journal flushes) — get a
+            // span per grid point, parented under the sweep root
+            // through the pool's captured context.
+            let warm = self.cache.get(key);
+            let _job_span = if warm.is_none() {
+                Some(telemetry::span_tree_with(
+                    "job",
+                    &[("index", Value::U64(index as u64))],
+                ))
+            } else {
+                None
+            };
+            let (cache_hit, disk_hit, skipped, result) = if let Some(output) = warm {
+                telemetry::observe(
+                    "engine.warm_lookup_s",
+                    self.clock.elapsed(job_start).as_secs_f64(),
+                );
+                (true, false, false, Ok(output))
+            } else {
+                match self.run_cold(&id, params, budget, key, job_start) {
                     Ok(Some(outcome)) => (
                         outcome.cache_hit,
                         outcome.disk_hit,
@@ -538,7 +595,8 @@ impl Engine {
                         Err("not run: sweep job budget exhausted (resume to continue)".to_owned()),
                     ),
                     Err(e) => (false, false, false, Err(e.to_string())),
-                };
+                }
+            };
             let duration = self.clock.elapsed(job_start);
             if !skipped {
                 busy_ns.fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
@@ -621,6 +679,9 @@ impl Engine {
                 ],
             );
         }
+        // Close the root span last so the trace covers the whole run,
+        // end events included.
+        drop(sweep_span);
         Ok(SweepOutcome {
             scenario: id,
             jobs,

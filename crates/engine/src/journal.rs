@@ -145,10 +145,14 @@ impl SweepJournal {
     /// resumability.
     pub fn record(&self, index: usize, key: u64) {
         let span = telemetry::span("journal.flush_s");
+        // Also a tree span, so the flush shows up nested in its job's
+        // trace (the flat span above keeps feeding the histogram).
+        let tree = telemetry::span_tree("journal.flush");
         let line = format!("done {index} {}\n", key_hex(key));
         let mut file = self.file.lock().expect("journal poisoned");
         let _ = file.write_all(line.as_bytes()).and_then(|()| file.flush());
         drop(file);
+        tree.finish();
         span.finish();
         telemetry::counter_add("journal.records", 1);
     }

@@ -7,7 +7,7 @@
 use mramsim_engine::cache::ResultCache;
 use mramsim_engine::{Engine, ParamSet, SweepPlan};
 use mramsim_telemetry as telemetry;
-use mramsim_telemetry::{Clock, Fanout, JsonlRecorder, MetricsRecorder, TelemetryLog};
+use mramsim_telemetry::{Clock, Fanout, Json, JsonlRecorder, MetricsRecorder, TelemetryLog};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -113,6 +113,95 @@ fn jsonl_log_of_a_real_array_wer_sweep_round_trips() {
         metrics_snapshot.counter("cache.memory_misses"),
         plan.len() as u64
     );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn span_tree_of_a_real_sweep_nests_every_job_under_the_root() {
+    let _serial = install_lock();
+    let path = scratch_path("spans").with_extension("telemetry");
+    let sink = Arc::new(JsonlRecorder::create(&path, Clock::system()).expect("create log"));
+    let guard = telemetry::install(sink as Arc<dyn telemetry::Recorder>);
+    let engine = Engine::standard().with_workers(3);
+    let plan = array_wer_plan();
+    let outcome = engine.sweep(&plan).expect("sweep runs");
+    drop(guard);
+    assert_eq!(outcome.errors, 0);
+
+    let log = TelemetryLog::load(&path).expect("log parses");
+    let tree = log.span_tree();
+    tree.check()
+        .expect("begin/end pairing and parent/child nesting are sound");
+
+    // Exactly one sweep root; everything hangs off it.
+    let sweep_roots: Vec<_> = tree
+        .roots
+        .iter()
+        .map(|&r| &tree.spans[r])
+        .filter(|s| s.name == "sweep")
+        .collect();
+    assert_eq!(sweep_roots.len(), 1, "one sweep root span");
+    let root = sweep_roots[0];
+    assert!(root.end_ns.is_some(), "the sweep span closed");
+
+    // One job span per grid point, each a direct child of the root,
+    // each on a real (nonzero) worker lane.
+    let jobs: Vec<_> = tree.spans.iter().filter(|s| s.name == "job").collect();
+    assert_eq!(jobs.len(), plan.len(), "one job span per grid point");
+    for job in &jobs {
+        assert_eq!(
+            job.parent, root.id,
+            "job span {} must nest under the sweep root even when stolen across workers",
+            job.id
+        );
+        assert!(job.lane > 0, "job spans carry their worker lane");
+    }
+
+    // Each fresh compute nests under a job; the Monte-Carlo layers
+    // below (campaign → ensembles) are present and parented.
+    let parent_name = |id: u64| {
+        tree.by_id(id)
+            .map(|s| s.name.as_str())
+            .unwrap_or("<missing>")
+    };
+    let compute: Vec<_> = tree.spans.iter().filter(|s| s.name == "compute").collect();
+    assert_eq!(compute.len(), plan.len(), "all points computed fresh");
+    for span in &compute {
+        assert_eq!(parent_name(span.parent), "job");
+    }
+    let campaigns: Vec<_> = tree
+        .spans
+        .iter()
+        .filter(|s| s.name == "wer.campaign")
+        .collect();
+    assert_eq!(campaigns.len(), plan.len(), "one campaign span per job");
+    for span in &campaigns {
+        assert_eq!(parent_name(span.parent), "compute");
+    }
+    // Estimator health rides along: one Wilson-interval event per cell.
+    let health = log
+        .events
+        .iter()
+        .filter(|e| e.name == "ensemble.health" && e.text("estimator") == Some("cell_wer"))
+        .count();
+    assert_eq!(health, 16 * plan.len(), "one health event per array cell");
+
+    // The Chrome export of this real log is valid JSON with one
+    // complete event per span.
+    let rendered = telemetry::trace::chrome_trace(&log);
+    let parsed = Json::parse(&rendered).expect("trace export is valid JSON");
+    let complete = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .count();
+    assert_eq!(complete, tree.spans.len());
+
+    // A run diffed against itself can never trip the regression gate.
+    let diff = telemetry::diff::RunDiff::compare(&log, &log);
+    assert_eq!(diff.max_gated_regression_pct(), 0.0);
     let _ = std::fs::remove_file(&path);
 }
 

@@ -294,6 +294,22 @@ pub fn shard_wer_campaign(
     }
     let (row_lo, row_hi) = plan.range(shard)?;
 
+    // The shard span covers kernel build, class extraction, and the
+    // whole Monte-Carlo campaign; it nests under the dispatching job
+    // span when the shard runs inside a sweep.
+    let mut shard_span = None;
+    if telemetry::enabled() {
+        shard_span = Some(telemetry::span_tree_with(
+            "campaign.shard",
+            &[
+                ("shard", telemetry::Value::U64(shard as u64)),
+                ("row_lo", telemetry::Value::U64(row_lo as u64)),
+                ("row_hi", telemetry::Value::U64(row_hi as u64)),
+            ],
+        ));
+    }
+    let _shard_span = shard_span;
+
     let kernel = HierarchicalKernel::shared_for_tolerance(
         device,
         pitch,
@@ -380,6 +396,22 @@ pub fn shard_wer_campaign(
         telemetry::counter_add("campaign.classes", report.classes.len() as u64);
         telemetry::gauge_set("kernel.radius", report.radius as f64);
         telemetry::gauge_set("kernel.tail_bound_oe", report.tail_bound.value());
+        // Per-class estimator health, keyed by the content-derived
+        // window key so the same environment is comparable across
+        // shards, grids, and runs.
+        for class in &report.classes {
+            class.mc.emit_health(
+                "class_wer",
+                &[
+                    (
+                        "window_key",
+                        telemetry::Value::Text(format!("{:016x}", class.window_key)),
+                    ),
+                    ("cells", telemetry::Value::U64(class.count as u64)),
+                    ("shard", telemetry::Value::U64(shard as u64)),
+                ],
+            );
+        }
     }
     Ok(report)
 }

@@ -88,6 +88,28 @@ impl WorkerPool {
             telemetry::gauge_set("pool.workers", workers as f64);
         }
 
+        // An effectively serial dispatch runs inline on the caller:
+        // no thread spawn, and spans opened by `f` stay on the caller's
+        // lane under its current span context (nested pools hit this
+        // path constantly once the outer pool is saturated).
+        if workers == 1 {
+            let start = record.then(Instant::now);
+            let out: Vec<R> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+            if let Some(start) = start {
+                let busy = start.elapsed();
+                telemetry::observe("pool.worker_busy_s", busy.as_secs_f64());
+                telemetry::counter_add("pool.busy_ns", busy.as_nanos() as u64);
+            }
+            return out;
+        }
+
+        // Capture the caller's span context so jobs opened on worker
+        // threads still nest under the dispatching span (e.g. every
+        // `job` span under its `sweep` root) even when stolen.
+        let ctx = record
+            .then(telemetry::SpanCtx::current)
+            .unwrap_or(telemetry::SpanCtx::none());
+
         // Deal item indices round-robin so contiguous expensive regions
         // spread across workers even before any stealing happens.
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
@@ -106,6 +128,13 @@ impl WorkerPool {
                     let queues = &queues;
                     let f = &f;
                     scope.spawn(move || {
+                        // Adopt the dispatcher's span context and name
+                        // this thread's trace lane after its worker
+                        // slot before any job span opens.
+                        let _ctx = record.then(|| ctx.enter());
+                        if record {
+                            telemetry::set_lane_label(&format!("worker {w}"));
+                        }
                         let worker_start = record.then(Instant::now);
                         let mut busy = Duration::ZERO;
                         let mut steals = 0u64;
@@ -228,8 +257,13 @@ mod tests {
         assert_eq!(out, items);
     }
 
+    /// Recorder installation is process-global: tests that install
+    /// serialize so one test's guard cannot drop another's recorder.
+    static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn telemetry_counters_flow_from_pooled_workers() {
+        let _serial = INSTALL_LOCK.lock().unwrap();
         let metrics = std::sync::Arc::new(telemetry::MetricsRecorder::new());
         let guard = telemetry::install(metrics.clone());
         let items: Vec<u64> = (0..100).collect();
@@ -243,6 +277,82 @@ mod tests {
         assert!(snap.counter("pool.dispatches") >= 1);
         assert!(snap.histograms["pool.worker_busy_s"].count >= 4);
         assert!(snap.histograms["pool.worker_idle_s"].count >= 4);
+    }
+
+    type CapturedEvent = (String, Vec<(String, telemetry::Value)>);
+
+    /// Captures events so span parentage is observable (the metrics
+    /// recorder drops the event channel).
+    #[derive(Default)]
+    struct CaptureRecorder {
+        events: Mutex<Vec<CapturedEvent>>,
+    }
+
+    impl telemetry::Recorder for CaptureRecorder {
+        fn event(&self, name: &'static str, fields: &[telemetry::Field]) {
+            let fields = fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect();
+            self.events.lock().unwrap().push((name.to_owned(), fields));
+        }
+    }
+
+    fn field_u64(fields: &[(String, telemetry::Value)], key: &str) -> Option<u64> {
+        fields.iter().find_map(|(k, v)| match v {
+            telemetry::Value::U64(n) if k == key => Some(*n),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn dispatch_propagates_span_context_to_every_worker() {
+        let _serial = INSTALL_LOCK.lock().unwrap();
+        let capture = std::sync::Arc::new(CaptureRecorder::default());
+        let guard = telemetry::install(capture.clone());
+        let root = telemetry::span_tree("dispatch_root");
+        let root_id = root.id().unwrap();
+        let items: Vec<u64> = (0..64).collect();
+        // 4 workers, so jobs run on freshly spawned threads; every job
+        // span must still parent under the dispatcher's root span.
+        let out = WorkerPool::new(4).scoped_map(&items, |_, &x| {
+            telemetry::span_tree("pool_job").finish();
+            x
+        });
+        drop(root);
+        drop(guard);
+        assert_eq!(out.len(), 64);
+
+        let events = capture.events.lock().unwrap();
+        let job_parents: Vec<Option<u64>> = events
+            .iter()
+            .filter(|(name, fields)| {
+                name == "span.begin"
+                    && fields.iter().any(|(k, v)| {
+                        k == "span" && *v == telemetry::Value::Text("pool_job".into())
+                    })
+            })
+            .map(|(_, fields)| field_u64(fields, "parent"))
+            .collect();
+        assert_eq!(job_parents.len(), 64);
+        assert!(
+            job_parents.iter().all(|p| *p == Some(root_id)),
+            "every pool job must nest under the dispatching span"
+        );
+        let labels = events.iter().filter(|(n, _)| n == "lane.label").count();
+        assert!(labels >= 4, "each spawned worker labels its lane");
+    }
+
+    #[test]
+    fn single_worker_dispatch_runs_inline_on_the_caller_thread() {
+        let _serial = INSTALL_LOCK.lock().unwrap();
+        let caller = std::thread::current().id();
+        let metrics = std::sync::Arc::new(telemetry::MetricsRecorder::new());
+        let guard = telemetry::install(metrics.clone());
+        let out = WorkerPool::new(1).scoped_map(&[1u64, 2, 3], |_, _| std::thread::current().id());
+        drop(guard);
+        assert!(out.iter().all(|id| *id == caller), "no thread spawn");
+        assert!(metrics.snapshot().histograms["pool.worker_busy_s"].count >= 1);
     }
 
     #[test]

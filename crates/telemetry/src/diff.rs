@@ -1,0 +1,361 @@
+//! Run-to-run comparison: the engine behind `mramsim diff <a> <b>`.
+//!
+//! Two parsed telemetry logs are reduced to a list of [`DiffLine`]s —
+//! wall clock, throughput, cache hit rate, per-phase busy time, and
+//! per-phase latency quantiles — each with a signed change percentage.
+//!
+//! A subset of lines is *gated*: wall clock, jobs/s, and any phase
+//! with a non-trivial busy-time sum on either side. The largest gated
+//! regression drives the `--fail-above <pct>` CI gate; the remaining
+//! lines are informational only, because they legitimately move
+//! between otherwise-identical runs (a warm rerun has no compute phase
+//! at all, and micro-phase sums are pure noise).
+
+use crate::jsonl::TelemetryLog;
+use crate::report::{format_secs, wall_seconds, PHASES};
+use std::fmt::Write as _;
+
+/// Phase sums below this (seconds) are too noisy to gate on.
+const GATE_FLOOR_S: f64 = 0.05;
+
+/// How a [`DiffLine`] value renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// A duration in seconds.
+    Seconds,
+    /// A rate per second.
+    PerSecond,
+    /// A percentage.
+    Percent,
+    /// A plain count.
+    Count,
+}
+
+impl Unit {
+    fn format(self, v: Option<f64>) -> String {
+        let Some(v) = v else { return "-".to_owned() };
+        match self {
+            Unit::Seconds => format_secs(v),
+            Unit::PerSecond => format!("{v:.2}/s"),
+            Unit::Percent => format!("{v:.1}%"),
+            Unit::Count => format!("{v:.0}"),
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// Human-readable metric name.
+    pub metric: String,
+    /// Value in the baseline run (`None` = not measurable there).
+    pub a: Option<f64>,
+    /// Value in the candidate run.
+    pub b: Option<f64>,
+    /// Display unit.
+    pub unit: Unit,
+    /// Whether a larger value is a regression (wall clock: yes;
+    /// throughput: no).
+    pub higher_is_worse: bool,
+    /// Whether this line participates in the `--fail-above` gate.
+    pub gate: bool,
+}
+
+impl DiffLine {
+    /// Signed raw change `(b - a) / a`, in percent; `None` when either
+    /// side is missing or the baseline is zero.
+    #[must_use]
+    pub fn change_pct(&self) -> Option<f64> {
+        match (self.a, self.b) {
+            (Some(a), Some(b)) if a != 0.0 => Some((b - a) / a * 100.0),
+            _ => None,
+        }
+    }
+
+    /// The change oriented so positive = regression.
+    #[must_use]
+    pub fn regression_pct(&self) -> Option<f64> {
+        self.change_pct()
+            .map(|c| if self.higher_is_worse { c } else { -c })
+    }
+}
+
+/// The full comparison of two runs.
+#[derive(Debug, Clone)]
+pub struct RunDiff {
+    /// Every compared metric, in display order.
+    pub lines: Vec<DiffLine>,
+}
+
+/// What one log boils down to for comparison purposes.
+struct Side<'a> {
+    log: &'a TelemetryLog,
+    wall_s: f64,
+    jobs: u64,
+    hits: u64,
+}
+
+impl<'a> Side<'a> {
+    fn of(log: &'a TelemetryLog) -> Self {
+        let mut jobs = 0;
+        let mut hits = 0;
+        for event in log.events.iter().filter(|e| e.name == "job.done") {
+            jobs += 1;
+            if event.text("source").is_some_and(|s| s != "computed") {
+                hits += 1;
+            }
+        }
+        Side {
+            log,
+            wall_s: wall_seconds(log),
+            jobs,
+            hits,
+        }
+    }
+
+    fn phase_sum(&self, name: &str) -> f64 {
+        self.log
+            .metrics
+            .as_ref()
+            .and_then(|m| m.histograms.get(name))
+            .map_or(0.0, |h| h.sum)
+    }
+}
+
+impl RunDiff {
+    /// Compares baseline `a` against candidate `b`.
+    #[must_use]
+    pub fn compare(a: &TelemetryLog, b: &TelemetryLog) -> Self {
+        let (sa, sb) = (Side::of(a), Side::of(b));
+        let mut lines = Vec::new();
+        let positive = |v: f64| (v > 0.0).then_some(v);
+
+        lines.push(DiffLine {
+            metric: "wall clock".to_owned(),
+            a: positive(sa.wall_s),
+            b: positive(sb.wall_s),
+            unit: Unit::Seconds,
+            higher_is_worse: true,
+            gate: true,
+        });
+        lines.push(DiffLine {
+            metric: "jobs completed".to_owned(),
+            a: Some(sa.jobs as f64),
+            b: Some(sb.jobs as f64),
+            unit: Unit::Count,
+            higher_is_worse: false,
+            gate: false,
+        });
+        let rate = |s: &Side| (s.jobs > 0 && s.wall_s > 0.0).then(|| s.jobs as f64 / s.wall_s);
+        lines.push(DiffLine {
+            metric: "throughput".to_owned(),
+            a: rate(&sa),
+            b: rate(&sb),
+            unit: Unit::PerSecond,
+            higher_is_worse: false,
+            gate: true,
+        });
+        let hit_rate = |s: &Side| (s.jobs > 0).then(|| 100.0 * s.hits as f64 / s.jobs as f64);
+        lines.push(DiffLine {
+            metric: "cache hit rate".to_owned(),
+            a: hit_rate(&sa),
+            b: hit_rate(&sb),
+            unit: Unit::Percent,
+            higher_is_worse: false,
+            gate: false,
+        });
+
+        for (name, label) in PHASES {
+            let (pa, pb) = (sa.phase_sum(name), sb.phase_sum(name));
+            if pa == 0.0 && pb == 0.0 {
+                continue;
+            }
+            lines.push(DiffLine {
+                metric: format!("{label} total"),
+                a: Some(pa),
+                b: Some(pb),
+                unit: Unit::Seconds,
+                higher_is_worse: true,
+                gate: pa.max(pb) >= GATE_FLOOR_S,
+            });
+            // Quantile deltas only where both runs exercised the phase
+            // (a warm rerun has no compute histogram at all).
+            for (q, tag) in [(0.5, "p50"), (0.99, "p99")] {
+                let quant = |s: &Side| {
+                    s.log
+                        .metrics
+                        .as_ref()
+                        .and_then(|m| m.histograms.get(name))
+                        .filter(|h| h.count > 0)
+                        .and_then(|h| h.quantile(q))
+                };
+                if let (Some(qa), Some(qb)) = (quant(&sa), quant(&sb)) {
+                    lines.push(DiffLine {
+                        metric: format!("{label} {tag}"),
+                        a: Some(qa),
+                        b: Some(qb),
+                        unit: Unit::Seconds,
+                        higher_is_worse: true,
+                        gate: false,
+                    });
+                }
+            }
+        }
+        RunDiff { lines }
+    }
+
+    /// The largest regression across gated lines, in percent (0 when
+    /// nothing regressed). This is what `--fail-above` compares
+    /// against.
+    #[must_use]
+    pub fn max_gated_regression_pct(&self) -> f64 {
+        self.lines
+            .iter()
+            .filter(|l| l.gate)
+            .filter_map(DiffLine::regression_pct)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the comparison table.
+    #[must_use]
+    pub fn render(&self, label_a: &str, label_b: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run diff — baseline `{label_a}` vs candidate `{label_b}`"
+        );
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>10} {:>10} {:>9}",
+            "metric", "baseline", "candidate", "change"
+        );
+        for line in &self.lines {
+            let change = line
+                .change_pct()
+                .map_or("-".to_owned(), |c| format!("{c:+.1}%"));
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>10} {:>10} {:>9}{}",
+                line.metric,
+                line.unit.format(line.a),
+                line.unit.format(line.b),
+                change,
+                if line.gate { "  [gated]" } else { "" },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "max gated regression: {:.1}%",
+            self.max_gated_regression_pct()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::jsonl::TelemetryEvent;
+    use crate::metrics::MetricsRecorder;
+    use crate::recorder::Recorder as _;
+    use std::collections::BTreeMap;
+
+    /// A synthetic run: `jobs` as (source, duration_ns), compute
+    /// observations in seconds, ending at `wall_ns`.
+    fn synth(wall_ns: u64, jobs: &[(&str, u64)], compute_s: &[f64]) -> TelemetryLog {
+        let mut log = TelemetryLog::default();
+        for (index, (source, duration_ns)) in jobs.iter().enumerate() {
+            let mut fields = BTreeMap::new();
+            fields.insert("index".to_owned(), Json::Num(index as f64));
+            fields.insert("source".to_owned(), Json::Str((*source).to_owned()));
+            fields.insert("duration_ns".to_owned(), Json::Num(*duration_ns as f64));
+            log.events.push(TelemetryEvent {
+                t_ns: (index as u64 + 1) * 10,
+                lane: 1,
+                name: "job.done".to_owned(),
+                fields: Json::Obj(fields),
+            });
+        }
+        let mut end = BTreeMap::new();
+        end.insert("duration_ns".to_owned(), Json::Num(wall_ns as f64));
+        log.events.push(TelemetryEvent {
+            t_ns: wall_ns,
+            lane: 1,
+            name: "sweep.end".to_owned(),
+            fields: Json::Obj(end),
+        });
+        let metrics = MetricsRecorder::new();
+        for &s in compute_s {
+            metrics.observe("engine.compute_s", s);
+        }
+        log.metrics = Some(metrics.snapshot());
+        log
+    }
+
+    #[test]
+    fn identical_runs_show_no_regression() {
+        let jobs = [("computed", 100_000_000u64); 4];
+        let a = synth(2_000_000_000, &jobs, &[0.1; 4]);
+        let b = synth(2_000_000_000, &jobs, &[0.1; 4]);
+        let diff = RunDiff::compare(&a, &b);
+        assert_eq!(diff.max_gated_regression_pct(), 0.0);
+        let rendered = diff.render("a", "b");
+        assert!(rendered.contains("wall clock"), "{rendered}");
+        assert!(rendered.contains("+0.0%"), "{rendered}");
+        assert!(
+            rendered.contains("max gated regression: 0.0%"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn slowdown_trips_the_gate_speedup_does_not() {
+        let jobs = [("computed", 100_000_000u64); 4];
+        let base = synth(1_000_000_000, &jobs, &[0.1; 4]);
+        let slow = synth(2_000_000_000, &jobs, &[0.2; 4]);
+        let diff = RunDiff::compare(&base, &slow);
+        let max = diff.max_gated_regression_pct();
+        assert!(max > 50.0, "wall doubled: {max}");
+
+        // The reverse direction is an improvement, not a regression.
+        let diff = RunDiff::compare(&slow, &base);
+        assert_eq!(diff.max_gated_regression_pct(), 0.0);
+    }
+
+    #[test]
+    fn warm_rerun_with_vanished_compute_phase_is_clean() {
+        // Cold baseline: 4 computed jobs. Warm candidate: the same 4
+        // jobs from disk, much faster, no compute histogram at all.
+        let cold = synth(2_000_000_000, &[("computed", 400_000_000u64); 4], &[0.4; 4]);
+        let warm = synth(100_000_000, &[("disk", 2_000_000u64); 4], &[]);
+        let diff = RunDiff::compare(&cold, &warm);
+        assert_eq!(diff.max_gated_regression_pct(), 0.0);
+        let hit = diff
+            .lines
+            .iter()
+            .find(|l| l.metric == "cache hit rate")
+            .unwrap();
+        assert_eq!((hit.a, hit.b), (Some(0.0), Some(100.0)));
+        // Compute quantile lines are absent (phase missing on one
+        // side), but the total still shows the improvement.
+        assert!(diff.lines.iter().any(|l| l.metric == "compute total"));
+        assert!(!diff.lines.iter().any(|l| l.metric == "compute p99"));
+    }
+
+    #[test]
+    fn micro_phases_never_gate() {
+        let a = synth(1_000_000_000, &[("computed", 1_000_000u64)], &[0.001]);
+        let b = synth(1_000_000_000, &[("computed", 9_000_000u64)], &[0.009]);
+        let diff = RunDiff::compare(&a, &b);
+        let compute = diff
+            .lines
+            .iter()
+            .find(|l| l.metric == "compute total")
+            .unwrap();
+        assert!(
+            !compute.gate,
+            "sub-{GATE_FLOOR_S}s phases stay informational"
+        );
+    }
+}

@@ -140,6 +140,9 @@ impl Recorder for JsonlRecorder {
         let mut obj = BTreeMap::new();
         obj.insert("kind".to_owned(), Json::Str("event".to_owned()));
         obj.insert("t_ns".to_owned(), Json::Num(self.clock.now_nanos() as f64));
+        // The emitting thread's lane: the row (`tid`) the event lands
+        // on in trace exports.
+        obj.insert("lane".to_owned(), Json::Num(crate::lane() as f64));
         obj.insert("name".to_owned(), Json::Str(name.to_owned()));
         obj.insert("fields".to_owned(), Json::Obj(map));
         self.write_line(&Json::Obj(obj).render());
@@ -188,6 +191,9 @@ fn histogram_from_json(json: &Json) -> Option<HistogramSnapshot> {
 pub struct TelemetryEvent {
     /// Clock reading when the event was written, in nanoseconds.
     pub t_ns: u64,
+    /// Lane (OS-thread) id the event was emitted from; 0 for logs
+    /// written before lanes existed.
+    pub lane: u64,
     /// The event name (e.g. `job.done`, `sweep.start`).
     pub name: String,
     /// The structured fields, as parsed JSON.
@@ -254,8 +260,14 @@ impl TelemetryLog {
                         .and_then(Json::as_str)
                         .ok_or_else(|| format!("event without a name on line {}", i + 1))?
                         .to_owned();
+                    let lane = json.get("lane").and_then(Json::as_u64).unwrap_or(0);
                     let fields = json.get("fields").cloned().unwrap_or(Json::Null);
-                    log.events.push(TelemetryEvent { t_ns, name, fields });
+                    log.events.push(TelemetryEvent {
+                        t_ns,
+                        lane,
+                        name,
+                        fields,
+                    });
                 }
                 Some("metrics") => {
                     let mut snapshot = MetricsSnapshot::default();
@@ -298,6 +310,173 @@ impl TelemetryLog {
         let text = fs::read_to_string(path)
             .map_err(|e| format!("cannot read telemetry log {}: {e}", path.display()))?;
         Self::parse(&text)
+    }
+
+    /// Reconstructs the hierarchical span tree from the paired
+    /// `span.begin` / `span.end` events in this log.
+    #[must_use]
+    pub fn span_tree(&self) -> SpanTree {
+        SpanTree::build(self)
+    }
+
+    /// The largest `t_ns` on any line — the log's time horizon, used
+    /// to close out unfinished spans in exports.
+    #[must_use]
+    pub fn horizon_ns(&self) -> u64 {
+        self.events.iter().map(|e| e.t_ns).max().unwrap_or(0)
+    }
+}
+
+/// One reconstructed hierarchical span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Process-unique span id from the run.
+    pub id: u64,
+    /// Parent span id (0 = a root span).
+    pub parent: u64,
+    /// Lane (thread) the span began on.
+    pub lane: u64,
+    /// Span name (`sweep`, `job`, `compute`, …).
+    pub name: String,
+    /// `t_ns` of the `span.begin` line.
+    pub begin_ns: u64,
+    /// `t_ns` of the `span.end` line; `None` when the run died with
+    /// the span still open.
+    pub end_ns: Option<u64>,
+    /// Extra fields attached to the `span.begin` event (minus the
+    /// structural `id`/`parent`/`span` keys).
+    pub fields: Json,
+    /// Indices into [`SpanTree::spans`] of this span's children, in
+    /// begin order.
+    pub children: Vec<usize>,
+}
+
+impl SpanNode {
+    /// The span's duration against `horizon_ns` for unfinished spans.
+    #[must_use]
+    pub fn duration_ns(&self, horizon_ns: u64) -> u64 {
+        self.end_ns
+            .unwrap_or(horizon_ns)
+            .saturating_sub(self.begin_ns)
+    }
+}
+
+/// The reconstructed span forest of one run log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanTree {
+    /// Every span, in `span.begin` order.
+    pub spans: Vec<SpanNode>,
+    /// Indices of parentless spans, in begin order.
+    pub roots: Vec<usize>,
+    /// Lane id → label, from `lane.label` events.
+    pub lane_labels: BTreeMap<u64, String>,
+    /// Ids named by a `span.end` with no matching `span.begin` —
+    /// always a corruption sign, surfaced by [`SpanTree::check`].
+    pub orphan_ends: Vec<u64>,
+}
+
+impl SpanTree {
+    /// Builds the tree from `log`'s events.
+    #[must_use]
+    pub fn build(log: &TelemetryLog) -> Self {
+        let mut tree = SpanTree::default();
+        let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
+        for event in &log.events {
+            match event.name.as_str() {
+                "span.begin" => {
+                    let Some(id) = event.u64("id") else { continue };
+                    let parent = event.u64("parent").unwrap_or(0);
+                    let mut fields = match &event.fields {
+                        Json::Obj(map) => map.clone(),
+                        _ => BTreeMap::new(),
+                    };
+                    let name = fields
+                        .remove("span")
+                        .and_then(|j| j.as_str().map(str::to_owned))
+                        .unwrap_or_else(|| "?".to_owned());
+                    fields.remove("id");
+                    fields.remove("parent");
+                    index_of.insert(id, tree.spans.len());
+                    tree.spans.push(SpanNode {
+                        id,
+                        parent,
+                        lane: event.lane,
+                        name,
+                        begin_ns: event.t_ns,
+                        end_ns: None,
+                        fields: Json::Obj(fields),
+                        children: Vec::new(),
+                    });
+                }
+                "span.end" => {
+                    let Some(id) = event.u64("id") else { continue };
+                    match index_of.get(&id) {
+                        Some(&i) => tree.spans[i].end_ns = Some(event.t_ns),
+                        None => tree.orphan_ends.push(id),
+                    }
+                }
+                "lane.label" => {
+                    if let Some(label) = event.text("label") {
+                        tree.lane_labels.insert(event.lane, label.to_owned());
+                    }
+                }
+                _ => {}
+            }
+        }
+        for i in 0..tree.spans.len() {
+            let parent = tree.spans[i].parent;
+            match (parent != 0).then(|| index_of.get(&parent)).flatten() {
+                Some(&p) => tree.spans[p].children.push(i),
+                // Parentless, or the parent began before the log
+                // started: treat as a root.
+                None => tree.roots.push(i),
+            }
+        }
+        tree
+    }
+
+    /// The span with id `id`.
+    #[must_use]
+    pub fn by_id(&self, id: u64) -> Option<&SpanNode> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Validates structural integrity: every `span.end` matched a
+    /// begin, every span closed, and every child's interval nests
+    /// inside its parent's.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn check(&self) -> Result<(), String> {
+        if let Some(id) = self.orphan_ends.first() {
+            return Err(format!("span.end for id {id} has no matching span.begin"));
+        }
+        for span in &self.spans {
+            let Some(end) = span.end_ns else {
+                return Err(format!("span {} `{}` never ended", span.id, span.name));
+            };
+            if span.parent != 0 {
+                let parent = self.by_id(span.parent).ok_or_else(|| {
+                    format!("span {} has unknown parent {}", span.id, span.parent)
+                })?;
+                let parent_end = parent.end_ns.unwrap_or(u64::MAX);
+                if span.begin_ns < parent.begin_ns || end > parent_end {
+                    return Err(format!(
+                        "span {} `{}` [{}, {}] escapes parent {} `{}` [{}, {}]",
+                        span.id,
+                        span.name,
+                        span.begin_ns,
+                        end,
+                        parent.id,
+                        parent.name,
+                        parent.begin_ns,
+                        parent_end,
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -369,5 +548,66 @@ mod tests {
         let log = TelemetryLog::parse("").unwrap();
         assert!(log.events.is_empty());
         assert!(log.metrics.is_none());
+    }
+
+    fn span_line(t: u64, lane: u64, name: &str, fields: &str) -> String {
+        format!(r#"{{"kind":"event","t_ns":{t},"lane":{lane},"name":"{name}","fields":{fields}}}"#)
+    }
+
+    #[test]
+    fn span_tree_rebuilds_nesting_lanes_and_labels() {
+        let text = [
+            span_line(0, 1, "lane.label", r#"{"label":"main"}"#),
+            span_line(10, 1, "span.begin", r#"{"id":1,"span":"sweep"}"#),
+            span_line(
+                20,
+                2,
+                "span.begin",
+                r#"{"id":2,"parent":1,"span":"job","index":0}"#,
+            ),
+            span_line(30, 2, "span.end", r#"{"id":2,"span":"job"}"#),
+            span_line(
+                35,
+                3,
+                "span.begin",
+                r#"{"id":3,"parent":1,"span":"job","index":1}"#,
+            ),
+            span_line(50, 3, "span.end", r#"{"id":3,"span":"job"}"#),
+            span_line(60, 1, "span.end", r#"{"id":1,"span":"sweep"}"#),
+        ]
+        .join("\n");
+        let log = TelemetryLog::parse(&text).unwrap();
+        let tree = log.span_tree();
+        tree.check().unwrap();
+        assert_eq!(tree.roots, vec![0]);
+        let root = &tree.spans[0];
+        assert_eq!((root.name.as_str(), root.lane), ("sweep", 1));
+        assert_eq!(root.children, vec![1, 2]);
+        assert_eq!(root.duration_ns(log.horizon_ns()), 50);
+        let job = &tree.spans[1];
+        assert_eq!((job.parent, job.lane, job.end_ns), (1, 2, Some(30)));
+        assert_eq!(job.fields.get("index").and_then(Json::as_u64), Some(0));
+        assert_eq!(tree.lane_labels.get(&1).map(String::as_str), Some("main"));
+    }
+
+    #[test]
+    fn span_tree_check_flags_orphans_unclosed_and_escapes() {
+        let orphan = span_line(5, 1, "span.end", r#"{"id":9,"span":"ghost"}"#);
+        let tree = TelemetryLog::parse(&orphan).unwrap().span_tree();
+        assert!(tree.check().unwrap_err().contains("no matching"));
+
+        let unclosed = span_line(5, 1, "span.begin", r#"{"id":1,"span":"open"}"#);
+        let tree = TelemetryLog::parse(&unclosed).unwrap().span_tree();
+        assert!(tree.check().unwrap_err().contains("never ended"));
+
+        let escape = [
+            span_line(10, 1, "span.begin", r#"{"id":1,"span":"outer"}"#),
+            span_line(20, 1, "span.begin", r#"{"id":2,"parent":1,"span":"inner"}"#),
+            span_line(30, 1, "span.end", r#"{"id":1,"span":"outer"}"#),
+            span_line(40, 1, "span.end", r#"{"id":2,"span":"inner"}"#),
+        ]
+        .join("\n");
+        let tree = TelemetryLog::parse(&escape).unwrap().span_tree();
+        assert!(tree.check().unwrap_err().contains("escapes parent"));
     }
 }

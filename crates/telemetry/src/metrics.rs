@@ -150,7 +150,9 @@ impl HistogramSnapshot {
 
     /// The upper edge of the bucket containing the `q`-quantile
     /// (`0 ≤ q ≤ 1`) — a bucket-resolution estimate, exact enough for
-    /// p50/p90/p99 reporting. `None` when empty.
+    /// p50/p90/p99 reporting — clamped to the exact observed maximum,
+    /// so a saturated p99 reports the true worst case instead of a
+    /// bucket boundary the run never reached. `None` when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
@@ -162,12 +164,12 @@ impl HistogramSnapshot {
             seen += c;
             if seen >= rank {
                 let edge = self.spec.upper_edge(i);
-                // The saturation bucket has no finite edge; report the
-                // largest observation instead of infinity.
-                return Some(if edge.is_finite() {
-                    edge
-                } else {
-                    self.max.unwrap_or(edge)
+                // The true max tightens the estimate whenever the
+                // quantile lands in the last occupied bucket (and the
+                // saturation bucket has no finite edge at all).
+                return Some(match self.max {
+                    Some(max) if max.is_finite() => edge.min(max),
+                    _ => edge,
                 });
             }
         }
@@ -399,6 +401,29 @@ mod tests {
         assert!(p50 < 1e-5, "p50 {p50} must sit in the fast buckets");
         assert!(p99 >= 1.0, "p99 {p99} must sit in the slow buckets");
         assert!((h.mean().unwrap() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_the_exact_observed_max() {
+        let spec = HistogramSpec {
+            lo: 1.0,
+            ratio: 2.0,
+            buckets: 4,
+        };
+        // Both land in [2, 4): the bucket edge alone would report 4.0
+        // for every quantile, overstating the true worst case.
+        let metrics = MetricsRecorder::with_histogram_spec(spec);
+        metrics.observe("h", 2.25);
+        metrics.observe("h", 2.5);
+        let h = &metrics.snapshot().histograms["h"];
+        assert_eq!(h.quantile(0.99), Some(2.5), "clamped to the true max");
+        assert_eq!(h.quantile(0.5), Some(2.5));
+
+        // Saturated observations clamp the same way instead of
+        // reporting an infinite edge.
+        metrics.observe("h", 100.0);
+        let h = &metrics.snapshot().histograms["h"];
+        assert_eq!(h.quantile(1.0), Some(100.0));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! contains — a partial log from a killed run still renders, with the
 //! missing sections simply absent.
 
-use crate::jsonl::TelemetryLog;
+use crate::jsonl::{SpanTree, TelemetryLog};
 use crate::metrics::MetricsSnapshot;
 use std::fmt::Write as _;
 
@@ -59,8 +59,9 @@ pub fn wall_seconds(log: &TelemetryLog) -> f64 {
 
 /// The per-job phases the engine times, in display order: histogram
 /// name and human label. The sums of these are disjoint per job, so
-/// together they are the attributable busy time.
-const PHASES: [(&str, &str); 4] = [
+/// together they are the attributable busy time (the run comparison
+/// in [`crate::diff`] walks the same list).
+pub const PHASES: [(&str, &str); 4] = [
     ("engine.compute_s", "compute"),
     ("engine.disk_load_s", "disk load"),
     ("engine.warm_lookup_s", "warm lookup"),
@@ -178,6 +179,204 @@ fn slowest_jobs(out: &mut String, log: &TelemetryLog) {
     out.push('\n');
 }
 
+/// Per-lane busy intervals: every span interval on the lane, merged.
+fn lane_intervals(tree: &SpanTree, lane: u64, horizon: u64) -> Vec<(u64, u64)> {
+    let mut intervals: Vec<(u64, u64)> = tree
+        .spans
+        .iter()
+        .filter(|s| s.lane == lane)
+        .map(|s| (s.begin_ns, s.end_ns.unwrap_or(horizon).max(s.begin_ns)))
+        .collect();
+    intervals.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for (lo, hi) in intervals {
+        match merged.last_mut() {
+            Some((_, last_hi)) if lo <= *last_hi => *last_hi = (*last_hi).max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
+}
+
+/// The per-worker utilization timeline: one row per lane, busy time
+/// bucketed over the run window and rendered as a density bar.
+fn lane_timeline(out: &mut String, log: &TelemetryLog, tree: &SpanTree) {
+    const WIDTH: usize = 40;
+    if tree.spans.is_empty() {
+        return;
+    }
+    let horizon = log.horizon_ns();
+    let window_lo = tree.spans.iter().map(|s| s.begin_ns).min().unwrap_or(0);
+    let window_hi = tree
+        .spans
+        .iter()
+        .map(|s| s.end_ns.unwrap_or(horizon))
+        .max()
+        .unwrap_or(window_lo);
+    if window_hi <= window_lo {
+        return;
+    }
+    let window = (window_hi - window_lo) as f64;
+    let mut lanes: Vec<u64> = tree.spans.iter().map(|s| s.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let _ = writeln!(
+        out,
+        "worker timeline ({WIDTH} buckets over {}):",
+        format_secs(window / 1e9)
+    );
+    for lane in lanes {
+        let merged = lane_intervals(tree, lane, horizon);
+        let busy_ns: u64 = merged.iter().map(|(lo, hi)| hi - lo).sum();
+        let mut bar = String::with_capacity(WIDTH * 3);
+        for bucket in 0..WIDTH {
+            let b_lo = window_lo as f64 + window * bucket as f64 / WIDTH as f64;
+            let b_hi = window_lo as f64 + window * (bucket + 1) as f64 / WIDTH as f64;
+            let overlap: f64 = merged
+                .iter()
+                .map(|&(lo, hi)| (hi as f64).min(b_hi) - (lo as f64).max(b_lo))
+                .filter(|d| *d > 0.0)
+                .sum();
+            let fill = overlap / (b_hi - b_lo);
+            bar.push(if fill <= 0.0 {
+                '·'
+            } else if fill <= 0.25 {
+                '░'
+            } else if fill <= 0.75 {
+                '▒'
+            } else {
+                '█'
+            });
+        }
+        let label = tree
+            .lane_labels
+            .get(&lane)
+            .cloned()
+            .unwrap_or_else(|| format!("lane {lane}"));
+        let _ = writeln!(
+            out,
+            "  {label:<12} {bar}  {:>5.1}% busy",
+            100.0 * busy_ns as f64 / window,
+        );
+    }
+    out.push('\n');
+}
+
+/// One human label for a span on the critical path, folding in the
+/// most useful begin fields (job index, shard, scenario).
+fn span_label(span: &crate::jsonl::SpanNode) -> String {
+    let mut label = span.name.clone();
+    if let Some(index) = span.fields.get("index").and_then(crate::Json::as_u64) {
+        let _ = write!(label, " #{index}");
+    }
+    if let Some(shard) = span.fields.get("shard").and_then(crate::Json::as_u64) {
+        let _ = write!(label, " shard {shard}");
+    }
+    label
+}
+
+/// Renders the `--critical-path` analysis: the chain of spans ending
+/// at the last-finishing leaf, plus a wall-clock attribution that
+/// splits every link into pre-dispatch wait, child time, and
+/// post-child drain — the segments sum to the root duration by
+/// construction, so attribution is always 100%.
+#[must_use]
+pub fn render_critical_path(log: &TelemetryLog) -> String {
+    let tree = log.span_tree();
+    let horizon = log.horizon_ns();
+    let mut out = String::new();
+    let Some(&root) = tree.roots.iter().max_by_key(|&&i| {
+        // Prefer the sweep root; fall back to the longest root span.
+        (
+            tree.spans[i].name == "sweep",
+            tree.spans[i].duration_ns(horizon),
+        )
+    }) else {
+        out.push_str("no hierarchical spans in this log (recorded before trace trees?)\n");
+        return out;
+    };
+
+    // Walk to the last-finishing child at every level: the chain whose
+    // completion gated the run.
+    let mut chain = vec![root];
+    let mut at = root;
+    while let Some(&next) = tree.spans[at]
+        .children
+        .iter()
+        .max_by_key(|&&c| tree.spans[c].end_ns.unwrap_or(horizon))
+    {
+        chain.push(next);
+        at = next;
+    }
+
+    let root_span = &tree.spans[root];
+    let root_begin = root_span.begin_ns;
+    let root_dur = root_span.duration_ns(horizon).max(1);
+    let _ = writeln!(
+        out,
+        "critical path — chain to the last-finishing span ({} deep, {} wall clock):",
+        chain.len(),
+        format_secs(root_dur as f64 / 1e9),
+    );
+    for (depth, &i) in chain.iter().enumerate() {
+        let span = &tree.spans[i];
+        let _ = writeln!(
+            out,
+            "  {:indent$}{:<24} {:>9}  lane {:<4} starts +{}",
+            "",
+            span_label(span),
+            format_secs(span.duration_ns(horizon) as f64 / 1e9),
+            span.lane,
+            format_secs(span.begin_ns.saturating_sub(root_begin) as f64 / 1e9),
+            indent = depth * 2,
+        );
+    }
+    out.push('\n');
+
+    // Attribution: each link contributes its wait (child begins after
+    // parent) and drain (parent outlives child); the leaf contributes
+    // its whole body.
+    let mut segments: Vec<(String, u64)> = Vec::new();
+    for pair in chain.windows(2) {
+        let (parent, child) = (&tree.spans[pair[0]], &tree.spans[pair[1]]);
+        let p_end = parent.end_ns.unwrap_or(horizon);
+        let c_end = child.end_ns.unwrap_or(horizon);
+        let wait = child.begin_ns.saturating_sub(parent.begin_ns);
+        let drain = p_end.saturating_sub(c_end);
+        if wait > 0 {
+            segments.push((format!("{}: wait before {}", parent.name, child.name), wait));
+        }
+        if drain > 0 {
+            segments.push((
+                format!("{}: drain after {}", parent.name, child.name),
+                drain,
+            ));
+        }
+    }
+    let leaf = &tree.spans[*chain.last().expect("chain is never empty")];
+    segments.push((span_label(leaf), leaf.duration_ns(horizon)));
+    segments.sort_by_key(|segment| std::cmp::Reverse(segment.1));
+
+    out.push_str("wall-clock attribution along the critical path:\n");
+    let mut attributed = 0u64;
+    for (label, ns) in &segments {
+        attributed += ns;
+        let _ = writeln!(
+            out,
+            "  {label:<36} {:>9}  {:>5.1}%",
+            format_secs(*ns as f64 / 1e9),
+            100.0 * *ns as f64 / root_dur as f64,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "attributed: {:.1}% of the {} critical-path wall clock",
+        100.0 * attributed as f64 / root_dur as f64,
+        format_secs(root_dur as f64 / 1e9),
+    );
+    out
+}
+
 /// Renders the full post-run report.
 #[must_use]
 pub fn render_stats(log: &TelemetryLog) -> String {
@@ -208,8 +407,10 @@ pub fn render_stats(log: &TelemetryLog) -> String {
         }
     );
 
+    let tree = log.span_tree();
     let Some(snapshot) = &log.metrics else {
         out.push_str("no metrics snapshot in this log (run was interrupted?)\n");
+        lane_timeline(&mut out, log, &tree);
         slowest_jobs(&mut out, log);
         return out;
     };
@@ -255,6 +456,7 @@ pub fn render_stats(log: &TelemetryLog) -> String {
         );
     }
     out.push('\n');
+    lane_timeline(&mut out, log, &tree);
     phase_breakdown(&mut out, snapshot);
     slowest_jobs(&mut out, log);
     histogram_table(&mut out, snapshot);
@@ -345,6 +547,77 @@ mod tests {
         let report = render_stats(&TelemetryLog::default());
         assert!(report.contains("telemetry report"));
         assert!(report.contains("no metrics snapshot"));
+    }
+
+    fn span_log() -> TelemetryLog {
+        // sweep [0, 100ms] on lane 1; two jobs on lane 2: #0 [10, 30],
+        // #1 [40, 90] with a compute child [45, 85]. The critical path
+        // is sweep → job #1 → compute.
+        let line = |t: u64, lane: u64, name: &str, fields: &str| {
+            format!(
+                r#"{{"kind":"event","t_ns":{t},"lane":{lane},"name":"{name}","fields":{fields}}}"#
+            )
+        };
+        let ms = 1_000_000u64;
+        let text = [
+            line(0, 1, "lane.label", r#"{"label":"main"}"#),
+            line(0, 1, "span.begin", r#"{"id":1,"span":"sweep"}"#),
+            line(10 * ms, 2, "lane.label", r#"{"label":"worker 0"}"#),
+            line(
+                10 * ms,
+                2,
+                "span.begin",
+                r#"{"id":2,"parent":1,"span":"job","index":0}"#,
+            ),
+            line(30 * ms, 2, "span.end", r#"{"id":2,"span":"job"}"#),
+            line(
+                40 * ms,
+                2,
+                "span.begin",
+                r#"{"id":3,"parent":1,"span":"job","index":1}"#,
+            ),
+            line(
+                45 * ms,
+                2,
+                "span.begin",
+                r#"{"id":4,"parent":3,"span":"compute"}"#,
+            ),
+            line(85 * ms, 2, "span.end", r#"{"id":4,"span":"compute"}"#),
+            line(90 * ms, 2, "span.end", r#"{"id":3,"span":"job"}"#),
+            line(100 * ms, 1, "span.end", r#"{"id":1,"span":"sweep"}"#),
+        ]
+        .join("\n");
+        TelemetryLog::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn critical_path_walks_to_the_last_finisher_and_attributes_everything() {
+        let report = render_critical_path(&span_log());
+        assert!(report.contains("3 deep"), "{report}");
+        assert!(report.contains("job #1"), "{report}");
+        assert!(!report.contains("job #0"), "job #0 is off-path: {report}");
+        assert!(report.contains("compute"), "{report}");
+        assert!(report.contains("sweep: wait before job"), "{report}");
+        assert!(report.contains("sweep: drain after job"), "{report}");
+        // The telescoping segments always cover the whole root span.
+        assert!(
+            report.contains("attributed: 100.0% of the 100.0ms"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn critical_path_without_spans_degrades_gracefully() {
+        let report = render_critical_path(&TelemetryLog::default());
+        assert!(report.contains("no hierarchical spans"), "{report}");
+    }
+
+    #[test]
+    fn stats_include_a_worker_timeline_when_spans_exist() {
+        let report = render_stats(&span_log());
+        assert!(report.contains("worker timeline"), "{report}");
+        assert!(report.contains("worker 0"), "{report}");
+        assert!(report.contains("% busy"), "{report}");
     }
 
     #[test]

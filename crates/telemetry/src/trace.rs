@@ -1,0 +1,265 @@
+//! Chrome trace-event export: converts a parsed [`TelemetryLog`] into
+//! the JSON object format understood by Perfetto and
+//! `chrome://tracing` (<https://ui.perfetto.dev>, *Open trace file*).
+//!
+//! Mapping:
+//!
+//! * the whole run is one process (`pid` 1), named after the sweep's
+//!   scenario;
+//! * each lane (OS thread that emitted while telemetry was on) is a
+//!   thread (`tid`), named from its `lane.label` event when one was
+//!   emitted (the worker pool labels its threads `worker N`);
+//! * every hierarchical span becomes a complete (`"ph":"X"`) event —
+//!   timestamps are microseconds, per the format — nested by Perfetto
+//!   from the per-lane stack; spans still open when the log ended are
+//!   extended to the log horizon and flagged `"unclosed": true`;
+//! * `job.done` events become cumulative counter (`"ph":"C"`) series,
+//!   one track per result source (computed / warm / disk), so cache
+//!   behaviour is visible as a stacked area chart;
+//! * every other event becomes a thread-scoped instant (`"ph":"i"`)
+//!   marker.
+
+use crate::json::Json;
+use crate::jsonl::TelemetryLog;
+use std::collections::BTreeMap;
+
+/// The single process id every event is attributed to.
+const PID: f64 = 1.0;
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn metadata(name: &str, tid: Option<u64>, value: &str) -> Json {
+    let mut pairs = vec![
+        ("ph", Json::Str("M".to_owned())),
+        ("pid", Json::Num(PID)),
+        ("name", Json::Str(name.to_owned())),
+        ("args", obj(vec![("name", Json::Str(value.to_owned()))])),
+    ];
+    if let Some(tid) = tid {
+        pairs.push(("tid", Json::Num(tid as f64)));
+    }
+    obj(pairs)
+}
+
+/// Nanoseconds → trace microseconds (the format's time unit).
+fn us(t_ns: u64) -> f64 {
+    t_ns as f64 / 1_000.0
+}
+
+/// Renders `log` as a Chrome trace-event JSON object
+/// (`{"traceEvents": […], "displayTimeUnit": "ms"}`).
+#[must_use]
+pub fn chrome_trace(log: &TelemetryLog) -> String {
+    let tree = log.span_tree();
+    let horizon = log.horizon_ns();
+    let mut events: Vec<Json> = Vec::new();
+
+    // Process metadata: name the run after its sweep scenario.
+    let scenario = log
+        .events
+        .iter()
+        .find(|e| e.name == "sweep.start")
+        .and_then(|e| e.text("scenario").map(str::to_owned))
+        .unwrap_or_else(|| "run".to_owned());
+    events.push(metadata(
+        "process_name",
+        None,
+        &format!("mramsim {scenario}"),
+    ));
+
+    // Thread metadata: one row per lane that ever emitted.
+    let mut lanes: BTreeMap<u64, String> = tree
+        .spans
+        .iter()
+        .map(|s| (s.lane, format!("lane {}", s.lane)))
+        .chain(
+            log.events
+                .iter()
+                .map(|e| (e.lane, format!("lane {}", e.lane))),
+        )
+        .collect();
+    for (lane, label) in &tree.lane_labels {
+        lanes.insert(*lane, label.clone());
+    }
+    for (lane, label) in &lanes {
+        events.push(metadata("thread_name", Some(*lane), label));
+    }
+
+    // Hierarchical spans as complete events.
+    for span in &tree.spans {
+        let mut args: Vec<(&str, Json)> = vec![("id", Json::Num(span.id as f64))];
+        if span.parent != 0 {
+            args.push(("parent", Json::Num(span.parent as f64)));
+        }
+        if span.end_ns.is_none() {
+            args.push(("unclosed", Json::Bool(true)));
+        }
+        let mut arg_map: BTreeMap<String, Json> =
+            args.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        if let Some(extra) = span.fields.as_obj() {
+            for (k, v) in extra {
+                arg_map.insert(k.clone(), v.clone());
+            }
+        }
+        events.push(obj(vec![
+            ("ph", Json::Str("X".to_owned())),
+            ("pid", Json::Num(PID)),
+            ("tid", Json::Num(span.lane as f64)),
+            ("name", Json::Str(span.name.clone())),
+            ("cat", Json::Str("span".to_owned())),
+            ("ts", Json::Num(us(span.begin_ns))),
+            ("dur", Json::Num(us(span.duration_ns(horizon)))),
+            ("args", Json::Obj(arg_map)),
+        ]));
+    }
+
+    // Cumulative jobs-done counter series, one track per source.
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for event in log.events.iter().filter(|e| e.name == "job.done") {
+        let source = event.text("source").unwrap_or("?").to_owned();
+        *totals.entry(source).or_insert(0) += 1;
+        let series = totals
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+            .collect::<BTreeMap<_, _>>();
+        events.push(obj(vec![
+            ("ph", Json::Str("C".to_owned())),
+            ("pid", Json::Num(PID)),
+            ("name", Json::Str("jobs done".to_owned())),
+            ("ts", Json::Num(us(event.t_ns))),
+            ("args", Json::Obj(series)),
+        ]));
+    }
+
+    // Everything else as thread-scoped instant markers.
+    for event in &log.events {
+        if matches!(
+            event.name.as_str(),
+            "span.begin" | "span.end" | "lane.label" | "job.done"
+        ) {
+            continue;
+        }
+        let args = match &event.fields {
+            Json::Obj(map) => Json::Obj(map.clone()),
+            _ => Json::Obj(BTreeMap::new()),
+        };
+        events.push(obj(vec![
+            ("ph", Json::Str("i".to_owned())),
+            ("s", Json::Str("t".to_owned())),
+            ("pid", Json::Num(PID)),
+            ("tid", Json::Num(event.lane as f64)),
+            ("name", Json::Str(event.name.clone())),
+            ("cat", Json::Str("event".to_owned())),
+            ("ts", Json::Num(us(event.t_ns))),
+            ("args", args),
+        ]));
+    }
+
+    obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_owned())),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(t: u64, lane: u64, name: &str, fields: &str) -> String {
+        format!(r#"{{"kind":"event","t_ns":{t},"lane":{lane},"name":"{name}","fields":{fields}}}"#)
+    }
+
+    #[test]
+    fn export_is_valid_json_with_spans_counters_and_metadata() {
+        let text = [
+            line(0, 1, "sweep.start", r#"{"scenario":"fig4b","jobs":2}"#),
+            line(1, 1, "lane.label", r#"{"label":"worker 0"}"#),
+            line(10, 1, "span.begin", r#"{"id":1,"span":"sweep"}"#),
+            line(
+                20,
+                2,
+                "span.begin",
+                r#"{"id":2,"parent":1,"span":"job","index":0}"#,
+            ),
+            line(25, 2, "job.done", r#"{"index":0,"source":"computed"}"#),
+            line(30, 2, "span.end", r#"{"id":2,"span":"job"}"#),
+            line(40, 2, "job.done", r#"{"index":1,"source":"warm"}"#),
+            line(60, 1, "span.end", r#"{"id":1,"span":"sweep"}"#),
+        ]
+        .join("\n");
+        let log = TelemetryLog::parse(&text).unwrap();
+        let rendered = chrome_trace(&log);
+        let parsed = Json::parse(&rendered).expect("exporter must emit valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+
+        let ph = |p: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(p))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ph("X").len(), 2, "one complete event per span");
+        assert_eq!(ph("C").len(), 2, "one counter sample per job.done");
+        let sweep = ph("X")
+            .into_iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("sweep"))
+            .unwrap();
+        assert_eq!(sweep.get("ts").and_then(Json::as_f64), Some(0.01));
+        assert_eq!(sweep.get("dur").and_then(Json::as_f64), Some(0.05));
+        let thread_names: Vec<&str> = ph("M")
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(thread_names.contains(&"worker 0"), "{thread_names:?}");
+        // The final counter sample carries both cumulative series.
+        let last_counter = ph("C").pop().unwrap().clone();
+        assert_eq!(
+            last_counter
+                .get("args")
+                .unwrap()
+                .get("computed")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            last_counter
+                .get("args")
+                .unwrap()
+                .get("warm")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // The process is named after the scenario.
+        assert!(rendered.contains("mramsim fig4b"));
+    }
+
+    #[test]
+    fn unclosed_spans_extend_to_the_horizon_and_are_flagged() {
+        let text = [
+            line(10, 1, "span.begin", r#"{"id":1,"span":"sweep"}"#),
+            line(90, 1, "job.done", r#"{"index":0,"source":"computed"}"#),
+        ]
+        .join("\n");
+        let log = TelemetryLog::parse(&text).unwrap();
+        let parsed = Json::parse(&chrome_trace(&log)).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(0.08));
+        assert_eq!(
+            span.get("args").unwrap().get("unclosed").cloned(),
+            Some(Json::Bool(true))
+        );
+    }
+}

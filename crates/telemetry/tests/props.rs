@@ -1,0 +1,180 @@
+//! Property tests for the JSONL telemetry wire format.
+//!
+//! The contract under test: anything the recorder can be handed —
+//! arbitrary strings (quotes, backslashes, control characters,
+//! surrogate-adjacent code points), the full `f64` bit space
+//! (negative, subnormal, huge, non-finite), and the full `u64`
+//! range — must come back from `TelemetryLog::load` as the documented
+//! wire value, and a corrupt interior line must be rejected *with its
+//! line number*, never silently skipped.
+
+use mramsim_telemetry::{Clock, Json, JsonlRecorder, Recorder as _, TelemetryLog, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch path per call (std-only stand-in for tempfile).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "mramsim-telemetry-props-{}-{tag}-{}.telemetry",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+/// Event names must be `&'static str` (the [`Recorder`] contract), so
+/// the generator picks from a fixed menu; the *values* carry the
+/// arbitrary payloads.
+const NAMES: &[&str] = &["job.done", "span.begin", "ensemble.health", "checkpoint"];
+const KEYS: &[&str] = &["a", "b", "c", "d", "e", "f", "g", "h"];
+
+/// Decodes one generated `(tag, bits, codes)` triple into a [`Value`].
+///
+/// `f64::from_bits` walks the entire float space — NaN payloads,
+/// infinities, subnormals, negative zero — which is exactly the set a
+/// naive JSON writer gets wrong.
+fn value_from(tag: u32, bits: u64, codes: &[u32]) -> Value {
+    match tag % 4 {
+        0 => Value::U64(bits),
+        1 => Value::F64(f64::from_bits(bits)),
+        2 => Value::Text(
+            codes
+                .iter()
+                .map(|&c| char::from_u32(c % 0x11_0000).unwrap_or('\u{FFFD}'))
+                .collect(),
+        ),
+        _ => Value::Bool(bits & 1 == 1),
+    }
+}
+
+/// The documented wire image of a field value: non-finite floats
+/// become `null` (JSON has no NaN/inf), `u64` rides as a JSON number
+/// (exact up to 2^53), everything else round-trips losslessly.
+fn wire_json(value: &Value) -> Json {
+    match value {
+        Value::U64(v) => Json::Num(*v as f64),
+        Value::F64(v) if v.is_finite() => Json::Num(*v),
+        Value::F64(_) => Json::Null,
+        Value::Text(s) => Json::Str(s.clone()),
+        Value::Bool(b) => Json::Bool(*b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Write a batch of events with arbitrary field values through the
+    /// real recorder, load the file back, and demand the exact wire
+    /// image for every field of every event — plus a clean (untruncated,
+    /// fully parsed) log.
+    #[test]
+    fn events_round_trip_through_the_jsonl_recorder(
+        specs in prop::collection::vec(
+            (
+                0u32..u32::MAX,
+                prop::collection::vec(
+                    (0u32..4, 0u64..u64::MAX, prop::collection::vec(0u32..u32::MAX, 0..12)),
+                    0..6,
+                ),
+            ),
+            1..8,
+        ),
+    ) {
+        let path = scratch("roundtrip");
+        let recorder = JsonlRecorder::create(&path, Clock::system()).expect("create log");
+        let mut expected = Vec::new();
+        for (name_pick, field_specs) in &specs {
+            let name = NAMES[*name_pick as usize % NAMES.len()];
+            let values: Vec<Value> = field_specs
+                .iter()
+                .map(|(tag, bits, codes)| value_from(*tag, *bits, codes))
+                .collect();
+            // Index-distinct keys: duplicate keys would collapse in the
+            // line's JSON object and make the expectation ambiguous.
+            let fields: Vec<(&'static str, Value)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (KEYS[i], v.clone()))
+                .collect();
+            recorder.event(name, &fields);
+            let image: BTreeMap<String, Json> = fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), wire_json(v)))
+                .collect();
+            expected.push((name, Json::Obj(image)));
+        }
+        drop(recorder);
+
+        let log = TelemetryLog::load(&path).expect("every written line must parse");
+        std::fs::remove_file(&path).ok();
+        prop_assert!(!log.truncated_tail);
+        prop_assert_eq!(log.events.len(), expected.len());
+        for (event, (name, image)) in log.events.iter().zip(&expected) {
+            prop_assert_eq!(event.name.as_str(), *name);
+            prop_assert_eq!(&event.fields, image);
+        }
+    }
+
+    /// Corrupting any interior line must fail the whole parse and name
+    /// that exact line — a partial parse would make `stats` lie.
+    #[test]
+    fn interior_corruption_is_rejected_with_the_line_number(
+        lines in 3usize..12,
+        victim_pick in 0usize..usize::MAX,
+    ) {
+        let path = scratch("corrupt");
+        let recorder = JsonlRecorder::create(&path, Clock::system()).expect("create log");
+        for _ in 0..lines {
+            recorder.event("job.done", &[("index", Value::U64(7))]);
+        }
+        drop(recorder);
+
+        // Corrupt one line that is *not* the last (a mangled final
+        // line is the tolerated kill-mid-append case).
+        let victim = victim_pick % (lines - 1);
+        let text = std::fs::read_to_string(&path).expect("read log back");
+        let mangled: Vec<String> = text
+            .lines()
+            .enumerate()
+            .map(|(i, line)| {
+                if i == victim {
+                    line[..line.len() / 2].to_owned()
+                } else {
+                    line.to_owned()
+                }
+            })
+            .collect();
+        std::fs::remove_file(&path).ok();
+
+        let err = TelemetryLog::parse(&mangled.join("\n"))
+            .expect_err("interior corruption must not parse");
+        prop_assert!(
+            err.contains(&format!("line {}", victim + 1)),
+            "error `{}` should name line {}",
+            err,
+            victim + 1,
+        );
+    }
+}
+
+/// The tolerated failure mode, pinned deterministically: a final line
+/// cut mid-write is dropped and flagged, and every earlier event
+/// survives intact.
+#[test]
+fn a_truncated_final_line_is_dropped_and_flagged() {
+    let path = scratch("tail");
+    let recorder = JsonlRecorder::create(&path, Clock::system()).expect("create log");
+    recorder.event("job.done", &[("index", Value::U64(1))]);
+    recorder.event("job.done", &[("index", Value::U64(2))]);
+    drop(recorder);
+
+    let text = std::fs::read_to_string(&path).expect("read log back");
+    std::fs::remove_file(&path).ok();
+    let cut = &text[..text.len() - 4];
+    let log = TelemetryLog::parse(cut).expect("a cut tail is tolerated");
+    assert!(log.truncated_tail);
+    assert_eq!(log.events.len(), 1);
+    assert_eq!(log.events[0].u64("index"), Some(1));
+}
