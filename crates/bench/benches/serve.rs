@@ -1,0 +1,183 @@
+//! Serve-layer benches: the HTTP service over one shared engine,
+//! measured over real loopback sockets. The artifact reports cold vs
+//! warm submission throughput (first-time computes vs cache-served
+//! repeats) and tail latency under a mixed workload of submissions,
+//! result fetches, and telemetry reads — the numbers recorded in
+//! `BENCH_serve.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mramsim_bench::print_artifact;
+use mramsim_engine::serve::{ServeConfig, Server};
+use mramsim_engine::Engine;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+/// One request over a fresh connection (the server is
+/// connection-per-request), returning the response body.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+/// Extracts a string field from a flat JSON response line.
+fn field(json: &str, name: &str) -> String {
+    let key = format!("\"{name}\":\"");
+    let start = json.find(&key).map(|i| i + key.len()).unwrap_or(0);
+    json[start..].chars().take_while(|c| *c != '"').collect()
+}
+
+/// Submits a single-point run and blocks until its progress stream
+/// delivers the final summary line.
+fn run_to_completion(addr: SocketAddr, pitch: f64) {
+    let body = format!(r#"{{"scenario":"fig4b","params":{{"ecd":35,"pitch":{pitch}}}}}"#);
+    let response = http(addr, "POST", "/runs", &body);
+    let progress = field(&response, "progress");
+    let streamed = http(addr, "GET", &progress, "");
+    assert!(streamed.contains("\"status\":\"done\""), "{streamed}");
+}
+
+fn spawn_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let engine = Arc::new(Engine::standard().with_workers(workers));
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_inflight: 16,
+        cache_dir: None,
+    };
+    let server = Server::bind(engine, &config).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Cold vs warm submission throughput: each request is a full
+/// submit-stream-complete round trip; cold points compute Ψ, warm
+/// points are served from the shared cache.
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let (addr, server) = spawn_server(2);
+    let points = 40usize;
+    let pitch = |i: usize| 60.0 + 0.25 * i as f64;
+
+    let t0 = Instant::now();
+    for i in 0..points {
+        run_to_completion(addr, pitch(i));
+    }
+    let cold = t0.elapsed();
+
+    let t0 = Instant::now();
+    for i in 0..points {
+        run_to_completion(addr, pitch(i));
+    }
+    let warm = t0.elapsed();
+
+    print_artifact(
+        "serve: cold vs warm single-point submissions (40 round trips)",
+        &format!(
+            "cold: {cold:>10.1?}  ({:.0} req/s)\nwarm: {warm:>10.1?}  ({:.0} req/s)",
+            points as f64 / cold.as_secs_f64(),
+            points as f64 / warm.as_secs_f64(),
+        ),
+    );
+
+    let mut group = c.benchmark_group("serve_submission");
+    let mut next = points;
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            next += 1;
+            run_to_completion(addr, pitch(next));
+        })
+    });
+    group.bench_function("warm", |b| b.iter(|| run_to_completion(addr, pitch(0))));
+    group.finish();
+
+    http(addr, "POST", "/shutdown", "");
+    server.join().expect("server");
+}
+
+/// Tail latency under a mixed workload: four client threads fire
+/// interleaved health checks, metrics reads, warm submissions, and
+/// result fetches; the artifact reports p50/p99 per-request latency.
+fn bench_mixed_tail_latency(c: &mut Criterion) {
+    let (addr, server) = spawn_server(2);
+    // Prewarm one point and learn its content address.
+    run_to_completion(addr, 90.0);
+    let streamed = http(
+        addr,
+        "POST",
+        "/runs",
+        r#"{"scenario":"fig4b","params":{"ecd":35,"pitch":90}}"#,
+    );
+    let progress = field(&streamed, "progress");
+    let key = field(&http(addr, "GET", &progress, ""), "key");
+
+    let per_thread = 60usize;
+    let clients: Vec<_> = (0..4)
+        .map(|client| {
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let t0 = Instant::now();
+                    match (client + i) % 4 {
+                        0 => drop(http(addr, "GET", "/healthz", "")),
+                        1 => drop(http(addr, "GET", "/metrics", "")),
+                        2 => run_to_completion(addr, 90.0),
+                        _ => drop(http(addr, "GET", &format!("/results/{key}"), "")),
+                    }
+                    latencies.push(t0.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = clients
+        .into_iter()
+        .flat_map(|t| t.join().expect("client"))
+        .collect();
+    latencies.sort();
+    let p = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    print_artifact(
+        "serve: mixed workload tail latency (4 clients × 60 requests)",
+        &format!(
+            "p50: {:>9.1?}\np90: {:>9.1?}\np99: {:>9.1?}\nmax: {:>9.1?}",
+            p(0.50),
+            p(0.90),
+            p(0.99),
+            *latencies.last().unwrap(),
+        ),
+    );
+
+    let mut group = c.benchmark_group("serve_reads");
+    group.bench_function("healthz", |b| b.iter(|| http(addr, "GET", "/healthz", "")));
+    group.bench_function("result_by_key", |b| {
+        b.iter(|| http(addr, "GET", &format!("/results/{key}"), ""))
+    });
+    group.finish();
+
+    http(addr, "POST", "/shutdown", "");
+    server.join().expect("server");
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cold_vs_warm, bench_mixed_tail_latency
+}
+criterion_main!(benches);

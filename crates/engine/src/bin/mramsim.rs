@@ -17,8 +17,8 @@
 
 use mramsim_engine::store::DiskStore;
 use mramsim_engine::{
-    parse_value, Engine, EngineError, JobEvent, ParamSet, ParamValue, Registry, SweepJournal,
-    SweepOptions, SweepPlan,
+    parse_value, Engine, EngineError, JobEvent, ParamSet, ParamValue, Registry, ServeConfig,
+    Server, SweepJournal, SweepOptions, SweepPlan,
 };
 use mramsim_telemetry as telemetry;
 use mramsim_telemetry::{report, Clock, Fanout, JsonlRecorder, MetricsRecorder, TelemetryLog};
@@ -40,6 +40,8 @@ USAGE:
     mramsim campaign [scenario] [OPTIONS] sharded grid campaign: sweeps
                                          an auto-generated `--shard`
                                          axis (default: array-wer-shard)
+    mramsim serve [OPTIONS]              HTTP/JSON simulation service
+                                         over one shared engine
     mramsim report [scenario...]         Markdown report (default: all)
     mramsim stats <run-id|path>          post-run telemetry report
     mramsim trace <run-id|path>          export a Chrome/Perfetto trace
@@ -71,6 +73,12 @@ OPTIONS:
     --progress <auto|on|off>  sweep: live progress line on stderr
                               (default auto: only when stderr is a
                               terminal)
+    --addr <host:port>        serve: bind address (default
+                              127.0.0.1:7878; port 0 picks a free
+                              port — the bound address is printed)
+    --max-inflight <n>        serve: max concurrently running jobs;
+                              submissions beyond this get HTTP 429
+                              (default 4)
 
 PERSISTENT CACHE & RESUMABLE SWEEPS:
     Results are content-addressed by (scenario, full parameter
@@ -110,6 +118,24 @@ OBSERVABILITY:
     <cache-dir>/runs/) or a direct path to a .telemetry file.
     Telemetry is write-only: cache keys and CSV output are
     byte-identical with it on or off.
+
+SERVING:
+    `mramsim serve` runs a concurrent HTTP/JSON service over one
+    shared engine: every client shares the same warm cache, disk
+    store, and worker pool. Submissions are validated up front,
+    identical in-flight plans are joined instead of recomputed, and
+    per-job progress streams as JSONL. POST /shutdown drains
+    gracefully — running sweeps are cancelled cooperatively and their
+    journals stay `sweep --resume`-able.
+
+    mramsim serve --addr 127.0.0.1:7878 --max-inflight 4
+    curl -s localhost:7878/healthz
+    curl -s -XPOST localhost:7878/sweeps -d \
+      '{\"scenario\":\"fig4b\",\"axes\":{\"pitch\":[90,120,200]}}'
+    curl -sN localhost:7878/runs/j1          # streamed progress
+    curl -s localhost:7878/results/<key>     # content-addressed fetch
+    curl -s localhost:7878/metrics
+    curl -s -XPOST localhost:7878/shutdown
 
 EXAMPLES:
     mramsim run explore --ecd 35 --temperature_c 85
@@ -195,6 +221,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -434,7 +461,12 @@ impl Progress {
         // Throttle to ~10 Hz, but always render the final job so the
         // line ends at 100%.
         {
-            let mut last = self.last.lock().expect("progress poisoned");
+            // Recover from poisoning: a panicking job must not take
+            // the progress line (and with it the sweep) down.
+            let mut last = self
+                .last
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if done < self.total && last.elapsed() < Duration::from_millis(100) {
                 return;
             }
@@ -887,6 +919,7 @@ fn execute_sweep(
     let sweep_options = SweepOptions {
         limit: options.limit,
         on_done: Some(&record),
+        cancel: None,
     };
     let outcome = engine
         .sweep_with(&plan, &sweep_options)
@@ -973,6 +1006,62 @@ fn execute_sweep(
             sink.path().display()
         );
     }
+    Ok(())
+}
+
+/// `mramsim serve`: bind the HTTP service and block until a graceful
+/// `POST /shutdown` drain completes.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut max_inflight = 4usize;
+    let mut rest: Vec<String> = Vec::new();
+    let mut remaining = args.iter();
+    while let Some(flag) = remaining.next() {
+        match flag.as_str() {
+            "--addr" => {
+                addr = remaining
+                    .next()
+                    .ok_or("`--addr` needs a host:port value")?
+                    .clone();
+            }
+            "--max-inflight" => {
+                let value = remaining.next().ok_or("`--max-inflight` needs a value")?;
+                max_inflight = value
+                    .parse()
+                    .map_err(|_| format!("`--max-inflight` needs an integer, got `{value}`"))?;
+                if max_inflight == 0 {
+                    return Err("`--max-inflight` must be at least 1".to_owned());
+                }
+            }
+            _ => rest.push(flag.clone()),
+        }
+    }
+    let options = parse_options(&rest)?;
+    if options.scenario.is_some() || !options.params.is_empty() {
+        return Err(
+            "`serve` takes no scenario or parameters; clients submit plans over HTTP".to_owned(),
+        );
+    }
+    let cache_dir = resolve_cache_dir(&options);
+    let engine = Arc::new(build_engine(&options, cache_dir.as_deref())?);
+    let config = ServeConfig {
+        addr,
+        max_inflight,
+        cache_dir,
+    };
+    let server = Server::bind(engine, &config).map_err(|e| e.to_string())?;
+    // Scripts (and the CI smoke test) bind port 0 and read the real
+    // address from this line, so it must land before the first request.
+    emit(&format!("listening on http://{}\n", server.local_addr()));
+    if std::io::Write::flush(&mut std::io::stdout()).is_err() {
+        return Ok(());
+    }
+    eprintln!(
+        "POST /runs | POST /sweeps | GET /runs/<job> | GET /results/<key> | \
+         GET /healthz | GET /metrics | POST /shutdown"
+    );
+    server.run();
+    eprintln!("drained; all journals flushed");
     Ok(())
 }
 

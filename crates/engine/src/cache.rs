@@ -20,7 +20,7 @@ use crate::ScenarioOutput;
 use mramsim_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 pub use mramsim_numerics::hash::fnv1a;
 use mramsim_numerics::hash::Fnv1a;
@@ -145,11 +145,20 @@ impl ResultCache {
         h.finish()
     }
 
+    /// Locks the map, recovering from poisoning: a job that panicked
+    /// mid-insert leaves the map structurally sound (`HashMap::insert`
+    /// is not observable half-done from outside the lock), so later
+    /// lookups keep working instead of panic-cascading across every
+    /// request of a long-lived server.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks up a result, counting the hit or miss and refreshing the
     /// entry's recency.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<Arc<ScenarioOutput>> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         let found = inner.map.get_mut(&key).map(|entry| {
@@ -173,11 +182,7 @@ impl ResultCache {
     /// Whether `key` is present, without touching counters or recency.
     #[must_use]
     pub fn contains(&self, key: u64) -> bool {
-        self.inner
-            .lock()
-            .expect("cache poisoned")
-            .map
-            .contains_key(&key)
+        self.lock().map.contains_key(&key)
     }
 
     /// Stores a result, evicting the least-recently-used entries if the
@@ -188,7 +193,7 @@ impl ResultCache {
         if self.capacity == Some(0) {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         inner.map.insert(
@@ -217,7 +222,7 @@ impl ResultCache {
 
     /// Drops every entry (counters keep accumulating).
     pub fn clear(&self) {
-        self.inner.lock().expect("cache poisoned").map.clear();
+        self.lock().map.clear();
     }
 
     /// Current counters.
@@ -226,7 +231,7 @@ impl ResultCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("cache poisoned").map.len(),
+            entries: self.lock().map.len(),
             evictions: self.evictions.load(Ordering::Relaxed),
             capacity: self.capacity,
         }

@@ -126,6 +126,14 @@ pub struct SweepOptions<'a> {
     /// Called for every finished job, from the worker threads, as soon
     /// as the job completes (not in expansion order).
     pub on_done: Option<&'a (dyn Fn(&JobEvent<'_>) + Sync)>,
+    /// Cooperative cancellation: when the flag flips to `true`, jobs
+    /// that have not started yet are marked [`SweepJob::skipped`] —
+    /// exactly like budget exhaustion, so a journaled run stays
+    /// `--resume`-able. In-flight jobs run to completion (and are
+    /// journaled); the sweep still returns a full, well-formed
+    /// [`SweepOutcome`]. This is how a draining server stops a sweep
+    /// without corrupting anything.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 impl std::fmt::Debug for SweepOptions<'_> {
@@ -133,6 +141,7 @@ impl std::fmt::Debug for SweepOptions<'_> {
         f.debug_struct("SweepOptions")
             .field("limit", &self.limit)
             .field("on_done", &self.on_done.map(|_| "…"))
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
             .finish()
     }
 }
@@ -452,6 +461,31 @@ impl Engine {
         }))
     }
 
+    /// Looks a result up by its content address across both cache
+    /// tiers — memory first, then the disk store (promoting the entry
+    /// into memory on the way) — without ever computing anything.
+    /// `None` means the key was never computed under this cache
+    /// directory, or has been evicted from a memory-only engine.
+    ///
+    /// This is the read side of the serve API's `GET /results/<key>`:
+    /// submission responses hand out the key
+    /// ([`ResultCache::key`] over scenario id + parameter
+    /// fingerprint), and any client holding it can fetch the output
+    /// from the shared warm cache.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<Arc<ScenarioOutput>> {
+        if let Some(output) = self.cache.get(key) {
+            return Some(output);
+        }
+        let store = self.store.as_ref()?;
+        let load = telemetry::span_tree("disk.load");
+        let loaded = store.load(key);
+        load.finish();
+        let output = Arc::new(loaded?);
+        self.cache.insert(key, Arc::clone(&output));
+        Some(output)
+    }
+
     /// Expands a [`SweepPlan`] and executes every grid point on the
     /// worker pool, cache-aware and with deterministic per-job seeds.
     ///
@@ -565,8 +599,12 @@ impl Engine {
             // (disk loads, compute, kernels, journal flushes) — get a
             // span per grid point, parented under the sweep root
             // through the pool's captured context.
-            let warm = self.cache.get(key);
-            let _job_span = if warm.is_none() {
+            // Cooperative cancellation (a draining server): jobs that
+            // have not started when the flag flips are skipped — like
+            // budget exhaustion — so the journal stays resumable.
+            let cancelled = options.cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+            let warm = if cancelled { None } else { self.cache.get(key) };
+            let _job_span = if warm.is_none() && !cancelled {
                 Some(telemetry::span_tree_with(
                     "job",
                     &[("index", Value::U64(index as u64))],
@@ -574,7 +612,14 @@ impl Engine {
             } else {
                 None
             };
-            let (cache_hit, disk_hit, skipped, result) = if let Some(output) = warm {
+            let (cache_hit, disk_hit, skipped, result) = if cancelled {
+                (
+                    false,
+                    false,
+                    true,
+                    Err("not run: sweep cancelled (resume to continue)".to_owned()),
+                )
+            } else if let Some(output) = warm {
                 telemetry::observe(
                     "engine.warm_lookup_s",
                     self.clock.elapsed(job_start).as_secs_f64(),
@@ -734,6 +779,70 @@ impl Default for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        // The serve module hands one `Arc<Engine>` to every request
+        // handler thread; this pins the auto-traits that makes legal.
+        fn assert_shareable<T: Send + Sync + 'static>() {}
+        assert_shareable::<Engine>();
+        assert_shareable::<std::sync::Arc<Engine>>();
+    }
+
+    #[test]
+    fn lookup_serves_both_tiers_without_computing() {
+        let dir = crate::store::TempDir::new("lookup");
+        let engine = Engine::standard().with_disk_cache(&dir.0).unwrap();
+        let params = engine.resolve("fig4a", &ParamSet::new()).unwrap();
+        let key = ResultCache::key("fig4a", &params.fingerprint());
+        assert!(engine.lookup(key).is_none(), "nothing computed yet");
+        let run = engine.run("fig4a", &ParamSet::new()).unwrap();
+        let warm = engine.lookup(key).expect("memory tier");
+        assert!(Arc::ptr_eq(&run.output, &warm));
+        // A second engine over the same directory serves from disk and
+        // promotes into its own memory tier.
+        let cold = Engine::standard().with_disk_cache(&dir.0).unwrap();
+        assert!(cold.lookup(key).is_some(), "disk tier");
+        assert_eq!(cold.cache_stats().entries, 1, "promoted into memory");
+    }
+
+    #[test]
+    fn cancelled_sweeps_skip_cleanly() {
+        use std::sync::atomic::AtomicBool;
+        let engine = Engine::standard().with_workers(1);
+        let plan = SweepPlan::new("fig4b").axis("pitch", vec![90.0, 120.0, 150.0, 200.0]);
+        // Flip the flag after the second job completes: the remaining
+        // jobs must come back skipped, not half-run.
+        let cancel = AtomicBool::new(false);
+        let seen = AtomicUsize::new(0);
+        let outcome = engine
+            .sweep_with(
+                &plan,
+                &SweepOptions {
+                    cancel: Some(&cancel),
+                    on_done: Some(&|event: &JobEvent<'_>| {
+                        if seen.fetch_add(1, Ordering::Relaxed) + 1 == 2 {
+                            cancel.store(true, Ordering::Relaxed);
+                        }
+                        assert_eq!(event.ok, !event.skipped);
+                    }),
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.jobs.len(), 4, "outcome still covers the grid");
+        assert_eq!(outcome.skipped, 2);
+        assert_eq!(outcome.errors, 0, "skips are not errors");
+        for job in &outcome.jobs[2..] {
+            assert!(job.skipped);
+            let message = job.result.as_ref().unwrap_err();
+            assert!(message.contains("cancelled"), "{message}");
+        }
+        // A fresh sweep without the flag completes the rest.
+        let finished = engine.sweep(&plan).unwrap();
+        assert_eq!(finished.skipped, 0);
+        assert_eq!(finished.cache_hits, 2, "completed jobs were cached");
+    }
 
     #[test]
     fn unknown_scenario_and_parameter_are_rejected() {

@@ -43,6 +43,30 @@ pub enum EngineError {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// Another live process (or thread) is already executing this run
+    /// id — the journal's run lock is held. Two writers interleaving
+    /// `done` lines into the same `<run-id>.journal` would corrupt
+    /// both, so the collision is detected up front. Join the in-flight
+    /// run (the serve API does this automatically) or wait for it.
+    RunInFlight {
+        /// The colliding run id.
+        run_id: String,
+        /// Process id recorded in the live lock.
+        pid: u32,
+        /// The lock file location (delete it only if the holder is
+        /// genuinely gone).
+        path: String,
+    },
+    /// A worker panicked while holding an engine lock; the lock was
+    /// recovered and the run continued, but the panic itself still
+    /// needs surfacing exactly once (a long-lived server must not
+    /// panic-cascade on every later flush).
+    LockPoisoned {
+        /// What the lock protects (e.g. `sweep journal`).
+        what: &'static str,
+        /// The file involved, when the lock guards one.
+        path: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +84,21 @@ impl fmt::Display for EngineError {
             }
             Self::Persistence { path, message } => {
                 write!(f, "persistence failure at `{path}`: {message}")
+            }
+            Self::RunInFlight { run_id, pid, path } => {
+                write!(
+                    f,
+                    "run `{run_id}` is already in flight (pid {pid} holds the lock at `{path}`); \
+                     wait for it, join it through the serve API, or delete the lock if the \
+                     holder is gone"
+                )
+            }
+            Self::LockPoisoned { what, path } => {
+                write!(
+                    f,
+                    "a worker panicked while holding the {what} lock at `{path}`; \
+                     the lock was recovered and later writes continued"
+                )
             }
         }
     }

@@ -17,6 +17,14 @@
 //! may be truncated mid-write; loading tolerates (and discards)
 //! exactly that, while a malformed *header* is a hard error — resuming
 //! the wrong plan silently would be worse than failing.
+//!
+//! Liveness: the run id is purely content-derived, so two concurrent
+//! submissions of the same plan would open the same `.journal` (and
+//! `.telemetry`) files and interleave writes. A sidecar lock file
+//! (`<run-id>.journal.lock`, created with `O_EXCL`, holding the owner
+//! pid) makes that collision a typed [`EngineError::RunInFlight`]
+//! instead; locks whose owner process is gone are reclaimed, so a
+//! killed sweep never blocks its own `--resume`.
 
 use crate::store::{Wire, WireReader};
 use crate::{EngineError, ParamValue, SweepPlan};
@@ -26,6 +34,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// The state recovered from an existing journal.
@@ -42,6 +51,122 @@ pub struct JournalState {
 pub struct SweepJournal {
     path: PathBuf,
     file: Mutex<fs::File>,
+    poisoned: AtomicBool,
+    reported: AtomicBool,
+    // Held for the journal's whole lifetime; releases on drop.
+    _lock: RunLock,
+}
+
+/// Exclusive ownership of one run id, held as a sidecar lock file next
+/// to the journal. The file is created with `create_new` (`O_EXCL`) and
+/// contains the owner's pid; dropping the lock removes the file.
+#[derive(Debug)]
+struct RunLock {
+    path: PathBuf,
+}
+
+impl RunLock {
+    /// Lock file location for a journal path.
+    fn path_for(journal_path: &Path) -> PathBuf {
+        let mut name = journal_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        name.push_str(".lock");
+        journal_path.with_file_name(name)
+    }
+
+    /// Acquires the run lock, reclaiming it from a dead holder.
+    ///
+    /// A lock whose recorded pid no longer exists (the process was
+    /// killed before `Drop` ran) is stale and stolen — otherwise a
+    /// killed sweep could never `--resume` itself. A live holder is an
+    /// [`EngineError::RunInFlight`].
+    fn acquire(journal_path: &Path) -> Result<Self, EngineError> {
+        let path = Self::path_for(journal_path);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| EngineError::Persistence {
+                path: path.display().to_string(),
+                message: format!("cannot create run-lock directory: {e}"),
+            })?;
+        }
+        // Two attempts: the second runs only after a stale lock was
+        // removed; losing *that* race means a genuinely live rival.
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = file.write_all(format!("{}\n", std::process::id()).as_bytes());
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if attempt == 0 && !process_is_alive(pid) => {
+                            // Stale: the holder died without cleanup.
+                            let _ = fs::remove_file(&path);
+                            telemetry::counter_add("journal.locks_reclaimed", 1);
+                        }
+                        Some(pid) => {
+                            let run_id = journal_path
+                                .file_stem()
+                                .map(|n| n.to_string_lossy().into_owned())
+                                .unwrap_or_default();
+                            return Err(EngineError::RunInFlight {
+                                run_id,
+                                pid,
+                                path: path.display().to_string(),
+                            });
+                        }
+                        None if attempt == 0 => {
+                            // Unreadable or empty (a racing acquirer
+                            // between create and write, or garbage):
+                            // retry once — if it is a live rival the
+                            // pid will be there by then.
+                            std::thread::yield_now();
+                        }
+                        None => {
+                            return Err(EngineError::Persistence {
+                                path: path.display().to_string(),
+                                message: "run lock exists but holds no readable pid; \
+                                          delete it if no sweep is running"
+                                    .into(),
+                            });
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(EngineError::Persistence {
+                        path: path.display().to_string(),
+                        message: format!("cannot create run lock: {e}"),
+                    });
+                }
+            }
+        }
+        unreachable!("lock acquisition always returns within two attempts")
+    }
+}
+
+impl Drop for RunLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether a pid names a live process. Uses `/proc` where it exists;
+/// elsewhere assumes alive (never steals a lock it cannot check —
+/// erring fatal is recoverable by hand, erring corrupt is not).
+fn process_is_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return true;
+    }
+    pid == std::process::id() || proc_root.join(pid.to_string()).exists()
 }
 
 impl SweepJournal {
@@ -86,9 +211,12 @@ impl SweepJournal {
     /// # Errors
     ///
     /// [`EngineError::Persistence`] when the file cannot be created or
-    /// written.
+    /// written; [`EngineError::RunInFlight`] when a live process
+    /// already owns this run (the lock is checked *before* truncating,
+    /// so a collision never clobbers the live run's journal).
     pub fn create(path: impl Into<PathBuf>, plan: &SweepPlan) -> Result<Self, EngineError> {
         let path = path.into();
+        let lock = RunLock::acquire(&path)?;
         let fail = |message: String| EngineError::Persistence {
             path: path.display().to_string(),
             message,
@@ -105,6 +233,9 @@ impl SweepJournal {
         Ok(Self {
             path,
             file: Mutex::new(file),
+            poisoned: AtomicBool::new(false),
+            reported: AtomicBool::new(false),
+            _lock: lock,
         })
     }
 
@@ -115,9 +246,11 @@ impl SweepJournal {
     /// # Errors
     ///
     /// [`EngineError::Persistence`] when the file is missing or its
-    /// header is unreadable.
+    /// header is unreadable; [`EngineError::RunInFlight`] when a live
+    /// process still owns this run.
     pub fn resume(path: impl Into<PathBuf>) -> Result<(Self, JournalState), EngineError> {
         let path = path.into();
+        let lock = RunLock::acquire(&path)?;
         let fail = |message: String| EngineError::Persistence {
             path: path.display().to_string(),
             message,
@@ -134,6 +267,9 @@ impl SweepJournal {
             Self {
                 path,
                 file: Mutex::new(file),
+                poisoned: AtomicBool::new(false),
+                reported: AtomicBool::new(false),
+                _lock: lock,
             },
             state,
         ))
@@ -149,12 +285,36 @@ impl SweepJournal {
         // trace (the flat span above keeps feeding the histogram).
         let tree = telemetry::span_tree("journal.flush");
         let line = format!("done {index} {}\n", key_hex(key));
-        let mut file = self.file.lock().expect("journal poisoned");
+        // A job that panicked while appending poisons this mutex; the
+        // file itself is still sound (each line is written whole and a
+        // torn tail is tolerated on resume), so recover the guard and
+        // keep journaling — one bad job must not cost the durability
+        // of every job after it.
+        let mut file = self.file.lock().unwrap_or_else(|e| {
+            if !self.poisoned.swap(true, Ordering::Relaxed) {
+                telemetry::counter_add("journal.lock_recoveries", 1);
+            }
+            e.into_inner()
+        });
         let _ = file.write_all(line.as_bytes()).and_then(|()| file.flush());
         drop(file);
         tree.finish();
         span.finish();
         telemetry::counter_add("journal.records", 1);
+    }
+
+    /// The typed poisoning report, surfaced at most once: `Some` on the
+    /// first call after a panic poisoned (and [`Self::record`]
+    /// recovered) the journal lock, `None` before that and ever after.
+    /// Long-lived callers poll this after each sweep and log it —
+    /// instead of the pre-recovery behaviour where every later flush
+    /// re-panicked.
+    pub fn poison_error(&self) -> Option<EngineError> {
+        (self.poisoned.load(Ordering::Relaxed) && !self.reported.swap(true, Ordering::Relaxed))
+            .then(|| EngineError::LockPoisoned {
+                what: "sweep journal",
+                path: self.path.display().to_string(),
+            })
     }
 }
 
@@ -354,6 +514,79 @@ mod tests {
                 "{huge} must be a hard error"
             );
         }
+    }
+
+    #[test]
+    fn live_run_collision_is_a_typed_error() {
+        let dir = TempDir::new("collide");
+        let path = SweepJournal::path_for(&dir.0, &SweepJournal::run_id(&plan()));
+        let first = SweepJournal::create(&path, &plan()).unwrap();
+        // While the first holder lives, both create and resume refuse.
+        match SweepJournal::create(&path, &plan()) {
+            Err(EngineError::RunInFlight { run_id, pid, .. }) => {
+                assert_eq!(run_id, SweepJournal::run_id(&plan()));
+                assert_eq!(pid, std::process::id());
+            }
+            other => panic!("expected RunInFlight, got {other:?}"),
+        }
+        assert!(matches!(
+            SweepJournal::resume(&path),
+            Err(EngineError::RunInFlight { .. })
+        ));
+        // The collision must not have clobbered the live journal.
+        first.record(0, 1);
+        drop(first);
+        let (_, state) = SweepJournal::resume(&path).unwrap();
+        assert_eq!(state.done, BTreeMap::from([(0, 1)]));
+    }
+
+    #[test]
+    fn stale_locks_from_dead_processes_are_reclaimed() {
+        let dir = TempDir::new("stale");
+        let path = dir.0.join("run.journal");
+        drop(SweepJournal::create(&path, &plan()).unwrap());
+        // Forge a lock owned by a pid that cannot exist (beyond any
+        // real pid_max), as if a holder was killed before cleanup.
+        let lock_path = RunLock::path_for(&path);
+        fs::write(&lock_path, "4294000000\n").unwrap();
+        let (journal, _) = SweepJournal::resume(&path).expect("stale lock must be stolen");
+        drop(journal);
+        assert!(!lock_path.exists(), "drop must release the lock");
+        // An unreadable lock is a hard error, never silently stolen.
+        fs::write(&lock_path, "not-a-pid\n").unwrap();
+        assert!(matches!(
+            SweepJournal::resume(&path),
+            Err(EngineError::Persistence { .. })
+        ));
+    }
+
+    #[test]
+    fn poisoned_journal_lock_recovers_and_reports_once() {
+        let dir = TempDir::new("poison");
+        let path = dir.0.join("run.journal");
+        let journal = SweepJournal::create(&path, &plan()).unwrap();
+        journal.record(0, 1);
+        // Panic while holding the lock, as a panicking job would.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = journal.file.lock().unwrap();
+            panic!("job panic with the journal lock held");
+        }));
+        assert!(journal.file.is_poisoned());
+        // Later records still land...
+        journal.record(1, 2);
+        journal.record(2, 3);
+        // ...and the poisoning surfaces as a typed error exactly once.
+        assert!(matches!(
+            journal.poison_error(),
+            Some(EngineError::LockPoisoned {
+                what: "sweep journal",
+                ..
+            })
+        ));
+        assert_eq!(journal.poison_error(), None);
+        drop(journal);
+        let (_, state) = SweepJournal::resume(&path).unwrap();
+        assert_eq!(state.done, BTreeMap::from([(0, 1), (1, 2), (2, 3)]));
     }
 
     #[test]

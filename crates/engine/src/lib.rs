@@ -21,7 +21,11 @@
 //! * checkpointed sweeps via the [`journal`] module: every finished
 //!   grid point is durably logged, and an interrupted campaign resumes
 //!   with byte-identical output,
-//! * the `mramsim` CLI binary (`list`, `run`, `sweep`, `report`).
+//! * a concurrent HTTP/JSON simulation service over one shared engine
+//!   ([`serve`]): job submission, streamed progress, content-addressed
+//!   result fetches, admission control, and graceful drain,
+//! * the `mramsim` CLI binary (`list`, `run`, `sweep`, `serve`,
+//!   `report`).
 //!
 //! # Quickstart
 //!
@@ -54,6 +58,7 @@ pub mod journal;
 mod params;
 mod registry;
 mod scenario;
+pub mod serve;
 pub mod store;
 mod sweep;
 
@@ -66,6 +71,7 @@ pub use journal::{JournalState, SweepJournal};
 pub use params::{parse_value, ParamSet, ParamSpec, ParamValue};
 pub use registry::Registry;
 pub use scenario::{Scenario, ScenarioOutput};
+pub use serve::{ServeConfig, Server};
 pub use store::{DiskStats, DiskStore};
 pub use sweep::SweepPlan;
 

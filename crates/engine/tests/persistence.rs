@@ -143,6 +143,7 @@ fn corrupt_entries_still_pay_the_job_budget() {
             &SweepOptions {
                 limit: Some(2),
                 on_done: None,
+                cancel: None,
             },
         )
         .unwrap();
@@ -208,6 +209,7 @@ fn interrupted_sweep_resumes_to_a_byte_identical_csv() {
                 &SweepOptions {
                     limit: Some(4),
                     on_done: Some(&record),
+                    cancel: None,
                 },
             )
             .unwrap();
@@ -240,6 +242,7 @@ fn interrupted_sweep_resumes_to_a_byte_identical_csv() {
                 &SweepOptions {
                     limit: None,
                     on_done: Some(&record),
+                    cancel: None,
                 },
             )
             .unwrap();

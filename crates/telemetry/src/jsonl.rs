@@ -17,13 +17,14 @@
 //! enabling or disabling it cannot move any golden number.
 
 use crate::json::Json;
-use crate::metrics::{HistogramSnapshot, HistogramSpec, MetricsSnapshot};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 use crate::recorder::{Field, Recorder, Value};
 use crate::Clock;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// A streaming JSONL event sink.
@@ -41,6 +42,8 @@ pub struct JsonlRecorder {
     path: PathBuf,
     file: Mutex<BufWriter<fs::File>>,
     clock: Clock,
+    poisoned: AtomicBool,
+    reported: AtomicBool,
 }
 
 impl JsonlRecorder {
@@ -60,6 +63,8 @@ impl JsonlRecorder {
             path,
             file: Mutex::new(BufWriter::new(file)),
             clock,
+            poisoned: AtomicBool::new(false),
+            reported: AtomicBool::new(false),
         })
     }
 
@@ -76,7 +81,15 @@ impl JsonlRecorder {
     }
 
     fn write_line(&self, line: &str) {
-        let mut file = self.file.lock().expect("telemetry log poisoned");
+        // A panic while appending (a dying job's last event) poisons
+        // this mutex, but the buffered writer is still structurally
+        // sound — at worst one torn line, which the parser already
+        // tolerates at the tail. Recover and keep logging: losing the
+        // whole telemetry stream to one bad job would be the bug.
+        let mut file = self.file.lock().unwrap_or_else(|e| {
+            self.poisoned.store(true, Ordering::Relaxed);
+            e.into_inner()
+        });
         // Flushed per line: a killed process keeps everything logged.
         let _ = file
             .write_all(line.as_bytes())
@@ -84,41 +97,29 @@ impl JsonlRecorder {
             .and_then(|()| file.flush());
     }
 
+    /// Whether a panic ever poisoned (and [`Self`] recovered) the log
+    /// lock.
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// One-shot poisoning report: `true` on the first call after the
+    /// log lock was poisoned and recovered, `false` before that and
+    /// ever after. Callers turn this into their own typed error (the
+    /// engine reports it as a lock-poisoned condition on the log path)
+    /// so the panic is surfaced exactly once instead of cascading.
+    pub fn take_poison_report(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed) && !self.reported.swap(true, Ordering::Relaxed)
+    }
+
     /// Appends one full metrics snapshot line.
     pub fn write_snapshot(&self, snapshot: &MetricsSnapshot) {
-        let mut obj = BTreeMap::new();
+        let Json::Obj(mut obj) = snapshot.to_json() else {
+            unreachable!("MetricsSnapshot::to_json always renders an object")
+        };
         obj.insert("kind".to_owned(), Json::Str("metrics".to_owned()));
         obj.insert("t_ns".to_owned(), Json::Num(self.clock.now_nanos() as f64));
-        obj.insert(
-            "counters".to_owned(),
-            Json::Obj(
-                snapshot
-                    .counters
-                    .iter()
-                    .map(|(name, &v)| (name.clone(), Json::Num(v as f64)))
-                    .collect(),
-            ),
-        );
-        obj.insert(
-            "gauges".to_owned(),
-            Json::Obj(
-                snapshot
-                    .gauges
-                    .iter()
-                    .map(|(name, &v)| (name.clone(), Json::Num(v)))
-                    .collect(),
-            ),
-        );
-        obj.insert(
-            "histograms".to_owned(),
-            Json::Obj(
-                snapshot
-                    .histograms
-                    .iter()
-                    .map(|(name, h)| (name.clone(), histogram_to_json(h)))
-                    .collect(),
-            ),
-        );
         self.write_line(&Json::Obj(obj).render());
     }
 }
@@ -147,43 +148,6 @@ impl Recorder for JsonlRecorder {
         obj.insert("fields".to_owned(), Json::Obj(map));
         self.write_line(&Json::Obj(obj).render());
     }
-}
-
-fn histogram_to_json(h: &HistogramSnapshot) -> Json {
-    let mut obj = BTreeMap::new();
-    obj.insert("lo".to_owned(), Json::Num(h.spec.lo));
-    obj.insert("ratio".to_owned(), Json::Num(h.spec.ratio));
-    obj.insert(
-        "counts".to_owned(),
-        Json::Arr(h.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
-    );
-    obj.insert("count".to_owned(), Json::Num(h.count as f64));
-    obj.insert("sum".to_owned(), Json::Num(h.sum));
-    obj.insert("min".to_owned(), h.min.map_or(Json::Null, Json::Num));
-    obj.insert("max".to_owned(), h.max.map_or(Json::Null, Json::Num));
-    Json::Obj(obj)
-}
-
-fn histogram_from_json(json: &Json) -> Option<HistogramSnapshot> {
-    let counts: Vec<u64> = json
-        .get("counts")?
-        .as_arr()?
-        .iter()
-        .map(Json::as_u64)
-        .collect::<Option<_>>()?;
-    let spec = HistogramSpec {
-        lo: json.get("lo")?.as_f64()?,
-        ratio: json.get("ratio")?.as_f64()?,
-        buckets: counts.len(),
-    };
-    Some(HistogramSnapshot {
-        spec,
-        counts,
-        count: json.get("count")?.as_u64()?,
-        sum: json.get("sum")?.as_f64()?,
-        min: json.get("min").and_then(Json::as_f64),
-        max: json.get("max").and_then(Json::as_f64),
-    })
 }
 
 /// One parsed event line.
@@ -287,7 +251,7 @@ impl TelemetryLog {
                     }
                     if let Some(histograms) = json.get("histograms").and_then(Json::as_obj) {
                         for (name, h) in histograms {
-                            if let Some(h) = histogram_from_json(h) {
+                            if let Some(h) = HistogramSnapshot::from_json(h) {
                                 snapshot.histograms.insert(name.clone(), h);
                             }
                         }

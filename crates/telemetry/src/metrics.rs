@@ -7,10 +7,19 @@
 //! do not serialize on one lock. A [`MetricsRecorder::snapshot`]
 //! merges the shards into one consistent view.
 
+use crate::json::Json;
 use crate::recorder::Recorder;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a metrics mutex, recovering from poisoning: every map here is
+/// updated with a single insert/increment (no multi-step invariants),
+/// so the state behind a poisoned lock is still coherent and the only
+/// sane response is to keep aggregating.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Counter/histogram shard count. 16 comfortably covers the worker
 /// counts the pool spawns; collisions only cost a little contention.
@@ -175,6 +184,49 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Renders the histogram as a JSON object (the wire form used in
+    /// telemetry logs and the serve `/metrics` endpoint).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("lo".to_owned(), Json::Num(self.spec.lo));
+        obj.insert("ratio".to_owned(), Json::Num(self.spec.ratio));
+        obj.insert(
+            "counts".to_owned(),
+            Json::Arr(self.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+        );
+        obj.insert("count".to_owned(), Json::Num(self.count as f64));
+        obj.insert("sum".to_owned(), Json::Num(self.sum));
+        obj.insert("min".to_owned(), self.min.map_or(Json::Null, Json::Num));
+        obj.insert("max".to_owned(), self.max.map_or(Json::Null, Json::Num));
+        Json::Obj(obj)
+    }
+
+    /// Parses the [`HistogramSnapshot::to_json`] wire form back;
+    /// `None` when a required field is missing or mistyped.
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<Self> {
+        let counts: Vec<u64> = json
+            .get("counts")?
+            .as_arr()?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<_>>()?;
+        let spec = HistogramSpec {
+            lo: json.get("lo")?.as_f64()?,
+            ratio: json.get("ratio")?.as_f64()?,
+            buckets: counts.len(),
+        };
+        Some(Self {
+            spec,
+            counts,
+            count: json.get("count")?.as_u64()?,
+            sum: json.get("sum")?.as_f64()?,
+            min: json.get("min").and_then(Json::as_f64),
+            max: json.get("max").and_then(Json::as_f64),
+        })
+    }
 }
 
 /// A merged, immutable view of every metric a [`MetricsRecorder`] has
@@ -194,6 +246,43 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the whole snapshot as one JSON object with `counters`,
+    /// `gauges`, and `histograms` sub-objects — the shared wire form
+    /// of telemetry-log snapshot lines and the serve `/metrics`
+    /// endpoint. Map ordering makes the rendering deterministic.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "counters".to_owned(),
+            Json::Obj(
+                self.counters
+                    .iter()
+                    .map(|(name, &v)| (name.clone(), Json::Num(v as f64)))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "gauges".to_owned(),
+            Json::Obj(
+                self.gauges
+                    .iter()
+                    .map(|(name, &v)| (name.clone(), Json::Num(v)))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "histograms".to_owned(),
+            Json::Obj(
+                self.histograms
+                    .iter()
+                    .map(|(name, h)| (name.clone(), h.to_json()))
+                    .collect(),
+            ),
+        );
+        Json::Obj(obj)
     }
 }
 
@@ -259,10 +348,10 @@ impl MetricsRecorder {
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut histograms: BTreeMap<String, HistCells> = BTreeMap::new();
         for shard in &self.shards {
-            for (&name, &value) in shard.counters.lock().expect("metrics poisoned").iter() {
+            for (&name, &value) in lock_recovering(&shard.counters).iter() {
                 *counters.entry(name.to_owned()).or_insert(0) += value;
             }
-            for (&name, cells) in shard.histograms.lock().expect("metrics poisoned").iter() {
+            for (&name, cells) in lock_recovering(&shard.histograms).iter() {
                 histograms
                     .entry(name.to_owned())
                     .and_modify(|merged| {
@@ -277,10 +366,7 @@ impl MetricsRecorder {
                     .or_insert_with(|| cells.clone());
             }
         }
-        let gauges = self
-            .gauges
-            .lock()
-            .expect("metrics poisoned")
+        let gauges = lock_recovering(&self.gauges)
             .iter()
             .map(|(&name, &value)| (name.to_owned(), value))
             .collect();
@@ -310,28 +396,17 @@ impl MetricsRecorder {
 impl Recorder for MetricsRecorder {
     fn counter_add(&self, name: &'static str, delta: u64) {
         let shard = &self.shards[shard_index()];
-        *shard
-            .counters
-            .lock()
-            .expect("metrics poisoned")
-            .entry(name)
-            .or_insert(0) += delta;
+        *lock_recovering(&shard.counters).entry(name).or_insert(0) += delta;
     }
 
     fn gauge_set(&self, name: &'static str, value: f64) {
-        self.gauges
-            .lock()
-            .expect("metrics poisoned")
-            .insert(name, value);
+        lock_recovering(&self.gauges).insert(name, value);
     }
 
     fn observe(&self, name: &'static str, value: f64) {
         let spec = self.histogram_spec;
         let shard = &self.shards[shard_index()];
-        shard
-            .histograms
-            .lock()
-            .expect("metrics poisoned")
+        lock_recovering(&shard.histograms)
             .entry(name)
             .or_insert_with(|| HistCells::new(spec))
             .record(value);
